@@ -1,0 +1,77 @@
+/// Fig. 2 / Table 1 — the NP-completeness reduction, regenerated: for a
+/// family of 3-Partition instances, build the Table-1 DT instance, verify
+/// that solvable instances admit the tight Fig. 2 schedule (makespan
+/// exactly L, peak memory exactly C, zero idle) and that unsolvable ones
+/// provably cannot reach L (exhaustive search over permutation schedules).
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/validate.hpp"
+#include "exact/exhaustive.hpp"
+#include "reduction/three_partition.hpp"
+#include "report/gantt.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dts;
+  const bench::Options options = bench::Options::parse(argc, argv);
+
+  struct Case {
+    const char* label;
+    ThreePartitionInstance input;
+  };
+  const std::vector<Case> cases{
+      {"m=2 solvable", ThreePartitionInstance{{1, 2, 6, 2, 3, 4}}},
+      {"m=2 uniform", ThreePartitionInstance{{3, 3, 3, 3, 3, 3}}},
+      {"m=3 solvable", ThreePartitionInstance{{4, 5, 9, 6, 6, 6, 2, 7, 9}}},
+      {"m=2 unsolvable", ThreePartitionInstance{{5, 5, 5, 1, 1, 1}}},
+      // Three 8s with m=2: some triplet holds two of them (16 > b = 15).
+      {"m=2 unsolvable (skew)", ThreePartitionInstance{{8, 8, 8, 3, 2, 1}}},
+  };
+
+  TextTable table({"instance", "b", "b'", "C", "L", "3Par solvable",
+                   "schedule == L", "peak == C", "best permutation"});
+  for (const Case& c : cases) {
+    const DtReduction red = reduce_to_dt(c.input);
+    const auto partition = solve_three_partition(c.input);
+    std::string tight = "-";
+    std::string peak = "-";
+    if (partition) {
+      const Schedule s = schedule_from_partition(red, *partition);
+      const ValidationReport report =
+          validate_schedule(red.instance, s, red.capacity);
+      tight = (report.ok() &&
+               approx_equal(s.makespan(red.instance), red.target))
+                  ? "yes"
+                  : "NO";
+      peak = approx_equal(report.peak_memory, red.capacity) ? "yes" : "NO";
+    }
+    // Exhaustive cross-check (the m=3 image has 13 tasks; identical-task
+    // collapsing keeps the search tractable for these inputs).
+    std::string best = "(skipped)";
+    if (red.instance.size() <= 13) {
+      ExhaustiveOptions ex;
+      ex.max_n = 13;
+      const ExhaustiveResult res =
+          best_common_order(red.instance, red.capacity, ex);
+      best = format_fixed(res.makespan, 1) +
+             (definitely_less(red.target, res.makespan) ? " (> L)" : " (= L)");
+    }
+    table.add_row({c.label, std::to_string(c.input.b()),
+                   std::to_string(red.b_prime), format_fixed(red.capacity, 0),
+                   format_fixed(red.target, 0), partition ? "yes" : "no",
+                   tight, peak, best});
+  }
+  std::printf("Fig. 2 / Table 1 — 3-Partition -> DT reduction:\n%s\n",
+              table.to_ascii().c_str());
+
+  // Render the canonical pattern once.
+  const DtReduction red = reduce_to_dt(cases[0].input);
+  const Schedule s =
+      schedule_from_partition(red, *solve_three_partition(cases[0].input));
+  std::printf("Fig. 2 pattern for %s:\n%s", cases[0].label,
+              render_gantt(red.instance, s, {.width = 72}).c_str());
+
+  bench::write_table_csv(options, "fig02_reduction", table);
+  return 0;
+}

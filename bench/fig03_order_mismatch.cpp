@@ -1,0 +1,64 @@
+/// Fig. 3 / Table 2 / Proposition 1 — with a memory capacity of 10, the
+/// optimal schedule for the Table 2 instance serves the two resources in
+/// *different* orders. Regenerates both schedules: the best permutation
+/// schedule and the best pair-order schedule, plus the paper's published
+/// figures for comparison.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/simulate.hpp"
+#include "exact/branch_bound.hpp"
+#include "exact/exhaustive.hpp"
+#include "report/gantt.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dts;
+  const bench::Options options = bench::Options::parse(argc, argv);
+
+  const Instance inst = Instance::from_comm_comp(
+      {{0, 5}, {4, 3}, {1, 6}, {3, 7}, {6, 0.5}, {7, 0.5}});
+  constexpr Mem kCapacity = 10.0;
+
+  TextTable table({"schedule space", "makespan", "comm order", "comp order"});
+  const auto order_string = [&](const std::vector<TaskId>& order) {
+    std::string s;
+    for (TaskId id : order) s += static_cast<char>('A' + id);
+    return s;
+  };
+
+  // Paper's Fig. 3a (common order A B D E C F): makespan 23.
+  {
+    const std::vector<TaskId> fig3a{0, 1, 3, 4, 2, 5};
+    const Schedule s = simulate_order(inst, fig3a, kCapacity);
+    table.add_row({"paper Fig. 3a (common)", format_fixed(s.makespan(inst), 1),
+                   order_string(fig3a), order_string(fig3a)});
+  }
+  // Best permutation schedule found exhaustively. Documented deviation:
+  // the order A B D F C E reaches 22.5 (< the paper's 23) by starting F's
+  // transfer exactly when B's computation releases its memory — the
+  // boundary semantics the paper's own Fig. 2 pattern requires.
+  const ExhaustiveResult common = best_common_order(inst, kCapacity);
+  table.add_row({"best common order (exhaustive)",
+                 format_fixed(common.makespan, 1), order_string(common.order),
+                 order_string(common.order)});
+
+  // Best schedule with independent orders: 22 (paper Fig. 3b).
+  const PairOrderResult pair = best_pair_order(inst, kCapacity);
+  table.add_row({"best independent orders (B&B)",
+                 format_fixed(pair.makespan, 1), order_string(pair.comm_order),
+                 order_string(pair.comp_order)});
+
+  std::printf("Fig. 3 / Proposition 1 — Table 2 instance, capacity 10:\n%s\n",
+              table.to_ascii().c_str());
+  std::printf("pairs explored by the branch & bound: %llu\n\n",
+              static_cast<unsigned long long>(pair.pairs_simulated));
+
+  std::printf("best permutation schedule (%.1f):\n%s\n", common.makespan,
+              render_gantt(inst, common.schedule, {.width = 72}).c_str());
+  std::printf("best pair-order schedule (%.1f):\n%s", pair.makespan,
+              render_gantt(inst, pair.schedule, {.width = 72}).c_str());
+
+  bench::write_table_csv(options, "fig03_order_mismatch", table);
+  return 0;
+}

@@ -1,0 +1,61 @@
+/// Fig. 7 — all heuristics against the iterative window solver (the
+/// paper's GLPK-based lp.k, here an exact per-window optimizer; see
+/// DESIGN.md §5) on a single HF trace across the nine capacities
+/// mc..2mc. The paper's observation to reproduce: windowed optimization
+/// (lp.3..lp.6) underperforms most of the direct heuristics.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/johnson.hpp"
+#include "exact/window_solver.hpp"
+#include "trace/generators.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dts;
+  const bench::Options options = bench::Options::parse(argc, argv);
+
+  TraceConfig config;
+  config.seed = options.seed;
+  const Instance inst = generate_hf_trace(config);
+  const Time lower = omim(inst);
+  const Mem mc = inst.min_capacity();
+  std::printf(
+      "Fig. 7 — single HF trace (%zu tasks, mc = %s), ratio to OMIM:\n\n",
+      inst.size(), format_si_bytes(mc).c_str());
+
+  std::vector<std::string> headers{"capacity"};
+  for (HeuristicId id : all_heuristic_ids()) headers.emplace_back(name_of(id));
+  const std::vector<WindowOptions> windows{
+      {.window = 3, .mode = WindowMode::kCommonOrder},
+      {.window = 4, .mode = WindowMode::kCommonOrder},
+      {.window = 5, .mode = WindowMode::kCommonOrder},
+      {.window = 6, .mode = WindowMode::kCommonOrder},
+      {.window = 3, .mode = WindowMode::kPairOrder},
+      {.window = 4, .mode = WindowMode::kPairOrder},
+  };
+  for (const WindowOptions& w : windows) {
+    headers.push_back(window_heuristic_name(w));
+  }
+  TextTable table(std::move(headers));
+
+  for (double factor : bench::capacity_factors()) {
+    const Mem capacity = mc * factor;
+    std::vector<std::string> row{format_fixed(factor, 3) + " mc"};
+    for (HeuristicId id : all_heuristic_ids()) {
+      row.push_back(
+          format_fixed(heuristic_makespan(id, inst, capacity) / lower, 4));
+    }
+    for (const WindowOptions& w : windows) {
+      const Schedule s = schedule_windowed(inst, capacity, w);
+      row.push_back(format_fixed(s.makespan(inst) / lower, 4));
+    }
+    table.add_row(std::move(row));
+    std::printf(".");
+    std::fflush(stdout);
+  }
+  std::printf("\n\n%s", table.to_ascii().c_str());
+
+  bench::write_table_csv(options, "fig07_milp_comparison", table);
+  return 0;
+}

@@ -1,0 +1,52 @@
+/// Fig. 8 — workload characteristics of the HF and CCSD corpora: per
+/// trace, sum comm / OMIM, sum comp / OMIM, max(sums)/OMIM and
+/// (sum comm + sum comp)/OMIM, summarized as boxplots over the 150
+/// process traces. Shapes to reproduce: HF communication-dominated with
+/// <= ~20% overlap headroom; CCSD balanced with ~50%.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "report/stats.hpp"
+#include "trace/workload_stats.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dts;
+  const bench::Options options = bench::Options::parse(argc, argv);
+
+  TextTable table({"workload", "quantity", "min", "q1", "median", "q3", "max"});
+
+  for (ChemistryKernel kernel :
+       {ChemistryKernel::kCoupledClusterSD, ChemistryKernel::kHartreeFock}) {
+    const std::vector<Instance> traces = bench::corpus(kernel, options);
+    const auto all = characterize_all(traces);
+
+    const auto add = [&](const char* quantity, auto getter) {
+      std::vector<double> values;
+      values.reserve(all.size());
+      for (const auto& wc : all) values.push_back(getter(wc));
+      const BoxplotSummary s = summarize(std::move(values));
+      table.add_row({std::string(to_string(kernel)), quantity,
+                     format_fixed(s.min, 3), format_fixed(s.q1, 3),
+                     format_fixed(s.median, 3), format_fixed(s.q3, 3),
+                     format_fixed(s.max, 3)});
+    };
+    add("sum comm / OMIM",
+        [](const WorkloadCharacteristics& wc) { return wc.comm_over_omim; });
+    add("sum comp / OMIM",
+        [](const WorkloadCharacteristics& wc) { return wc.comp_over_omim; });
+    add("max(sum comm, sum comp) / OMIM",
+        [](const WorkloadCharacteristics& wc) { return wc.max_over_omim; });
+    add("(sum comm + sum comp) / OMIM",
+        [](const WorkloadCharacteristics& wc) { return wc.total_over_omim; });
+    add("overlap headroom", [](const WorkloadCharacteristics& wc) {
+      return wc.overlap_potential();
+    });
+  }
+
+  std::printf("Fig. 8 — workload characteristics over %zu traces per "
+              "kernel:\n%s",
+              options.traces, table.to_ascii().c_str());
+  bench::write_table_csv(options, "fig08_workload", table);
+  return 0;
+}

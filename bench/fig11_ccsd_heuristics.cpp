@@ -1,0 +1,27 @@
+/// Fig. 11 — CCSD: distribution of ratio-to-OMIM for all 14 heuristics at
+/// each of the nine capacities mc..2mc, over the 150 process traces.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dts;
+  const bench::Options options = bench::Options::parse(argc, argv);
+
+  const std::vector<Instance> traces =
+      bench::corpus(ChemistryKernel::kCoupledClusterSD, options);
+  const std::vector<double> factors = bench::capacity_factors();
+  const std::vector<HeuristicId> ids = all_heuristic_ids();
+
+  std::printf("Fig. 11 — CCSD, %zu traces, mc = 1.8GB:\n\n", traces.size());
+  const std::vector<bench::RatioCell> grid =
+      bench::ratio_grid(traces, factors, ids);
+
+  for (double factor : factors) {
+    std::printf("capacity %.3f mc:\n%s\n", factor,
+                bench::boxplot_panel(grid, ids, factor).to_ascii().c_str());
+  }
+  bench::write_grid_csv(options, "fig11_ccsd_heuristics", grid);
+  return 0;
+}

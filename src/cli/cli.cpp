@@ -1,0 +1,249 @@
+#include "cli/cli.hpp"
+
+#include <ostream>
+#include <stdexcept>
+
+#include "core/auto_scheduler.hpp"
+#include "core/bounds.hpp"
+#include "core/recommend.hpp"
+#include "core/registry.hpp"
+#include "exact/lower_bounds.hpp"
+#include "heuristics/local_search.hpp"
+#include "report/gantt.hpp"
+#include "report/schedule_stats.hpp"
+#include "report/table.hpp"
+#include "trace/generators.hpp"
+#include "trace/trace_io.hpp"
+#include "trace/workload_stats.hpp"
+
+namespace dts::cli {
+
+namespace {
+
+constexpr std::string_view kUsage =
+    "usage: dts <command> [args]\n"
+    "commands:\n"
+    "  generate  --kernel=HF|CCSD [--seed=N] [--min-tasks=N] [--max-tasks=N]\n"
+    "            --out=FILE          synthesize a process trace\n"
+    "  info      FILE                bounds and workload characteristics\n"
+    "  schedule  FILE --heuristic=NAME (--capacity=B | --capacity-factor=F)\n"
+    "            [--gantt]           run one heuristic, print the analysis\n"
+    "  compare   FILE (--capacity=B | --capacity-factor=F)\n"
+    "                                all 14 heuristics side by side\n"
+    "  recommend FILE (--capacity=B | --capacity-factor=F)\n"
+    "                                the Table-6 recommendation\n"
+    "  improve   FILE (--capacity=B | --capacity-factor=F) [--iterations=N]\n"
+    "                                local search on top of the best heuristic\n";
+
+/// Resolves the capacity flags against the trace. Throws on bad input.
+Mem resolve_capacity(const CommandLine& cmd, const Instance& inst) {
+  const auto absolute = cmd.flag("capacity");
+  const auto factor = cmd.flag("capacity-factor");
+  if (absolute && factor) {
+    throw std::invalid_argument("give either --capacity or --capacity-factor");
+  }
+  if (absolute) return std::stod(*absolute);
+  const double f = factor ? std::stod(*factor) : 1.5;
+  return inst.min_capacity() * f;
+}
+
+Instance load(const CommandLine& cmd) {
+  if (cmd.positional.empty()) {
+    throw std::invalid_argument("missing trace file argument");
+  }
+  return read_trace_file(cmd.positional.front());
+}
+
+int cmd_generate(const CommandLine& cmd, std::ostream& out) {
+  const auto kernel_name = cmd.flag("kernel").value_or("HF");
+  const auto out_file = cmd.flag("out");
+  if (!out_file) throw std::invalid_argument("generate needs --out=FILE");
+  ChemistryKernel kernel;
+  if (kernel_name == "HF") {
+    kernel = ChemistryKernel::kHartreeFock;
+  } else if (kernel_name == "CCSD") {
+    kernel = ChemistryKernel::kCoupledClusterSD;
+  } else {
+    throw std::invalid_argument("unknown kernel '" + kernel_name +
+                                "' (use HF or CCSD)");
+  }
+  TraceConfig config;
+  config.seed = static_cast<std::uint64_t>(cmd.flag_or("seed", 1));
+  config.min_tasks = static_cast<std::size_t>(cmd.flag_or("min-tasks", 300));
+  config.max_tasks = static_cast<std::size_t>(cmd.flag_or("max-tasks", 800));
+  if (config.min_tasks == 0 || config.min_tasks > config.max_tasks) {
+    throw std::invalid_argument("need 0 < min-tasks <= max-tasks");
+  }
+  const Instance inst = generate_trace(kernel, config);
+  write_trace_file(*out_file, inst);
+  out << "wrote " << inst.size() << " " << to_string(kernel) << " tasks to "
+      << *out_file << " (mc = " << format_si_bytes(inst.min_capacity())
+      << ")\n";
+  return 0;
+}
+
+int cmd_info(const CommandLine& cmd, std::ostream& out) {
+  const Instance inst = load(cmd);
+  const WorkloadCharacteristics wc = characterize(inst);
+  const InstanceStats stats = inst.stats();
+  TextTable table({"quantity", "value"});
+  table.add_row({"tasks", std::to_string(stats.n_tasks)});
+  table.add_row({"sum comm", format_seconds(wc.bounds.sum_comm)});
+  table.add_row({"sum comp", format_seconds(wc.bounds.sum_comp)});
+  table.add_row({"OMIM lower bound", format_seconds(wc.bounds.omim_lower)});
+  table.add_row({"sequential upper bound",
+                 format_seconds(wc.bounds.sequential_upper)});
+  table.add_row({"overlap headroom",
+                 format_fixed(100.0 * wc.overlap_potential(), 1) + "%"});
+  table.add_row({"minimum capacity (mc)", format_si_bytes(stats.max_mem)});
+  table.add_row({"total memory footprint", format_si_bytes(stats.total_mem)});
+  table.add_row({"compute-intensive tasks",
+                 format_fixed(100.0 * stats.compute_intensive_fraction(), 1) +
+                     "%"});
+  out << table.to_ascii();
+  return 0;
+}
+
+void print_schedule_analysis(std::ostream& out, const Instance& inst,
+                             const Schedule& sched, Mem capacity,
+                             bool gantt) {
+  const ScheduleBreakdown breakdown = analyze_schedule(inst, sched);
+  const CapacityAwareBounds lb = capacity_aware_bounds(inst, capacity);
+  TextTable table({"quantity", "value"});
+  table.add_row({"makespan", format_seconds(breakdown.makespan)});
+  table.add_row({"ratio to OMIM",
+                 format_fixed(breakdown.makespan / lb.omim, 4)});
+  table.add_row({"ratio to capacity-aware bound",
+                 format_fixed(breakdown.makespan / lb.combined, 4)});
+  table.add_row({"link utilization",
+                 format_fixed(100.0 * breakdown.link_utilization(), 1) + "%"});
+  table.add_row({"processor utilization",
+                 format_fixed(100.0 * breakdown.proc_utilization(), 1) + "%"});
+  table.add_row({"comm-comp overlap",
+                 format_fixed(100.0 * breakdown.overlap, 1) + "%"});
+  out << table.to_ascii();
+  if (gantt) out << render_gantt(inst, sched, {.width = 72});
+}
+
+int cmd_schedule(const CommandLine& cmd, std::ostream& out) {
+  const Instance inst = load(cmd);
+  const Mem capacity = resolve_capacity(cmd, inst);
+  const auto name = cmd.flag("heuristic").value_or("OOSIM");
+  const auto id = heuristic_from_name(name);
+  if (!id) {
+    throw std::invalid_argument("unknown heuristic '" + name +
+                                "' (see `dts compare` for the list)");
+  }
+  const Schedule sched = run_heuristic(*id, inst, capacity);
+  out << name << " at capacity " << format_si_bytes(capacity) << ":\n";
+  print_schedule_analysis(out, inst, sched, capacity,
+                          cmd.flag("gantt").has_value());
+  return 0;
+}
+
+int cmd_compare(const CommandLine& cmd, std::ostream& out) {
+  const Instance inst = load(cmd);
+  const Mem capacity = resolve_capacity(cmd, inst);
+  const AutoScheduleResult res = auto_schedule(inst, capacity);
+  TextTable table({"heuristic", "family", "makespan", "ratio to OMIM"});
+  for (const HeuristicOutcome& o : res.outcomes) {
+    table.add_row({std::string(name_of(o.id)),
+                   std::string(name_of(info(o.id).category)),
+                   format_seconds(o.makespan),
+                   format_fixed(o.makespan / res.omim, 4)});
+  }
+  out << "capacity " << format_si_bytes(capacity) << " (OMIM "
+      << format_seconds(res.omim) << "):\n"
+      << table.to_ascii() << "best: " << name_of(res.best) << " at ratio "
+      << format_fixed(res.ratio_to_optimal(), 4) << "\n";
+  return 0;
+}
+
+int cmd_recommend(const CommandLine& cmd, std::ostream& out) {
+  const Instance inst = load(cmd);
+  const Mem capacity = resolve_capacity(cmd, inst);
+  const Recommendation rec = recommend(inst, capacity);
+  out << "capacity regime: " << to_string(rec.regime) << "\n"
+      << "recommended heuristic: " << name_of(rec.primary) << "\n"
+      << "rationale (Table 6): " << rec.rationale << "\n";
+  return 0;
+}
+
+int cmd_improve(const CommandLine& cmd, std::ostream& out) {
+  const Instance inst = load(cmd);
+  const Mem capacity = resolve_capacity(cmd, inst);
+  LocalSearchOptions options;
+  options.max_iterations =
+      static_cast<std::size_t>(cmd.flag_or("iterations", 20000));
+  options.seed = static_cast<std::uint64_t>(cmd.flag_or("seed", 1));
+  const LocalSearchResult res = schedule_local_search(inst, capacity, options);
+  out << "seed makespan:     " << format_seconds(res.initial_makespan) << "\n"
+      << "improved makespan: " << format_seconds(res.makespan) << "  ("
+      << format_fixed(100.0 * res.improvement(), 2) << "% better, "
+      << res.improvements << " accepted moves over " << res.iterations
+      << " candidates)\n";
+  print_schedule_analysis(out, inst, res.schedule, capacity,
+                          cmd.flag("gantt").has_value());
+  return 0;
+}
+
+}  // namespace
+
+std::optional<std::string> CommandLine::flag(std::string_view key) const {
+  const auto it = flags.find(key);
+  if (it == flags.end()) return std::nullopt;
+  return it->second;
+}
+
+double CommandLine::flag_or(std::string_view key, double fallback) const {
+  const auto value = flag(key);
+  return value ? std::stod(*value) : fallback;
+}
+
+CommandLine parse_command_line(int argc, const char* const* argv) {
+  CommandLine cmd;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (cmd.command.empty() && arg.rfind("--", 0) != 0) {
+      cmd.command = arg;
+    } else if (arg.rfind("--", 0) == 0) {
+      const std::string body = arg.substr(2);
+      if (body.empty()) throw std::invalid_argument("stray '--'");
+      const std::size_t eq = body.find('=');
+      if (eq == std::string::npos) {
+        cmd.flags[body] = "true";
+      } else if (eq == 0) {
+        throw std::invalid_argument("malformed flag '" + arg + "'");
+      } else {
+        cmd.flags[body.substr(0, eq)] = body.substr(eq + 1);
+      }
+    } else {
+      cmd.positional.push_back(arg);
+    }
+  }
+  return cmd;
+}
+
+int run_cli(int argc, const char* const* argv, std::ostream& out,
+            std::ostream& err) {
+  try {
+    const CommandLine cmd = parse_command_line(argc, argv);
+    if (cmd.command.empty() || cmd.command == "help") {
+      out << kUsage;
+      return cmd.command.empty() ? 2 : 0;
+    }
+    if (cmd.command == "generate") return cmd_generate(cmd, out);
+    if (cmd.command == "info") return cmd_info(cmd, out);
+    if (cmd.command == "schedule") return cmd_schedule(cmd, out);
+    if (cmd.command == "compare") return cmd_compare(cmd, out);
+    if (cmd.command == "recommend") return cmd_recommend(cmd, out);
+    if (cmd.command == "improve") return cmd_improve(cmd, out);
+    err << "unknown command '" << cmd.command << "'\n" << kUsage;
+    return 2;
+  } catch (const std::exception& e) {
+    err << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
+
+}  // namespace dts::cli

@@ -1,0 +1,47 @@
+#pragma once
+
+/// \file cli.hpp
+/// The `dts` command-line tool: schedule trace files with the paper's
+/// heuristics without writing C++. Logic lives here (streams injected) so
+/// the test suite can drive every command; tools/dts_cli.cpp is a thin
+/// main().
+///
+///   dts generate --kernel=HF --seed=7 --out=hf.trace
+///   dts info hf.trace
+///   dts schedule hf.trace --heuristic=OOLCMR --capacity-factor=1.5 --gantt
+///   dts compare hf.trace --capacity-factor=1.25
+///   dts recommend hf.trace --capacity-factor=1.1
+///   dts improve hf.trace --capacity-factor=1.5 --iterations=20000
+///
+/// Capacities are given either absolutely (--capacity=BYTES) or relative
+/// to the trace's minimum feasible capacity (--capacity-factor=F).
+
+#include <iosfwd>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace dts::cli {
+
+/// Parsed command line: a command word, positional arguments and
+/// --key=value flags (--flag alone maps to "true").
+struct CommandLine {
+  std::string command;
+  std::vector<std::string> positional;
+  std::map<std::string, std::string, std::less<>> flags;
+
+  [[nodiscard]] std::optional<std::string> flag(std::string_view key) const;
+  [[nodiscard]] double flag_or(std::string_view key, double fallback) const;
+};
+
+/// Parses argv (past the program name). Throws std::invalid_argument on a
+/// malformed flag.
+[[nodiscard]] CommandLine parse_command_line(int argc, const char* const* argv);
+
+/// Runs one command; returns the process exit code. Writes results to
+/// `out` and problems to `err` (never throws for user errors).
+int run_cli(int argc, const char* const* argv, std::ostream& out,
+            std::ostream& err);
+
+}  // namespace dts::cli

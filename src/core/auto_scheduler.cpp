@@ -1,0 +1,31 @@
+#include "core/auto_scheduler.hpp"
+
+#include "core/johnson.hpp"
+
+namespace dts {
+
+AutoScheduleResult auto_schedule(const Instance& inst, Mem capacity,
+                                 std::span<const HeuristicId> candidates) {
+  AutoScheduleResult result;
+  result.omim = omim(inst);
+  result.best = candidates.empty() ? HeuristicId::kOS : candidates.front();
+  for (HeuristicId id : candidates) {
+    Schedule sched = run_heuristic(id, inst, capacity);
+    const Time ms = inst.empty() ? 0.0 : sched.makespan(inst);
+    result.outcomes.push_back(HeuristicOutcome{id, ms});
+    if (ms < result.makespan) {
+      result.makespan = ms;
+      result.best = id;
+      result.schedule = std::move(sched);
+    }
+  }
+  if (inst.empty()) result.makespan = 0.0;
+  return result;
+}
+
+AutoScheduleResult auto_schedule(const Instance& inst, Mem capacity) {
+  const std::vector<HeuristicId> ids = all_heuristic_ids();
+  return auto_schedule(inst, capacity, ids);
+}
+
+}  // namespace dts

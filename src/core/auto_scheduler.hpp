@@ -1,0 +1,46 @@
+#pragma once
+
+/// \file auto_scheduler.hpp
+/// The paper's closing perspective: "a runtime system aiming at exposing
+/// different heuristics ... and automatically selecting the best one is
+/// currently underway". Scheduling here is simulation — evaluating a
+/// heuristic costs microseconds — so the auto-scheduler simply runs every
+/// candidate on the instance and keeps the best feasible schedule.
+
+#include <span>
+#include <vector>
+
+#include "core/instance.hpp"
+#include "core/registry.hpp"
+#include "core/schedule.hpp"
+
+namespace dts {
+
+struct HeuristicOutcome {
+  HeuristicId id;
+  Time makespan = kInfiniteTime;
+};
+
+struct AutoScheduleResult {
+  HeuristicId best;
+  Schedule schedule;             ///< best schedule found
+  Time makespan = kInfiniteTime;
+  Time omim = 0.0;               ///< lower bound, for the achieved ratio
+  std::vector<HeuristicOutcome> outcomes;  ///< every candidate, display order
+
+  /// makespan / OMIM — the paper's quality metric (>= 1).
+  [[nodiscard]] double ratio_to_optimal() const noexcept {
+    return omim <= 0.0 ? 1.0 : makespan / omim;
+  }
+};
+
+/// Evaluates `candidates` (default: the whole registry) and returns the
+/// winner; ties go to the earlier candidate. Throws std::invalid_argument
+/// if a task exceeds the capacity (no heuristic can schedule it).
+[[nodiscard]] AutoScheduleResult auto_schedule(const Instance& inst,
+                                               Mem capacity,
+                                               std::span<const HeuristicId> candidates);
+[[nodiscard]] AutoScheduleResult auto_schedule(const Instance& inst,
+                                               Mem capacity);
+
+}  // namespace dts

@@ -1,0 +1,163 @@
+#include "core/batch.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "core/johnson.hpp"
+#include "core/simulate.hpp"
+#include "heuristics/bin_packing.hpp"
+#include "heuristics/corrections.hpp"
+#include "heuristics/dynamic.hpp"
+#include "heuristics/gilmore_gomory.hpp"
+#include "heuristics/static_orders.hpp"
+
+namespace dts {
+
+namespace {
+
+/// Computes the heuristic's processing order restricted to `ids` by
+/// building the subset instance and mapping positions back to real ids.
+std::vector<TaskId> order_for_batch(HeuristicId id, const Instance& inst,
+                                    std::span<const TaskId> ids, Mem capacity) {
+  const Instance sub = inst.subset(ids);
+  std::vector<TaskId> local;
+  switch (id) {
+    case HeuristicId::kOS:
+      local = sub.submission_order();
+      break;
+    case HeuristicId::kOOSIM:
+      local = static_order(sub, StaticOrderPolicy::kJohnson);
+      break;
+    case HeuristicId::kIOCMS:
+      local = static_order(sub, StaticOrderPolicy::kIncreasingComm);
+      break;
+    case HeuristicId::kDOCPS:
+      local = static_order(sub, StaticOrderPolicy::kDecreasingComp);
+      break;
+    case HeuristicId::kIOCCS:
+      local = static_order(sub, StaticOrderPolicy::kIncreasingCommPlusComp);
+      break;
+    case HeuristicId::kDOCCS:
+      local = static_order(sub, StaticOrderPolicy::kDecreasingCommPlusComp);
+      break;
+    case HeuristicId::kGG:
+      local = gilmore_gomory_order(sub);
+      break;
+    case HeuristicId::kBP:
+      local = bin_packing_order(sub, capacity);
+      break;
+    default:
+      throw std::logic_error("order_for_batch: not a static heuristic");
+  }
+  std::vector<TaskId> global(local.size());
+  for (std::size_t k = 0; k < local.size(); ++k) global[k] = ids[local[k]];
+  return global;
+}
+
+}  // namespace
+
+namespace {
+
+/// Schedules one batch with `id`, continuing from `state`.
+void run_batch(HeuristicId id, const Instance& inst,
+               std::span<const TaskId> ids, Mem capacity,
+               ExecutionState& state, Schedule& sched) {
+  switch (info(id).category) {
+    case HeuristicCategory::kBaseline:
+    case HeuristicCategory::kStatic: {
+      const std::vector<TaskId> order = order_for_batch(id, inst, ids, capacity);
+      execute_order(inst, order, state, sched);
+      break;
+    }
+    case HeuristicCategory::kDynamic: {
+      const DynamicCriterion crit =
+          id == HeuristicId::kLCMR   ? DynamicCriterion::kLargestComm
+          : id == HeuristicId::kSCMR ? DynamicCriterion::kSmallestComm
+                                     : DynamicCriterion::kMaxAcceleration;
+      execute_dynamic(inst, ids, crit, state, sched);
+      break;
+    }
+    case HeuristicCategory::kCorrected: {
+      const DynamicCriterion crit =
+          id == HeuristicId::kOOLCMR   ? DynamicCriterion::kLargestComm
+          : id == HeuristicId::kOOSCMR ? DynamicCriterion::kSmallestComm
+                                       : DynamicCriterion::kMaxAcceleration;
+      // Base order: Johnson restricted to this batch.
+      const std::vector<TaskId> base =
+          order_for_batch(HeuristicId::kOOSIM, inst, ids, capacity);
+      execute_corrected(inst, base, crit, state, sched);
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+Schedule schedule_in_batches(HeuristicId id, const Instance& inst, Mem capacity,
+                             std::size_t batch_size) {
+  if (batch_size == 0) {
+    throw std::invalid_argument("schedule_in_batches: batch_size must be > 0");
+  }
+  const std::vector<TaskId> submission = inst.submission_order();
+  ExecutionState state(capacity);
+  Schedule sched(inst.size());
+
+  for (std::size_t lo = 0; lo < submission.size(); lo += batch_size) {
+    const std::size_t hi = std::min(lo + batch_size, submission.size());
+    const std::span<const TaskId> ids(&submission[lo], hi - lo);
+    run_batch(id, inst, ids, capacity, state, sched);
+  }
+  return sched;
+}
+
+BatchAutoResult schedule_in_batches_auto(
+    const Instance& inst, Mem capacity, std::size_t batch_size,
+    std::span<const HeuristicId> candidates) {
+  if (batch_size == 0) {
+    throw std::invalid_argument(
+        "schedule_in_batches_auto: batch_size must be > 0");
+  }
+  if (candidates.empty()) {
+    throw std::invalid_argument(
+        "schedule_in_batches_auto: need at least one candidate");
+  }
+  const std::vector<TaskId> submission = inst.submission_order();
+  BatchAutoResult result;
+  result.schedule = Schedule(inst.size());
+  ExecutionState::Snapshot carried;
+
+  for (std::size_t lo = 0; lo < submission.size(); lo += batch_size) {
+    const std::size_t hi = std::min(lo + batch_size, submission.size());
+    const std::span<const TaskId> ids(&submission[lo], hi - lo);
+
+    HeuristicId best_id = candidates.front();
+    Time best_end = kInfiniteTime;
+    Time best_link = kInfiniteTime;
+    Schedule best_sched;
+    ExecutionState::Snapshot best_state;
+    for (HeuristicId id : candidates) {
+      ExecutionState state(capacity, carried);
+      Schedule trial = result.schedule;
+      run_batch(id, inst, ids, capacity, state, trial);
+      const Time end = state.comp_available();
+      const bool better =
+          definitely_less(end, best_end) ||
+          (!definitely_less(best_end, end) &&
+           definitely_less(state.comm_available(), best_link));
+      if (best_end == kInfiniteTime || better) {
+        best_id = id;
+        best_end = end;
+        best_link = state.comm_available();
+        best_sched = std::move(trial);
+        best_state = state.snapshot();
+      }
+    }
+    result.schedule = std::move(best_sched);
+    result.winners.push_back(best_id);
+    carried = std::move(best_state);
+  }
+  return result;
+}
+
+}  // namespace dts

@@ -1,0 +1,21 @@
+#include "core/bounds.hpp"
+
+#include <algorithm>
+
+#include "core/johnson.hpp"
+
+namespace dts {
+
+Bounds compute_bounds(const Instance& inst) {
+  Bounds b;
+  for (const Task& t : inst) {
+    b.sum_comm += t.comm;
+    b.sum_comp += t.comp;
+  }
+  b.area_lower = std::max(b.sum_comm, b.sum_comp);
+  b.sequential_upper = b.sum_comm + b.sum_comp;
+  b.omim_lower = omim(inst);
+  return b;
+}
+
+}  // namespace dts

@@ -1,0 +1,32 @@
+#pragma once
+
+/// \file bounds.hpp
+/// Makespan bounds used throughout the evaluation (Section 5.1, Fig. 8):
+///   area lower bound     max(sum comm, sum comp)  — a resource must carry
+///                        all of its load sequentially;
+///   OMIM lower bound     optimal 2-machine flowshop makespan (Johnson) —
+///                        relaxing the memory constraint only helps;
+///   sequential upper bd  sum comm + sum comp — zero overlap.
+/// Every feasible memory-constrained makespan lies in [omim, sequential].
+
+#include "core/instance.hpp"
+
+namespace dts {
+
+struct Bounds {
+  Time sum_comm = 0.0;
+  Time sum_comp = 0.0;
+  Time area_lower = 0.0;      ///< max(sum_comm, sum_comp)
+  Time omim_lower = 0.0;      ///< Johnson optimum, >= area_lower
+  Time sequential_upper = 0.0;///< sum_comm + sum_comp
+
+  /// Fraction of the sequential time that perfect scheduling could hide:
+  /// 1 - omim/sequential. The paper observes ~20% for HF and ~50% for CCSD.
+  [[nodiscard]] double max_overlap_fraction() const noexcept {
+    return sequential_upper <= 0.0 ? 0.0 : 1.0 - omim_lower / sequential_upper;
+  }
+};
+
+[[nodiscard]] Bounds compute_bounds(const Instance& inst);
+
+}  // namespace dts

@@ -1,0 +1,68 @@
+#include "core/instance.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace dts {
+
+Instance::Instance(std::vector<Task> tasks) : tasks_(std::move(tasks)) {
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    if (!is_valid(tasks_[i])) {
+      throw std::invalid_argument("Instance: invalid task at position " +
+                                  std::to_string(i) + ": " + to_string(tasks_[i]));
+    }
+    tasks_[i].id = static_cast<TaskId>(i);
+  }
+}
+
+Instance Instance::from_triples(std::initializer_list<Triple> triples) {
+  std::vector<Task> tasks;
+  tasks.reserve(triples.size());
+  for (const auto& t : triples) {
+    tasks.push_back(Task{.id = 0, .comm = t.comm, .comp = t.comp, .mem = t.mem, .name = {}});
+  }
+  return Instance(std::move(tasks));
+}
+
+Instance Instance::from_comm_comp(std::initializer_list<Pair> pairs) {
+  std::vector<Task> tasks;
+  tasks.reserve(pairs.size());
+  for (const auto& p : pairs) {
+    tasks.push_back(Task{.id = 0, .comm = p.comm, .comp = p.comp, .mem = p.comm, .name = {}});
+  }
+  return Instance(std::move(tasks));
+}
+
+Mem Instance::min_capacity() const noexcept {
+  Mem mc = 0.0;
+  for (const Task& t : tasks_) mc = std::max(mc, t.mem);
+  return mc;
+}
+
+InstanceStats Instance::stats() const noexcept {
+  InstanceStats s;
+  s.n_tasks = tasks_.size();
+  for (const Task& t : tasks_) {
+    s.sum_comm += t.comm;
+    s.sum_comp += t.comp;
+    s.total_mem += t.mem;
+    s.max_mem = std::max(s.max_mem, t.mem);
+    if (t.compute_intensive()) ++s.n_compute_intensive;
+  }
+  return s;
+}
+
+Instance Instance::subset(std::span<const TaskId> ids) const {
+  std::vector<Task> tasks;
+  tasks.reserve(ids.size());
+  for (TaskId id : ids) tasks.push_back(tasks_.at(id));
+  return Instance(std::move(tasks));
+}
+
+std::vector<TaskId> Instance::submission_order() const {
+  std::vector<TaskId> order(tasks_.size());
+  std::iota(order.begin(), order.end(), TaskId{0});
+  return order;
+}
+
+}  // namespace dts

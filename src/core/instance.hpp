@@ -1,0 +1,89 @@
+#pragma once
+
+/// \file instance.hpp
+/// An Instance is the input of problem DT: a set of independent tasks to be
+/// moved through one communication link and one processing unit.
+
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/task.hpp"
+
+namespace dts {
+
+/// Aggregate workload characteristics (Figure 8 of the paper).
+struct InstanceStats {
+  Time sum_comm = 0.0;           ///< Total link occupancy.
+  Time sum_comp = 0.0;           ///< Total compute occupancy.
+  Mem max_mem = 0.0;             ///< mc: minimum feasible memory capacity.
+  Mem total_mem = 0.0;           ///< Sum of all memory requirements.
+  std::size_t n_compute_intensive = 0;  ///< Tasks with CP >= CM.
+  std::size_t n_tasks = 0;
+
+  /// Fraction of tasks that are compute intensive.
+  [[nodiscard]] double compute_intensive_fraction() const noexcept {
+    return n_tasks == 0 ? 0.0
+                        : static_cast<double>(n_compute_intensive) /
+                              static_cast<double>(n_tasks);
+  }
+};
+
+/// Immutable-after-construction set of tasks. Task ids always equal their
+/// position, which lets schedules and orders be plain index vectors.
+class Instance {
+ public:
+  Instance() = default;
+
+  /// Builds an instance from tasks; ids are (re)assigned to positions.
+  /// Throws std::invalid_argument if any task has negative or non-finite
+  /// durations/memory.
+  explicit Instance(std::vector<Task> tasks);
+
+  /// Convenience builder from (comm, comp, mem) triples, for tests and the
+  /// paper's example tables.
+  struct Triple {
+    Time comm;
+    Time comp;
+    Mem mem;
+  };
+  static Instance from_triples(std::initializer_list<Triple> triples);
+
+  /// Paper convention used throughout Sections 3-4: memory requirement of a
+  /// task equals its communication time. Builds from (comm, comp) pairs.
+  struct Pair {
+    Time comm;
+    Time comp;
+  };
+  static Instance from_comm_comp(std::initializer_list<Pair> pairs);
+
+  [[nodiscard]] std::size_t size() const noexcept { return tasks_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return tasks_.empty(); }
+  [[nodiscard]] const Task& operator[](TaskId id) const { return tasks_.at(id); }
+  [[nodiscard]] const std::vector<Task>& tasks() const noexcept { return tasks_; }
+
+  [[nodiscard]] auto begin() const noexcept { return tasks_.begin(); }
+  [[nodiscard]] auto end() const noexcept { return tasks_.end(); }
+
+  /// mc — the smallest capacity for which any schedule exists (the largest
+  /// single-task footprint). All evaluation sweeps run capacities in
+  /// [mc, 2mc].
+  [[nodiscard]] Mem min_capacity() const noexcept;
+
+  /// Aggregate characteristics; O(n), not cached (instances are small).
+  [[nodiscard]] InstanceStats stats() const noexcept;
+
+  /// New instance containing only `ids`, in the given order, with ids
+  /// renumbered to positions. Used by the batch scheduler and the window
+  /// solver. Throws std::out_of_range on a bad id.
+  [[nodiscard]] Instance subset(std::span<const TaskId> ids) const;
+
+  /// The identity permutation [0, n) — the paper's "order of submission".
+  [[nodiscard]] std::vector<TaskId> submission_order() const;
+
+ private:
+  std::vector<Task> tasks_;
+};
+
+}  // namespace dts

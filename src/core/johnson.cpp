@@ -1,0 +1,45 @@
+#include "core/johnson.hpp"
+
+#include <algorithm>
+
+#include "core/simulate.hpp"
+
+namespace dts {
+
+std::vector<TaskId> johnson_order(const Instance& inst) {
+  std::vector<TaskId> s1;  // CP >= CM: front, by non-decreasing comm
+  std::vector<TaskId> s2;  // CP <  CM: back, by non-increasing comp
+  s1.reserve(inst.size());
+  s2.reserve(inst.size());
+  for (const Task& t : inst) {
+    (t.compute_intensive() ? s1 : s2).push_back(t.id);
+  }
+  std::stable_sort(s1.begin(), s1.end(), [&](TaskId a, TaskId b) {
+    return inst[a].comm < inst[b].comm;
+  });
+  std::stable_sort(s2.begin(), s2.end(), [&](TaskId a, TaskId b) {
+    return inst[a].comp > inst[b].comp;
+  });
+  s1.insert(s1.end(), s2.begin(), s2.end());
+  return s1;
+}
+
+Schedule johnson_schedule(const Instance& inst) {
+  return simulate_order(inst, johnson_order(inst), kInfiniteMem);
+}
+
+Time omim(const Instance& inst) {
+  if (inst.empty()) return 0.0;
+  return johnson_schedule(inst).makespan(inst);
+}
+
+bool swap_cannot_improve(const Task& a, const Task& b) noexcept {
+  const bool a_ci = a.compute_intensive();
+  const bool b_ci = b.compute_intensive();
+  if (a_ci && b_ci && a.comm <= b.comm) return true;   // condition (i)
+  if (!a_ci && !b_ci && a.comp >= b.comp) return true; // condition (ii)
+  if (a_ci && !b_ci) return true;                      // condition (iii)
+  return false;
+}
+
+}  // namespace dts

@@ -1,0 +1,37 @@
+#pragma once
+
+/// \file johnson.hpp
+/// The infinite-memory special case (Section 3.1): with unbounded target
+/// memory, problem DT is the classic 2-machine flowshop (link = machine 1,
+/// processor = machine 2) and Johnson's rule (1954) gives an optimal
+/// permutation. The resulting makespan, OMIM ("optimal makespan, infinite
+/// memory"), lower-bounds every memory-constrained schedule and is the
+/// denominator of every ratio the paper reports.
+
+#include <span>
+#include <vector>
+
+#include "core/instance.hpp"
+#include "core/schedule.hpp"
+
+namespace dts {
+
+/// Algorithm 1 of the paper: compute-intensive tasks (CP >= CM) first, by
+/// non-decreasing communication time; then communication-intensive tasks
+/// by non-increasing computation time. Ties preserve submission order
+/// (stable), which makes the result deterministic.
+[[nodiscard]] std::vector<TaskId> johnson_order(const Instance& inst);
+
+/// Schedule obtained by running the Johnson order with unbounded memory.
+[[nodiscard]] Schedule johnson_schedule(const Instance& inst);
+
+/// OMIM — the optimal makespan with infinite memory.
+[[nodiscard]] Time omim(const Instance& inst);
+
+/// Lemma 1 predicate: true when swapping contiguous tasks A-then-B cannot
+/// improve any schedule, i.e. when one of the lemma's three conditions
+/// holds. Exposed for the property tests that re-verify the paper's
+/// exchange argument numerically.
+[[nodiscard]] bool swap_cannot_improve(const Task& a, const Task& b) noexcept;
+
+}  // namespace dts

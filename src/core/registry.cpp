@@ -1,0 +1,135 @@
+#include "core/registry.hpp"
+
+#include <array>
+#include <stdexcept>
+
+#include "core/simulate.hpp"
+#include "heuristics/bin_packing.hpp"
+#include "heuristics/corrections.hpp"
+#include "heuristics/dynamic.hpp"
+#include "heuristics/gilmore_gomory.hpp"
+#include "heuristics/static_orders.hpp"
+
+namespace dts {
+
+namespace {
+
+constexpr std::array<HeuristicInfo, 14> kRegistry{{
+    {HeuristicId::kOS, "OS", HeuristicCategory::kBaseline,
+     "order of submission"},
+    {HeuristicId::kOOSIM, "OOSIM", HeuristicCategory::kStatic,
+     "Johnson (infinite-memory optimal) order under the capacity"},
+    {HeuristicId::kIOCMS, "IOCMS", HeuristicCategory::kStatic,
+     "non-decreasing communication time"},
+    {HeuristicId::kDOCPS, "DOCPS", HeuristicCategory::kStatic,
+     "non-increasing computation time"},
+    {HeuristicId::kIOCCS, "IOCCS", HeuristicCategory::kStatic,
+     "non-decreasing communication + computation"},
+    {HeuristicId::kDOCCS, "DOCCS", HeuristicCategory::kStatic,
+     "non-increasing communication + computation"},
+    {HeuristicId::kGG, "GG", HeuristicCategory::kStatic,
+     "Gilmore-Gomory optimal no-wait sequence"},
+    {HeuristicId::kBP, "BP", HeuristicCategory::kStatic,
+     "First-Fit memory bin packing"},
+    {HeuristicId::kLCMR, "LCMR", HeuristicCategory::kDynamic,
+     "largest communication among fitting, min-idle tasks"},
+    {HeuristicId::kSCMR, "SCMR", HeuristicCategory::kDynamic,
+     "smallest communication among fitting, min-idle tasks"},
+    {HeuristicId::kMAMR, "MAMR", HeuristicCategory::kDynamic,
+     "maximum CP/CM ratio among fitting, min-idle tasks"},
+    {HeuristicId::kOOLCMR, "OOLCMR", HeuristicCategory::kCorrected,
+     "Johnson order, diverting to largest-communication fitting task"},
+    {HeuristicId::kOOSCMR, "OOSCMR", HeuristicCategory::kCorrected,
+     "Johnson order, diverting to smallest-communication fitting task"},
+    {HeuristicId::kOOMAMR, "OOMAMR", HeuristicCategory::kCorrected,
+     "Johnson order, diverting to highest CP/CM fitting task"},
+}};
+
+}  // namespace
+
+std::span<const HeuristicInfo> all_heuristics() noexcept { return kRegistry; }
+
+std::vector<HeuristicId> all_heuristic_ids() {
+  std::vector<HeuristicId> ids;
+  ids.reserve(kRegistry.size());
+  for (const auto& h : kRegistry) ids.push_back(h.id);
+  return ids;
+}
+
+std::vector<HeuristicId> heuristics_in(HeuristicCategory cat) {
+  std::vector<HeuristicId> ids;
+  for (const auto& h : kRegistry) {
+    if (h.category == cat) ids.push_back(h.id);
+  }
+  return ids;
+}
+
+const HeuristicInfo& info(HeuristicId id) noexcept {
+  for (const auto& h : kRegistry) {
+    if (h.id == id) return h;
+  }
+  return kRegistry[0];  // unreachable for valid ids
+}
+
+std::string_view name_of(HeuristicId id) noexcept { return info(id).name; }
+
+std::string_view name_of(HeuristicCategory cat) noexcept {
+  switch (cat) {
+    case HeuristicCategory::kBaseline: return "Baseline";
+    case HeuristicCategory::kStatic: return "Static";
+    case HeuristicCategory::kDynamic: return "Dynamic";
+    case HeuristicCategory::kCorrected: return "Static+Dynamic";
+  }
+  return "?";
+}
+
+std::optional<HeuristicId> heuristic_from_name(std::string_view name) noexcept {
+  for (const auto& h : kRegistry) {
+    if (h.name == name) return h.id;
+  }
+  return std::nullopt;
+}
+
+Schedule run_heuristic(HeuristicId id, const Instance& inst, Mem capacity) {
+  switch (id) {
+    case HeuristicId::kOS:
+      return simulate_order(inst, inst.submission_order(), capacity);
+    case HeuristicId::kOOSIM:
+      return schedule_static(inst, StaticOrderPolicy::kJohnson, capacity);
+    case HeuristicId::kIOCMS:
+      return schedule_static(inst, StaticOrderPolicy::kIncreasingComm, capacity);
+    case HeuristicId::kDOCPS:
+      return schedule_static(inst, StaticOrderPolicy::kDecreasingComp, capacity);
+    case HeuristicId::kIOCCS:
+      return schedule_static(inst, StaticOrderPolicy::kIncreasingCommPlusComp,
+                             capacity);
+    case HeuristicId::kDOCCS:
+      return schedule_static(inst, StaticOrderPolicy::kDecreasingCommPlusComp,
+                             capacity);
+    case HeuristicId::kGG:
+      return schedule_gilmore_gomory(inst, capacity);
+    case HeuristicId::kBP:
+      return schedule_bin_packing(inst, capacity);
+    case HeuristicId::kLCMR:
+      return schedule_dynamic(inst, DynamicCriterion::kLargestComm, capacity);
+    case HeuristicId::kSCMR:
+      return schedule_dynamic(inst, DynamicCriterion::kSmallestComm, capacity);
+    case HeuristicId::kMAMR:
+      return schedule_dynamic(inst, DynamicCriterion::kMaxAcceleration,
+                              capacity);
+    case HeuristicId::kOOLCMR:
+      return schedule_corrected(inst, DynamicCriterion::kLargestComm, capacity);
+    case HeuristicId::kOOSCMR:
+      return schedule_corrected(inst, DynamicCriterion::kSmallestComm, capacity);
+    case HeuristicId::kOOMAMR:
+      return schedule_corrected(inst, DynamicCriterion::kMaxAcceleration,
+                                capacity);
+  }
+  throw std::invalid_argument("run_heuristic: unknown heuristic id");
+}
+
+Time heuristic_makespan(HeuristicId id, const Instance& inst, Mem capacity) {
+  return run_heuristic(id, inst, capacity).makespan(inst);
+}
+
+}  // namespace dts

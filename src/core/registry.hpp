@@ -1,0 +1,79 @@
+#pragma once
+
+/// \file registry.hpp
+/// Uniform access to every scheduling heuristic of the paper, keyed by the
+/// acronyms used in its figures. The benches, the auto-scheduler and the
+/// batch runtime all drive heuristics through this registry so new
+/// strategies plug into every experiment automatically.
+
+#include <optional>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "core/instance.hpp"
+#include "core/schedule.hpp"
+
+namespace dts {
+
+/// All heuristics evaluated in the paper (Figs. 7, 9-13).
+enum class HeuristicId {
+  // baseline
+  kOS,      ///< order of submission
+  // static orders (§4.1)
+  kOOSIM,   ///< Johnson order under the capacity
+  kIOCMS,   ///< increasing communication time
+  kDOCPS,   ///< decreasing computation time
+  kIOCCS,   ///< increasing comm+comp
+  kDOCCS,   ///< decreasing comm+comp
+  // prior-work static baselines (§4.4)
+  kGG,      ///< Gilmore-Gomory no-wait sequence
+  kBP,      ///< First-Fit bin packing by memory
+  // dynamic selection (§4.2)
+  kLCMR,
+  kSCMR,
+  kMAMR,
+  // static order with dynamic corrections (§4.3)
+  kOOLCMR,
+  kOOSCMR,
+  kOOMAMR,
+};
+
+/// The paper's three heuristic families plus the submission baseline
+/// (Figs. 10/12/13 compare the best variant of each family against OS).
+enum class HeuristicCategory { kBaseline, kStatic, kDynamic, kCorrected };
+
+struct HeuristicInfo {
+  HeuristicId id;
+  std::string_view name;  ///< paper acronym
+  HeuristicCategory category;
+  std::string_view description;
+};
+
+/// Metadata for every registered heuristic, in the paper's display order.
+[[nodiscard]] std::span<const HeuristicInfo> all_heuristics() noexcept;
+
+/// Ids only, in display order.
+[[nodiscard]] std::vector<HeuristicId> all_heuristic_ids();
+
+/// Ids belonging to one family.
+[[nodiscard]] std::vector<HeuristicId> heuristics_in(HeuristicCategory cat);
+
+[[nodiscard]] const HeuristicInfo& info(HeuristicId id) noexcept;
+[[nodiscard]] std::string_view name_of(HeuristicId id) noexcept;
+[[nodiscard]] std::string_view name_of(HeuristicCategory cat) noexcept;
+
+/// Reverse lookup from the paper acronym (case-sensitive), e.g. "OOLCMR".
+[[nodiscard]] std::optional<HeuristicId> heuristic_from_name(
+    std::string_view name) noexcept;
+
+/// Runs the heuristic on a fresh engine. Throws std::invalid_argument when
+/// some task cannot fit in `capacity` at all.
+[[nodiscard]] Schedule run_heuristic(HeuristicId id, const Instance& inst,
+                                     Mem capacity);
+
+/// Convenience: makespan of run_heuristic.
+[[nodiscard]] Time heuristic_makespan(HeuristicId id, const Instance& inst,
+                                      Mem capacity);
+
+}  // namespace dts

@@ -1,0 +1,80 @@
+#include "core/schedule.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+namespace dts {
+
+bool Schedule::complete() const noexcept {
+  return std::all_of(times_.begin(), times_.end(),
+                     [](const TaskTimes& t) { return t.scheduled(); });
+}
+
+Time Schedule::makespan(const Instance& inst) const {
+  if (inst.size() != times_.size()) {
+    throw std::invalid_argument("Schedule::makespan: instance size mismatch");
+  }
+  Time end = 0.0;
+  for (TaskId i = 0; i < times_.size(); ++i) {
+    if (!times_[i].scheduled()) {
+      throw std::logic_error("Schedule::makespan: task " + std::to_string(i) +
+                             " is unscheduled");
+    }
+    end = std::max(end, times_[i].comp_start + inst[i].comp);
+  }
+  return end;
+}
+
+namespace {
+
+/// Orders by the primary instant, then the secondary one, then id. The
+/// secondary key makes zero-length operations sort consistently on both
+/// resources: a zero-length transfer issued at the same instant another
+/// transfer starts is ordered by when its computation runs, so
+/// is_permutation_schedule() reflects the issue order rather than ids.
+std::vector<TaskId> order_by(const std::vector<TaskTimes>& times,
+                             Time TaskTimes::* primary,
+                             Time TaskTimes::* secondary) {
+  std::vector<TaskId> ids(times.size());
+  std::iota(ids.begin(), ids.end(), TaskId{0});
+  std::sort(ids.begin(), ids.end(), [&](TaskId a, TaskId b) {
+    if (times[a].*primary != times[b].*primary) {
+      return times[a].*primary < times[b].*primary;
+    }
+    if (times[a].*secondary != times[b].*secondary) {
+      return times[a].*secondary < times[b].*secondary;
+    }
+    return a < b;
+  });
+  return ids;
+}
+
+}  // namespace
+
+std::vector<TaskId> Schedule::comm_order() const {
+  return order_by(times_, &TaskTimes::comm_start, &TaskTimes::comp_start);
+}
+
+std::vector<TaskId> Schedule::comp_order() const {
+  return order_by(times_, &TaskTimes::comp_start, &TaskTimes::comm_start);
+}
+
+bool Schedule::is_permutation_schedule() const {
+  return comm_order() == comp_order();
+}
+
+std::string to_string(const Schedule& sched, const Instance& inst) {
+  std::ostringstream os;
+  for (TaskId id : sched.comm_order()) {
+    const Task& t = inst[id];
+    const TaskTimes& tt = sched[id];
+    os << (t.name.empty() ? "T" + std::to_string(id) : t.name)  //
+       << ": comm [" << tt.comm_start << ", " << tt.comm_start + t.comm << ")"
+       << " comp [" << tt.comp_start << ", " << tt.comp_start + t.comp << ")\n";
+  }
+  return os.str();
+}
+
+}  // namespace dts

@@ -1,0 +1,73 @@
+#pragma once
+
+/// \file schedule.hpp
+/// A Schedule assigns each task a communication start time SCOMM(i) and a
+/// computation start time SCOMP(i). End times follow from the instance's
+/// durations. Schedules are produced by the simulators/heuristics and
+/// checked by validate.hpp; they never enforce feasibility themselves.
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/instance.hpp"
+
+namespace dts {
+
+/// Start times of one task on both resources.
+struct TaskTimes {
+  Time comm_start = -1.0;  ///< SCOMM(i); negative means "not scheduled".
+  Time comp_start = -1.0;  ///< SCOMP(i).
+
+  [[nodiscard]] constexpr bool scheduled() const noexcept {
+    return comm_start >= 0.0 && comp_start >= 0.0;
+  }
+};
+
+class Schedule {
+ public:
+  Schedule() = default;
+
+  /// A schedule for n tasks, all initially unscheduled.
+  explicit Schedule(std::size_t n) : times_(n) {}
+
+  [[nodiscard]] std::size_t size() const noexcept { return times_.size(); }
+
+  [[nodiscard]] const TaskTimes& operator[](TaskId id) const { return times_.at(id); }
+  [[nodiscard]] TaskTimes& operator[](TaskId id) { return times_.at(id); }
+
+  /// Records both start times of a task (the only mutation schedulers use).
+  void set(TaskId id, Time comm_start, Time comp_start) {
+    times_.at(id) = TaskTimes{comm_start, comp_start};
+  }
+
+  /// True when every task has been assigned start times.
+  [[nodiscard]] bool complete() const noexcept;
+
+  /// End of the last computation (0 for an empty schedule). Requires a
+  /// complete schedule over the same instance the schedule was built for.
+  [[nodiscard]] Time makespan(const Instance& inst) const;
+
+  /// Task ids sorted by communication start (ties by id) — the order the
+  /// link serves tasks.
+  [[nodiscard]] std::vector<TaskId> comm_order() const;
+
+  /// Task ids sorted by computation start (ties by id).
+  [[nodiscard]] std::vector<TaskId> comp_order() const;
+
+  /// True when the link and the processor serve tasks in the same
+  /// sequence — all the paper's heuristics except the MILP/B&B guarantee
+  /// this ("permutation schedules").
+  [[nodiscard]] bool is_permutation_schedule() const;
+
+  [[nodiscard]] const std::vector<TaskTimes>& times() const noexcept { return times_; }
+
+ private:
+  std::vector<TaskTimes> times_;
+};
+
+/// Compact textual dump "id: comm [a,b) comp [c,d)" per line, for debugging
+/// and golden tests.
+[[nodiscard]] std::string to_string(const Schedule& sched, const Instance& inst);
+
+}  // namespace dts

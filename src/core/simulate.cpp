@@ -1,0 +1,134 @@
+#include "core/simulate.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace dts {
+
+ExecutionState::ExecutionState(Mem capacity) : capacity_(capacity) {
+  if (!(capacity >= 0.0)) {  // also rejects NaN
+    throw std::invalid_argument("ExecutionState: capacity must be >= 0");
+  }
+}
+
+ExecutionState::ExecutionState(Mem capacity, Time comm_available,
+                               Time comp_available)
+    : ExecutionState(capacity) {
+  if (comm_available < 0.0 || comp_available < 0.0) {
+    throw std::invalid_argument("ExecutionState: negative availability");
+  }
+  now_ = comm_avail_ = comm_available;
+  comp_avail_ = comp_available;
+}
+
+ExecutionState::Snapshot ExecutionState::snapshot() const {
+  Snapshot snap;
+  snap.comm_available = comm_avail_;
+  snap.comp_available = comp_avail_;
+  snap.active.reserve(active_.size());
+  for (const ActiveTask& a : active_) snap.active.emplace_back(a.comp_end, a.mem);
+  return snap;
+}
+
+ExecutionState::ExecutionState(Mem capacity, const Snapshot& snap)
+    : ExecutionState(capacity, snap.comm_available, snap.comp_available) {
+  for (const auto& [comp_end, mem] : snap.active) {
+    // Entries already finished relative to the snapshot's clock carry no
+    // memory; keep the rest in flight.
+    if (approx_leq(comp_end, now_)) continue;
+    used_ += mem;
+    active_.push_back(ActiveTask{comp_end, mem});
+  }
+  std::make_heap(active_.begin(), active_.end(), std::greater<>{});
+}
+
+bool ExecutionState::fits(const Task& t) const noexcept {
+  return approx_leq(used_ + t.mem, capacity_);
+}
+
+Time ExecutionState::induced_comp_idle(const Task& t) const noexcept {
+  return std::max(0.0, now_ + t.comm - comp_avail_);
+}
+
+void ExecutionState::release_until(Time t) {
+  while (!active_.empty() && approx_leq(active_.front().comp_end, t)) {
+    used_ -= active_.front().mem;
+    std::pop_heap(active_.begin(), active_.end(), std::greater<>{});
+    active_.pop_back();
+  }
+  if (active_.empty()) used_ = 0.0;  // snap away accumulated rounding
+}
+
+TaskTimes ExecutionState::start(const Task& t) {
+  if (!fits(t)) {
+    throw std::logic_error("ExecutionState::start: task " + std::to_string(t.id) +
+                           " does not fit (used " + std::to_string(used_) +
+                           " + " + std::to_string(t.mem) + " > capacity " +
+                           std::to_string(capacity_) + ")");
+  }
+  const Time comm_start = now_;
+  const Time comm_end = comm_start + t.comm;
+  const Time comp_start = std::max(comm_end, comp_avail_);
+  const Time comp_end = comp_start + t.comp;
+
+  used_ += t.mem;
+  active_.push_back(ActiveTask{comp_end, t.mem});
+  std::push_heap(active_.begin(), active_.end(), std::greater<>{});
+
+  comm_avail_ = comm_end;
+  comp_avail_ = comp_end;
+  now_ = comm_end;
+  release_until(now_);
+  return TaskTimes{comm_start, comp_start};
+}
+
+bool ExecutionState::advance_to_next_release() {
+  // Every entry with comp_end <= now_ was already released, so the heap
+  // top (if any) is a strictly future event.
+  if (active_.empty()) return false;
+  now_ = std::max(now_, active_.front().comp_end);
+  release_until(now_);
+  return true;
+}
+
+void ExecutionState::advance_to(Time t) {
+  now_ = std::max(now_, t);
+  comm_avail_ = std::max(comm_avail_, now_);
+  release_until(now_);
+}
+
+void execute_order(const Instance& inst, std::span<const TaskId> order,
+                   ExecutionState& state, Schedule& out) {
+  for (TaskId id : order) {
+    const Task& t = inst[id];
+    while (!state.fits(t)) {
+      if (!state.advance_to_next_release()) {
+        throw std::invalid_argument(
+            "execute_order: task " + std::to_string(id) + " requires " +
+            std::to_string(t.mem) + " bytes but capacity is " +
+            std::to_string(state.capacity()));
+      }
+    }
+    const TaskTimes tt = state.start(t);
+    out.set(id, tt.comm_start, tt.comp_start);
+  }
+}
+
+Schedule simulate_order(const Instance& inst, std::span<const TaskId> order,
+                        Mem capacity) {
+  if (order.size() != inst.size()) {
+    throw std::invalid_argument("simulate_order: order must cover all tasks");
+  }
+  ExecutionState state(capacity);
+  Schedule sched(inst.size());
+  execute_order(inst, order, state, sched);
+  return sched;
+}
+
+Time makespan_of_order(const Instance& inst, std::span<const TaskId> order,
+                       Mem capacity) {
+  return simulate_order(inst, order, capacity).makespan(inst);
+}
+
+}  // namespace dts

@@ -1,0 +1,132 @@
+#pragma once
+
+/// \file simulate.hpp
+/// Earliest-start execution engine for problem DT.
+///
+/// The engine models the two resources of the paper's system (one transfer
+/// link, one processing unit) plus the bounded memory of the target node.
+/// All schedulers in the library drive the same engine, which guarantees
+/// they share identical timing semantics:
+///
+///  * a transfer may start at time t only if the memory still held by
+///    tasks whose transfer started and whose computation has not finished
+///    (half-open intervals) leaves room for the new task;
+///  * SCOMP(i) = max(SCOMM(i) + CM_i, processor-free time) — computations
+///    are served in the order they are issued to the engine;
+///  * when nothing fits, time advances to the next computation-finish
+///    event (the only instants at which memory is released).
+///
+/// These rules reproduce the paper's worked schedules (Figs. 4-6) exactly;
+/// see tests/paper_examples_test.cpp.
+
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "core/instance.hpp"
+#include "core/schedule.hpp"
+
+namespace dts {
+
+/// Mutable execution state of the two resources and the memory node.
+/// Decision instants only move forward. A fresh state starts at time 0
+/// with both resources idle and no memory in use; batch schedulers reuse
+/// one state across batches to model a runtime that keeps issuing work.
+class ExecutionState {
+ public:
+  /// Capacity may be kInfiniteMem for the unconstrained (OMIM) case.
+  explicit ExecutionState(Mem capacity);
+
+  /// State carried over from a previous scheduling round: the resources
+  /// become free at the given instants (memory starts empty; callers that
+  /// carry in-flight tasks use start() replay instead).
+  ExecutionState(Mem capacity, Time comm_available, Time comp_available);
+
+  /// The current decision instant for the link (never decreases).
+  [[nodiscard]] Time now() const noexcept { return now_; }
+
+  [[nodiscard]] Time comm_available() const noexcept { return comm_avail_; }
+  [[nodiscard]] Time comp_available() const noexcept { return comp_avail_; }
+  [[nodiscard]] Mem capacity() const noexcept { return capacity_; }
+
+  /// Memory held at the current instant by tasks still owning their input.
+  [[nodiscard]] Mem used_memory() const noexcept { return used_; }
+
+  /// Number of tasks whose transfer started but whose computation has not
+  /// finished at the current instant.
+  [[nodiscard]] std::size_t active_tasks() const noexcept { return active_.size(); }
+
+  /// Would `t` fit in memory if its transfer started right now?
+  [[nodiscard]] bool fits(const Task& t) const noexcept;
+
+  /// Idle time this task would inject on the processor if its transfer
+  /// started now: max(0, now + CM - processor-free). The dynamic and
+  /// correction heuristics minimize this quantity over candidates (§4.2).
+  [[nodiscard]] Time induced_comp_idle(const Task& t) const noexcept;
+
+  /// Starts the transfer of `t` at the current instant and queues its
+  /// computation. Advances the decision instant to the end of the
+  /// transfer. Requires fits(t); throws std::logic_error otherwise.
+  TaskTimes start(const Task& t);
+
+  /// Advances the decision instant to the next computation-finish event,
+  /// releasing its memory. Returns false (and leaves time unchanged) when
+  /// no task is in flight.
+  bool advance_to_next_release();
+
+  /// Advances the decision instant to max(now, t), releasing memory of
+  /// every computation finishing up to that instant.
+  void advance_to(Time t);
+
+  /// Value snapshot of the engine: resource availability plus the
+  /// (comp-end, memory) pairs of in-flight tasks. Used by the window
+  /// solver to explore candidate continuations and by the pair-order
+  /// branch & bound to start mid-stream.
+  struct Snapshot {
+    Time comm_available = 0.0;
+    Time comp_available = 0.0;
+    std::vector<std::pair<Time, Mem>> active;  ///< comp end, held memory
+  };
+  [[nodiscard]] Snapshot snapshot() const;
+
+  /// Rebuilds an engine from a snapshot (same capacity semantics).
+  ExecutionState(Mem capacity, const Snapshot& snap);
+
+ private:
+  struct ActiveTask {
+    Time comp_end;
+    Mem mem;
+    /// Min-heap on comp_end.
+    [[nodiscard]] bool operator>(const ActiveTask& o) const noexcept {
+      return comp_end > o.comp_end;
+    }
+  };
+
+  void release_until(Time t);
+
+  Mem capacity_;
+  Time now_ = 0.0;
+  Time comm_avail_ = 0.0;
+  Time comp_avail_ = 0.0;
+  Mem used_ = 0.0;
+  std::vector<ActiveTask> active_;  // binary min-heap via std::*_heap
+};
+
+/// Executes `order` (task ids of `inst`) as a permutation schedule on an
+/// existing state, writing start times into `out`. Each transfer starts at
+/// the earliest feasible instant. Throws std::invalid_argument when a task
+/// can never fit (mem > capacity).
+void execute_order(const Instance& inst, std::span<const TaskId> order,
+                   ExecutionState& state, Schedule& out);
+
+/// Convenience: run `order` on a fresh state; returns the schedule.
+[[nodiscard]] Schedule simulate_order(const Instance& inst,
+                                      std::span<const TaskId> order,
+                                      Mem capacity);
+
+/// Convenience: the makespan of simulate_order.
+[[nodiscard]] Time makespan_of_order(const Instance& inst,
+                                     std::span<const TaskId> order,
+                                     Mem capacity);
+
+}  // namespace dts

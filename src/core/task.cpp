@@ -1,0 +1,26 @@
+#include "core/task.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace dts {
+
+Time Task::acceleration() const noexcept {
+  if (comm <= 0.0) return kInfiniteTime;
+  return comp / comm;
+}
+
+bool is_valid(const Task& t) noexcept {
+  return std::isfinite(t.comm) && t.comm >= 0.0 &&  //
+         std::isfinite(t.comp) && t.comp >= 0.0 &&  //
+         std::isfinite(t.mem) && t.mem >= 0.0;
+}
+
+std::string to_string(const Task& t) {
+  std::ostringstream os;
+  os << (t.name.empty() ? "T" + std::to_string(t.id) : t.name)  //
+     << "[comm=" << t.comm << " comp=" << t.comp << " mem=" << t.mem << "]";
+  return os.str();
+}
+
+}  // namespace dts

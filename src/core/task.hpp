@@ -1,0 +1,50 @@
+#pragma once
+
+/// \file task.hpp
+/// The unit of work of problem DT: an independent task with an input data
+/// transfer, a computation, and a memory footprint held from the start of
+/// the transfer to the end of the computation (Section 3 of the paper).
+
+#include <string>
+
+#include "core/types.hpp"
+
+namespace dts {
+
+/// One independent task.
+///
+/// Following the paper, output data is not modelled: outputs are assumed
+/// negligible or stored in a preallocated separate buffer (Section 3), so a
+/// task is fully described by its input-transfer time `comm` (CM_i), its
+/// computation time `comp` (CP_i) and the memory `mem` (MC_i) its input
+/// occupies on the target node.
+struct Task {
+  TaskId id = kInvalidTask;  ///< Index within the owning Instance.
+  Time comm = 0.0;           ///< CM_i: input transfer time on the link.
+  Time comp = 0.0;           ///< CP_i: processing time on the compute unit.
+  Mem mem = 0.0;             ///< MC_i: bytes held from comm start to comp end.
+  std::string name;          ///< Optional label (used by traces & reports).
+
+  /// Paper terminology: a task is compute intensive iff CP_i >= CM_i,
+  /// communication intensive otherwise.
+  [[nodiscard]] constexpr bool compute_intensive() const noexcept {
+    return comp >= comm;
+  }
+
+  /// CM_i + CP_i — the sequential cost of the task.
+  [[nodiscard]] constexpr Time total_time() const noexcept { return comm + comp; }
+
+  /// CP_i / CM_i — the "acceleration" used by the MAMR/OOMAMR criteria.
+  /// A zero-communication task is infinitely accelerated (it never blocks
+  /// the link), matching the selection behaviour those heuristics need.
+  [[nodiscard]] Time acceleration() const noexcept;
+};
+
+/// Validity: finite, non-negative fields. Tasks with comm == 0 and mem == 0
+/// are legal (Table 2's task A); negative or NaN durations are not.
+[[nodiscard]] bool is_valid(const Task& t) noexcept;
+
+/// Human-readable one-liner, e.g. "T3[comm=2.5 comp=4 mem=176128]".
+[[nodiscard]] std::string to_string(const Task& t);
+
+}  // namespace dts

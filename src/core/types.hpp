@@ -1,0 +1,62 @@
+#pragma once
+
+/// \file types.hpp
+/// Fundamental scalar types of the data-transfer scheduling model.
+///
+/// Times and memory requirements are doubles: the paper's own examples use
+/// fractional durations (Table 2 has computation times of 0.5), and traces
+/// measured from real runs are floating point. All comparisons that decide
+/// feasibility go through the epsilon helpers below so that schedules
+/// assembled from sums of doubles validate cleanly.
+
+#include <cstdint>
+#include <limits>
+
+namespace dts {
+
+/// A point in (virtual) time or a duration, in seconds.
+using Time = double;
+
+/// A memory quantity, in bytes. Double rather than an integer type because
+/// the paper's examples use "memory requirement = communication time" with
+/// unit-free fractional values; real traces store whole bytes exactly
+/// (doubles are exact for integers < 2^53 ~ 8 PiB).
+using Mem = double;
+
+/// Index of a task within its Instance.
+using TaskId = std::uint32_t;
+
+/// Sentinel for "no task".
+inline constexpr TaskId kInvalidTask = std::numeric_limits<TaskId>::max();
+
+/// Positive infinity, used for unbounded memory capacities and as the
+/// identity of min-reductions over makespans.
+inline constexpr Time kInfiniteTime = std::numeric_limits<Time>::infinity();
+inline constexpr Mem kInfiniteMem = std::numeric_limits<Mem>::infinity();
+
+/// Absolute slack used by feasibility checks. Schedules are built from
+/// short chains of additions, so accumulated error is tiny; the validator
+/// additionally scales this by the magnitude of the quantities compared.
+inline constexpr double kEps = 1e-9;
+
+/// a < b beyond floating-point noise. Infinities behave exactly
+/// (definitely_less(x, +inf) is true for any finite x); without the
+/// explicit branch the scaled epsilon would produce inf - inf = NaN.
+[[nodiscard]] constexpr bool definitely_less(double a, double b) noexcept {
+  if (!(a < b)) return false;
+  const double scale = 1.0 + (a < 0 ? -a : a) + (b < 0 ? -b : b);
+  if (scale == std::numeric_limits<double>::infinity()) return true;
+  return a < b - kEps * scale;
+}
+
+/// a <= b up to floating-point noise.
+[[nodiscard]] constexpr bool approx_leq(double a, double b) noexcept {
+  return !definitely_less(b, a);
+}
+
+/// |a - b| within floating-point noise.
+[[nodiscard]] constexpr bool approx_equal(double a, double b) noexcept {
+  return approx_leq(a, b) && approx_leq(b, a);
+}
+
+}  // namespace dts

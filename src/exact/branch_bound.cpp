@@ -1,0 +1,209 @@
+#include "exact/branch_bound.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <tuple>
+
+namespace dts {
+
+namespace {
+
+std::tuple<Time, Time, Mem> value_key(const Task& t) {
+  return {t.comm, t.comp, t.mem};
+}
+
+}  // namespace
+
+std::optional<Time> simulate_pair_order(const Instance& inst,
+                                        std::span<const TaskId> comm_order,
+                                        std::span<const TaskId> comp_order,
+                                        Mem capacity,
+                                        const ExecutionState::Snapshot& initial,
+                                        Time abort_at, Schedule& out) {
+  const std::size_t n = inst.size();
+  if (comm_order.size() != n || comp_order.size() != n || out.size() != n) {
+    throw std::invalid_argument("simulate_pair_order: size mismatch");
+  }
+
+  Time link_free = initial.comm_available;
+  Time proc_free = initial.comp_available;
+
+  // Memory bookkeeping. A task holds memory from its transfer start; its
+  // release instant becomes known once its computation is scheduled.
+  // Carried-in tasks arrive with known release instants.
+  std::vector<std::pair<Time, Mem>> releases = initial.active;
+  Mem indefinite = 0.0;  // transfers started, computation not yet scheduled
+
+  const auto used_at = [&](Time t) {
+    Mem used = indefinite;
+    for (const auto& [end, mem] : releases) {
+      if (definitely_less(t, end)) used += mem;
+    }
+    return used;
+  };
+
+  // Suffix loads for pruning.
+  std::vector<Time> comm_suffix(n + 1, 0.0);
+  std::vector<Time> comp_suffix(n + 1, 0.0);
+  for (std::size_t k = n; k-- > 0;) {
+    comm_suffix[k] = comm_suffix[k + 1] + inst[comm_order[k]].comm;
+    comp_suffix[k] = comp_suffix[k + 1] + inst[comp_order[k]].comp;
+  }
+
+  std::vector<Time> comm_start(n, -1.0);
+  std::vector<Time> comm_end(n, -1.0);
+  std::vector<bool> started(n, false);
+
+  Time makespan = 0.0;
+  std::size_t i = 0;  // next transfer in comm_order
+  std::size_t j = 0;  // next computation in comp_order
+  std::vector<Time> candidate_times;
+
+  while (i < n || j < n) {
+    bool progress = false;
+
+    // The processor serves its sequence as soon as data is present.
+    while (j < n && started[comp_order[j]]) {
+      const TaskId v = comp_order[j];
+      const Time s = std::max(proc_free, comm_end[v]);
+      const Time e = s + inst[v].comp;
+      out.set(v, comm_start[v], s);
+      proc_free = e;
+      makespan = std::max(makespan, e);
+      indefinite -= inst[v].mem;
+      releases.emplace_back(e, inst[v].mem);
+      ++j;
+      progress = true;
+      if (approx_leq(abort_at, makespan) ||
+          approx_leq(abort_at, proc_free + comp_suffix[j])) {
+        return std::nullopt;  // cannot beat the incumbent
+      }
+    }
+
+    // The link serves its sequence at the earliest memory-feasible instant
+    // computable from what is known now.
+    if (i < n) {
+      const TaskId u = comm_order[i];
+      const Task& task = inst[u];
+      if (approx_leq(abort_at, link_free + comm_suffix[i])) {
+        return std::nullopt;
+      }
+      candidate_times.clear();
+      candidate_times.push_back(link_free);
+      for (const auto& [end, mem] : releases) {
+        (void)mem;
+        if (definitely_less(link_free, end)) candidate_times.push_back(end);
+      }
+      std::sort(candidate_times.begin(), candidate_times.end());
+      for (const Time t : candidate_times) {
+        if (approx_leq(used_at(t) + task.mem, capacity)) {
+          comm_start[u] = t;
+          comm_end[u] = t + task.comm;
+          link_free = comm_end[u];
+          started[u] = true;
+          indefinite += task.mem;
+          ++i;
+          progress = true;
+          break;
+        }
+      }
+    }
+
+    if (!progress) {
+      // The link waits on memory that only a computation stuck behind the
+      // link can release: this order pair is infeasible.
+      return std::nullopt;
+    }
+  }
+  return makespan;
+}
+
+PairOrderResult best_pair_order(const Instance& inst, Mem capacity,
+                                const PairOrderOptions& options) {
+  if (inst.size() > options.max_n) {
+    throw std::invalid_argument(
+        "best_pair_order: instance too large (n=" + std::to_string(inst.size()) +
+        ", max=" + std::to_string(options.max_n) + ")");
+  }
+  for (const Task& t : inst) {
+    if (definitely_less(capacity, t.mem)) {
+      throw std::invalid_argument("best_pair_order: task " +
+                                  std::to_string(t.id) +
+                                  " exceeds the memory capacity");
+    }
+  }
+
+  const ExecutionState::Snapshot initial =
+      options.initial_state.value_or(ExecutionState::Snapshot{});
+
+  PairOrderResult result;
+  result.makespan = options.upper_bound;
+  bool found = false;
+
+  if (inst.empty()) {
+    result.makespan = 0.0;
+    result.final_state = initial;
+    return result;
+  }
+
+  const auto value_less = [&](TaskId a, TaskId b) {
+    return value_key(inst[a]) < value_key(inst[b]);
+  };
+  std::vector<TaskId> comm = inst.submission_order();
+  std::sort(comm.begin(), comm.end(), value_less);
+
+  Schedule scratch(inst.size());
+  do {
+    std::vector<TaskId> comp = comm;  // start each inner scan from sorted
+    std::sort(comp.begin(), comp.end(), value_less);
+    do {
+      ++result.pairs_simulated;
+      const std::optional<Time> ms = simulate_pair_order(
+          inst, comm, comp, capacity, initial, result.makespan, scratch);
+      if (ms && definitely_less(*ms, result.makespan)) {
+        found = true;
+        result.makespan = *ms;
+        result.schedule = scratch;
+        result.comm_order = comm;
+        result.comp_order = comp;
+      }
+    } while (std::next_permutation(comp.begin(), comp.end(), value_less));
+  } while (std::next_permutation(comm.begin(), comm.end(), value_less));
+
+  if (!found) {
+    // Either the caller's upper bound was already optimal or no pair is
+    // feasible; with capacity >= max task memory a feasible pair always
+    // exists (any common order), so the former.
+    if (options.upper_bound == kInfiniteTime) {
+      throw std::logic_error("best_pair_order: search found no schedule");
+    }
+    return result;
+  }
+
+  // Reconstruct the final engine state of the winning pair.
+  {
+    ExecutionState::Snapshot snap;
+    Time link_free = initial.comm_available;
+    Time proc_free = initial.comp_available;
+    for (TaskId id = 0; id < inst.size(); ++id) {
+      link_free =
+          std::max(link_free, result.schedule[id].comm_start + inst[id].comm);
+      proc_free =
+          std::max(proc_free, result.schedule[id].comp_start + inst[id].comp);
+    }
+    snap.comm_available = link_free;
+    snap.comp_available = proc_free;
+    snap.active = initial.active;
+    for (TaskId id = 0; id < inst.size(); ++id) {
+      snap.active.emplace_back(result.schedule[id].comp_start + inst[id].comp,
+                               inst[id].mem);
+    }
+    std::erase_if(snap.active, [&](const std::pair<Time, Mem>& a) {
+      return approx_leq(a.first, snap.comm_available);
+    });
+    result.final_state = std::move(snap);
+  }
+  return result;
+}
+
+}  // namespace dts

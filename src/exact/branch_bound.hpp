@@ -1,0 +1,64 @@
+#pragma once
+
+/// \file branch_bound.hpp
+/// Exact solver over schedules whose communication and computation orders
+/// may differ — the full solution space of the paper's MILP (its a_ij and
+/// b_ij order variables are independent). Proposition 1 shows this space
+/// can strictly beat permutation schedules under a memory constraint; the
+/// Table 2 instance (makespan 22 vs 23) is the canonical witness and a
+/// golden test of this module.
+///
+/// Method: enumerate value-distinct communication orders x computation
+/// orders; each pair is evaluated with a semi-active co-simulation (both
+/// resources serve their sequence as early as memory and data dependences
+/// allow; for a regular objective like makespan a semi-active schedule is
+/// optimal for its sequences, so scanning all pairs is exact). Two prunes
+/// keep the search practical: a running lower bound (resource load of the
+/// remaining tasks) aborts a pair early, and identical tasks collapse into
+/// one representative ordering.
+
+#include <optional>
+#include <vector>
+
+#include "core/instance.hpp"
+#include "core/schedule.hpp"
+#include "core/simulate.hpp"
+
+namespace dts {
+
+struct PairOrderOptions {
+  /// Safety valve on instance size (search is ~ (n!)^2 / duplicates).
+  std::size_t max_n = 7;
+  /// Optional carried engine state (window solving).
+  std::optional<ExecutionState::Snapshot> initial_state;
+  /// Stop exploring a pair as soon as its makespan provably reaches the
+  /// incumbent; also used as an initial upper bound when finite.
+  Time upper_bound = kInfiniteTime;
+};
+
+struct PairOrderResult {
+  Time makespan = kInfiniteTime;
+  Schedule schedule;
+  std::vector<TaskId> comm_order;
+  std::vector<TaskId> comp_order;
+  ExecutionState::Snapshot final_state;
+  std::uint64_t pairs_simulated = 0;
+};
+
+/// Minimum makespan over independent (comm order, comp order) pairs.
+/// Throws std::invalid_argument when the instance exceeds options.max_n or
+/// some task cannot fit in `capacity`.
+[[nodiscard]] PairOrderResult best_pair_order(const Instance& inst, Mem capacity,
+                                              const PairOrderOptions& options = {});
+
+/// Semi-active co-simulation of one (comm, comp) order pair. Returns
+/// nullopt when the pair deadlocks under the memory capacity (the link
+/// waits for memory that only a computation blocked behind the link can
+/// release) or when the makespan provably reaches `abort_at`. On success
+/// fills `out` (sized n) with start times.
+[[nodiscard]] std::optional<Time> simulate_pair_order(
+    const Instance& inst, std::span<const TaskId> comm_order,
+    std::span<const TaskId> comp_order, Mem capacity,
+    const ExecutionState::Snapshot& initial, Time abort_at, Schedule& out);
+
+}  // namespace dts

@@ -1,0 +1,67 @@
+#include "exact/exhaustive.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <tuple>
+
+namespace dts {
+
+namespace {
+
+/// Value key: permutations that differ only in the placement of identical
+/// tasks produce identical schedules, so we enumerate value-distinct
+/// sequences only.
+std::tuple<Time, Time, Mem> value_key(const Task& t) {
+  return {t.comm, t.comp, t.mem};
+}
+
+}  // namespace
+
+ExhaustiveResult best_common_order(const Instance& inst, Mem capacity,
+                                   const ExhaustiveOptions& options) {
+  if (inst.size() > options.max_n) {
+    throw std::invalid_argument(
+        "best_common_order: instance too large for exhaustive search (n=" +
+        std::to_string(inst.size()) + ", max=" + std::to_string(options.max_n) +
+        ")");
+  }
+  ExhaustiveResult result;
+  if (inst.empty()) {
+    result.makespan = 0.0;
+    return result;
+  }
+
+  const auto value_less = [&](TaskId a, TaskId b) {
+    return value_key(inst[a]) < value_key(inst[b]);
+  };
+  std::vector<TaskId> order = inst.submission_order();
+  std::sort(order.begin(), order.end(), value_less);
+
+  Time best_link_free = kInfiniteTime;
+  do {
+    ++result.permutations_tried;
+    ExecutionState state = options.initial_state
+                               ? ExecutionState(capacity, *options.initial_state)
+                               : ExecutionState(capacity);
+    Schedule sched(inst.size());
+    execute_order(inst, order, state, sched);
+    const Time ms = sched.makespan(inst);
+    // Primary: makespan. Secondary (matters when solving windows): leave
+    // the link free as early as possible for the tasks that follow.
+    const bool better =
+        definitely_less(ms, result.makespan) ||
+        (!definitely_less(result.makespan, ms) &&
+         definitely_less(state.comm_available(), best_link_free));
+    if (result.order.empty() || better) {
+      result.makespan = ms;
+      result.order = order;
+      result.schedule = std::move(sched);
+      result.final_state = state.snapshot();
+      best_link_free = state.comm_available();
+    }
+  } while (std::next_permutation(order.begin(), order.end(), value_less));
+
+  return result;
+}
+
+}  // namespace dts

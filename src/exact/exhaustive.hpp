@@ -1,0 +1,43 @@
+#pragma once
+
+/// \file exhaustive.hpp
+/// Exact optimization over *permutation* schedules (common communication /
+/// computation order) by enumerating distinct task-value permutations.
+/// Usable up to n ~ 10 in general; far beyond that when many tasks are
+/// identical (duplicates are enumerated once — std::next_permutation over
+/// task values collapses equal tasks).
+
+#include <optional>
+#include <vector>
+
+#include "core/instance.hpp"
+#include "core/schedule.hpp"
+#include "core/simulate.hpp"
+
+namespace dts {
+
+struct ExhaustiveResult {
+  Time makespan = kInfiniteTime;
+  std::vector<TaskId> order;  ///< a best common order
+  Schedule schedule;
+  /// Engine state after running the best order (window solving carries it
+  /// into the next window).
+  ExecutionState::Snapshot final_state;
+  std::uint64_t permutations_tried = 0;
+};
+
+struct ExhaustiveOptions {
+  /// Safety valve: refuse instances whose distinct-permutation count would
+  /// exceed roughly max_n! (default 10!).
+  std::size_t max_n = 10;
+  /// Optional carried state (window solving); nullopt = fresh engine.
+  std::optional<ExecutionState::Snapshot> initial_state;
+};
+
+/// Minimizes makespan over all distinct common orders under `capacity`.
+/// Throws std::invalid_argument when inst.size() > options.max_n.
+[[nodiscard]] ExhaustiveResult best_common_order(const Instance& inst,
+                                                 Mem capacity,
+                                                 const ExhaustiveOptions& options = {});
+
+}  // namespace dts

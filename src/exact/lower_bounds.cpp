@@ -1,0 +1,37 @@
+#include "exact/lower_bounds.hpp"
+
+#include <algorithm>
+
+#include "core/johnson.hpp"
+
+namespace dts {
+
+CapacityAwareBounds capacity_aware_bounds(const Instance& inst, Mem capacity) {
+  CapacityAwareBounds b;
+  b.omim = omim(inst);
+  if (inst.empty()) return b;
+
+  Time sum_comm = 0.0;
+  Time sum_comp = 0.0;
+  Time min_comm = kInfiniteTime;
+  Time min_comp = kInfiniteTime;
+  for (const Task& t : inst) {
+    sum_comm += t.comm;
+    sum_comp += t.comp;
+    min_comm = std::min(min_comm, t.comm);
+    min_comp = std::min(min_comp, t.comp);
+    // Two tasks whose footprints each exceed half the capacity cannot hold
+    // memory simultaneously; their [SCOMM, SCOMP+CP) intervals are
+    // pairwise disjoint and each spans at least CM+CP.
+    if (definitely_less(capacity, 2.0 * t.mem)) {
+      b.big_task_serial += t.comm + t.comp;
+    }
+  }
+  b.link_plus_tail = sum_comm + min_comp;
+  b.head_plus_comp = min_comm + sum_comp;
+  b.combined = std::max({b.omim, b.big_task_serial, b.link_plus_tail,
+                         b.head_plus_comp});
+  return b;
+}
+
+}  // namespace dts

@@ -1,0 +1,44 @@
+#pragma once
+
+/// \file lower_bounds.hpp
+/// Capacity-aware makespan lower bounds. OMIM (Johnson) ignores the memory
+/// limit entirely; when the capacity is tight relative to the large tasks,
+/// strictly stronger bounds exist:
+///
+///  * big-task serialization: tasks with mem > C/2 can never overlap their
+///    memory intervals pairwise, and a task's memory interval spans at
+///    least CM_i + CP_i, so the makespan is at least the sum of CM_i+CP_i
+///    over all such tasks (plus the best interleaving of everything else
+///    on the link, which the weaker terms below capture);
+///  * link load + forced tail: the link must carry sum(CM), and after the
+///    last transfer finishes some computation still has to run — at least
+///    the smallest CP among all tasks;
+///  * processor load + forced head: symmetric, the processor cannot start
+///    before the smallest CM has been transferred.
+///
+/// The combined bound is the max of all of these and OMIM. Benches report
+/// it next to achieved makespans to show how much of the remaining gap is
+/// provably unavoidable.
+
+#include "core/instance.hpp"
+
+namespace dts {
+
+struct CapacityAwareBounds {
+  Time omim = 0.0;              ///< Johnson, memory-oblivious
+  Time big_task_serial = 0.0;   ///< sum of CM+CP over tasks with mem > C/2
+  Time link_plus_tail = 0.0;    ///< sum comm + min comp
+  Time head_plus_comp = 0.0;    ///< min comm + sum comp
+  Time combined = 0.0;          ///< max of everything
+
+  [[nodiscard]] bool capacity_binds() const noexcept {
+    return combined > omim;
+  }
+};
+
+/// Computes every bound for the given capacity. Requires capacity >= the
+/// largest task footprint (otherwise no schedule exists at all).
+[[nodiscard]] CapacityAwareBounds capacity_aware_bounds(const Instance& inst,
+                                                        Mem capacity);
+
+}  // namespace dts

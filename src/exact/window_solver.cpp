@@ -1,0 +1,59 @@
+#include "exact/window_solver.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/simulate.hpp"
+#include "exact/branch_bound.hpp"
+#include "exact/exhaustive.hpp"
+
+namespace dts {
+
+std::string window_heuristic_name(const WindowOptions& options) {
+  std::string name = "lp." + std::to_string(options.window);
+  if (options.mode == WindowMode::kPairOrder) name += "p";
+  return name;
+}
+
+Schedule schedule_windowed(const Instance& inst, Mem capacity,
+                           const WindowOptions& options) {
+  if (options.window == 0 || options.window > 8) {
+    throw std::invalid_argument(
+        "schedule_windowed: window size must be in [1, 8]");
+  }
+  const std::vector<TaskId> submission = inst.submission_order();
+  Schedule out(inst.size());
+  ExecutionState::Snapshot carried;  // fresh start
+
+  for (std::size_t lo = 0; lo < submission.size(); lo += options.window) {
+    const std::size_t hi =
+        std::min(lo + options.window, submission.size());
+    const std::span<const TaskId> ids(&submission[lo], hi - lo);
+    const Instance sub = inst.subset(ids);
+
+    if (options.mode == WindowMode::kCommonOrder) {
+      ExhaustiveOptions ex;
+      ex.max_n = options.window;
+      ex.initial_state = carried;
+      const ExhaustiveResult res = best_common_order(sub, capacity, ex);
+      for (TaskId local = 0; local < sub.size(); ++local) {
+        out.set(ids[local], res.schedule[local].comm_start,
+                res.schedule[local].comp_start);
+      }
+      carried = res.final_state;
+    } else {
+      PairOrderOptions po;
+      po.max_n = options.window;
+      po.initial_state = carried;
+      const PairOrderResult res = best_pair_order(sub, capacity, po);
+      for (TaskId local = 0; local < sub.size(); ++local) {
+        out.set(ids[local], res.schedule[local].comm_start,
+                res.schedule[local].comp_start);
+      }
+      carried = res.final_state;
+    }
+  }
+  return out;
+}
+
+}  // namespace dts

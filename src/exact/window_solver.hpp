@@ -1,0 +1,45 @@
+#pragma once
+
+/// \file window_solver.hpp
+/// The paper's iterative MILP heuristic (§4.5), with the GLPK solver
+/// replaced by exact window optimization (see DESIGN.md §5: the MILP is
+/// used only to optimally order each k-task window, so any exact window
+/// optimizer explores the same space). Tasks are processed in submission
+/// order in windows of k = 3..6; events of tasks started before a window
+/// boundary are fixed (the carried engine snapshot), the window's tasks
+/// are re-optimized from scratch.
+///
+/// Two window optimizers are available:
+///  * kCommonOrder — exhaustive over permutation schedules (the default;
+///    fast, k! candidates);
+///  * kPairOrder — the branch & bound over independent comm/comp orders,
+///    exactly the MILP's solution space (k!^2 candidates, still exact).
+
+#include <string>
+
+#include "core/instance.hpp"
+#include "core/schedule.hpp"
+
+namespace dts {
+
+enum class WindowMode {
+  kCommonOrder,
+  kPairOrder,
+};
+
+struct WindowOptions {
+  std::size_t window = 4;                       ///< the k in lp.k
+  WindowMode mode = WindowMode::kCommonOrder;
+};
+
+/// Display name used in the figures, e.g. "lp.4".
+[[nodiscard]] std::string window_heuristic_name(const WindowOptions& options);
+
+/// Schedules the instance window-by-window, optimally within each window
+/// given the state carried from the previous ones. Throws
+/// std::invalid_argument for window == 0, window > 8 (search explosion) or
+/// a task that exceeds `capacity`.
+[[nodiscard]] Schedule schedule_windowed(const Instance& inst, Mem capacity,
+                                         const WindowOptions& options);
+
+}  // namespace dts

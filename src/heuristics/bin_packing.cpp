@@ -1,0 +1,50 @@
+#include "heuristics/bin_packing.hpp"
+
+#include <stdexcept>
+#include <string>
+
+#include "core/simulate.hpp"
+
+namespace dts {
+
+std::vector<std::vector<TaskId>> first_fit_bins(const Instance& inst,
+                                                Mem capacity) {
+  std::vector<std::vector<TaskId>> bins;
+  std::vector<Mem> residual;
+  for (const Task& t : inst) {
+    if (definitely_less(capacity, t.mem)) {
+      throw std::invalid_argument("first_fit_bins: task " +
+                                  std::to_string(t.id) +
+                                  " exceeds the bin capacity");
+    }
+    bool placed = false;
+    for (std::size_t b = 0; b < bins.size(); ++b) {
+      if (approx_leq(t.mem, residual[b])) {
+        bins[b].push_back(t.id);
+        residual[b] -= t.mem;
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) {
+      bins.push_back({t.id});
+      residual.push_back(capacity - t.mem);
+    }
+  }
+  return bins;
+}
+
+std::vector<TaskId> bin_packing_order(const Instance& inst, Mem capacity) {
+  std::vector<TaskId> order;
+  order.reserve(inst.size());
+  for (const auto& bin : first_fit_bins(inst, capacity)) {
+    order.insert(order.end(), bin.begin(), bin.end());
+  }
+  return order;
+}
+
+Schedule schedule_bin_packing(const Instance& inst, Mem capacity) {
+  return simulate_order(inst, bin_packing_order(inst, capacity), capacity);
+}
+
+}  // namespace dts

@@ -1,0 +1,75 @@
+#include "heuristics/corrections.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/johnson.hpp"
+
+namespace dts {
+
+std::string_view to_corrected_acronym(DynamicCriterion c) noexcept {
+  switch (c) {
+    case DynamicCriterion::kLargestComm: return "OOLCMR";
+    case DynamicCriterion::kSmallestComm: return "OOSCMR";
+    case DynamicCriterion::kMaxAcceleration: return "OOMAMR";
+  }
+  return "?";
+}
+
+void execute_corrected(const Instance& inst,
+                       std::span<const TaskId> base_order,
+                       DynamicCriterion criterion, ExecutionState& state,
+                       Schedule& out) {
+  std::vector<TaskId> pending(base_order.begin(), base_order.end());
+  std::vector<TaskId> fitting;
+  fitting.reserve(pending.size());
+
+  while (!pending.empty()) {
+    const TaskId head = pending.front();
+    if (state.fits(inst[head])) {
+      // The static plan remains viable: follow it.
+      const TaskTimes tt = state.start(inst[head]);
+      out.set(head, tt.comm_start, tt.comp_start);
+      pending.erase(pending.begin());
+      continue;
+    }
+    // The head is blocked by memory: dynamic correction.
+    fitting.clear();
+    for (TaskId id : pending) {
+      if (state.fits(inst[id])) fitting.push_back(id);
+    }
+    if (fitting.empty()) {
+      if (!state.advance_to_next_release()) {
+        throw std::invalid_argument(
+            "execute_corrected: a pending task exceeds the memory capacity");
+      }
+      continue;
+    }
+    const TaskId chosen = pick_candidate(inst, state, fitting, criterion);
+    const TaskTimes tt = state.start(inst[chosen]);
+    out.set(chosen, tt.comm_start, tt.comp_start);
+    pending.erase(std::find(pending.begin(), pending.end(), chosen));
+  }
+}
+
+Schedule schedule_corrected_with_order(const Instance& inst,
+                                       std::span<const TaskId> base_order,
+                                       DynamicCriterion criterion,
+                                       Mem capacity) {
+  if (base_order.size() != inst.size()) {
+    throw std::invalid_argument(
+        "schedule_corrected_with_order: base order must cover all tasks");
+  }
+  ExecutionState state(capacity);
+  Schedule sched(inst.size());
+  execute_corrected(inst, base_order, criterion, state, sched);
+  return sched;
+}
+
+Schedule schedule_corrected(const Instance& inst, DynamicCriterion criterion,
+                            Mem capacity) {
+  const std::vector<TaskId> base = johnson_order(inst);
+  return schedule_corrected_with_order(inst, base, criterion, capacity);
+}
+
+}  // namespace dts

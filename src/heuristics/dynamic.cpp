@@ -1,0 +1,88 @@
+#include "heuristics/dynamic.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dts {
+
+std::string_view to_acronym(DynamicCriterion c) noexcept {
+  switch (c) {
+    case DynamicCriterion::kLargestComm: return "LCMR";
+    case DynamicCriterion::kSmallestComm: return "SCMR";
+    case DynamicCriterion::kMaxAcceleration: return "MAMR";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Strictly better under the criterion (used after the idle filter).
+bool criterion_better(const Task& a, const Task& b, DynamicCriterion c) {
+  switch (c) {
+    case DynamicCriterion::kLargestComm: return a.comm > b.comm;
+    case DynamicCriterion::kSmallestComm: return a.comm < b.comm;
+    case DynamicCriterion::kMaxAcceleration:
+      return a.acceleration() > b.acceleration();
+  }
+  return false;
+}
+
+}  // namespace
+
+TaskId pick_candidate(const Instance& inst, const ExecutionState& state,
+                      std::span<const TaskId> candidates,
+                      DynamicCriterion criterion) {
+  TaskId best = kInvalidTask;
+  Time best_idle = kInfiniteTime;
+  for (TaskId id : candidates) {
+    const Task& t = inst[id];
+    const Time idle = state.induced_comp_idle(t);
+    const bool strictly_less_idle = best != kInvalidTask && definitely_less(idle, best_idle);
+    const bool tied_idle = best != kInvalidTask &&
+                           !definitely_less(idle, best_idle) &&
+                           !definitely_less(best_idle, idle);
+    if (best == kInvalidTask || strictly_less_idle ||
+        (tied_idle && criterion_better(t, inst[best], criterion))) {
+      best = id;
+      best_idle = idle;
+    }
+  }
+  return best;
+}
+
+void execute_dynamic(const Instance& inst, std::span<const TaskId> ids,
+                     DynamicCriterion criterion, ExecutionState& state,
+                     Schedule& out) {
+  std::vector<TaskId> pending(ids.begin(), ids.end());
+  std::vector<TaskId> fitting;
+  fitting.reserve(pending.size());
+
+  while (!pending.empty()) {
+    fitting.clear();
+    for (TaskId id : pending) {
+      if (state.fits(inst[id])) fitting.push_back(id);
+    }
+    if (fitting.empty()) {
+      if (!state.advance_to_next_release()) {
+        throw std::invalid_argument(
+            "execute_dynamic: a pending task exceeds the memory capacity");
+      }
+      continue;
+    }
+    const TaskId chosen = pick_candidate(inst, state, fitting, criterion);
+    const TaskTimes tt = state.start(inst[chosen]);
+    out.set(chosen, tt.comm_start, tt.comp_start);
+    pending.erase(std::find(pending.begin(), pending.end(), chosen));
+  }
+}
+
+Schedule schedule_dynamic(const Instance& inst, DynamicCriterion criterion,
+                          Mem capacity) {
+  ExecutionState state(capacity);
+  Schedule sched(inst.size());
+  const std::vector<TaskId> ids = inst.submission_order();
+  execute_dynamic(inst, ids, criterion, state, sched);
+  return sched;
+}
+
+}  // namespace dts

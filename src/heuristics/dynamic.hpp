@@ -1,0 +1,56 @@
+#pragma once
+
+/// \file dynamic.hpp
+/// Dynamic selection heuristics (paper §4.2). Whenever the link goes idle,
+/// the scheduler examines the tasks that fit in the memory currently
+/// available, keeps those that inject the least idle time on the processor,
+/// and picks one according to a criterion:
+///
+///   LCMR  largest communication time
+///   SCMR  smallest communication time
+///   MAMR  maximum CP/CM ratio ("maximum accelerated")
+///
+/// If nothing fits, the link stays idle until the next computation finishes
+/// and releases memory. Communication and computation keep a common order.
+
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "core/instance.hpp"
+#include "core/schedule.hpp"
+#include "core/simulate.hpp"
+
+namespace dts {
+
+enum class DynamicCriterion {
+  kLargestComm,      ///< LCMR / OOLCMR
+  kSmallestComm,     ///< SCMR / OOSCMR
+  kMaxAcceleration,  ///< MAMR / OOMAMR
+};
+
+/// Paper acronym of the pure dynamic heuristic ("LCMR", ...).
+[[nodiscard]] std::string_view to_acronym(DynamicCriterion c) noexcept;
+
+/// Among `candidates` (ids into `inst`, all assumed to fit in memory at the
+/// engine's current instant), returns the id preferred by the paper's rule:
+/// minimum induced processor idle first, then the criterion, ties by the
+/// earliest position in `candidates`. Returns kInvalidTask when empty.
+[[nodiscard]] TaskId pick_candidate(const Instance& inst,
+                                    const ExecutionState& state,
+                                    std::span<const TaskId> candidates,
+                                    DynamicCriterion criterion);
+
+/// Schedules every id in `ids` on `state` using dynamic selection, writing
+/// start times into `out`. `ids` supplies the tie-breaking priority (its
+/// order is the submission order within a batch).
+void execute_dynamic(const Instance& inst, std::span<const TaskId> ids,
+                     DynamicCriterion criterion, ExecutionState& state,
+                     Schedule& out);
+
+/// Convenience: run on a fresh engine over all tasks.
+[[nodiscard]] Schedule schedule_dynamic(const Instance& inst,
+                                        DynamicCriterion criterion,
+                                        Mem capacity);
+
+}  // namespace dts

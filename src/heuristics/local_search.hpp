@@ -1,0 +1,55 @@
+#pragma once
+
+/// \file local_search.hpp
+/// Permutation local search — an extension beyond the paper's heuristics
+/// (its conclusion calls for a runtime that keeps improving schedules).
+/// Starting from any order (by default the auto-scheduler's winner), hill
+/// climb over three neighborhoods: adjacent swaps, arbitrary pair swaps
+/// and single-task relocations, evaluating each candidate with the real
+/// memory-constrained engine. First-improvement with a random neighborhood
+/// sequence; deterministic in the seed.
+///
+/// The ablation bench (bench/ablation_candidate_rule) quantifies how much
+/// headroom the paper's one-shot heuristics leave on the table.
+
+#include <span>
+#include <vector>
+
+#include "core/instance.hpp"
+#include "core/schedule.hpp"
+
+namespace dts {
+
+struct LocalSearchOptions {
+  std::size_t max_iterations = 20000;  ///< candidate evaluations
+  std::size_t max_no_improve = 2000;   ///< stop after this many rejections
+  std::uint64_t seed = 1;
+};
+
+struct LocalSearchResult {
+  std::vector<TaskId> order;
+  Schedule schedule;
+  Time initial_makespan = 0.0;
+  Time makespan = 0.0;
+  std::size_t iterations = 0;    ///< candidates evaluated
+  std::size_t improvements = 0;  ///< accepted moves
+
+  /// Relative gain over the seed order.
+  [[nodiscard]] double improvement() const noexcept {
+    return initial_makespan <= 0.0 ? 0.0
+                                   : 1.0 - makespan / initial_makespan;
+  }
+};
+
+/// Improves `initial` under `capacity`. Throws std::invalid_argument when
+/// the order does not cover the instance or a task cannot fit.
+[[nodiscard]] LocalSearchResult improve_order(const Instance& inst,
+                                              Mem capacity,
+                                              std::span<const TaskId> initial,
+                                              const LocalSearchOptions& options = {});
+
+/// Convenience: seed with the best registry heuristic, then improve.
+[[nodiscard]] LocalSearchResult schedule_local_search(
+    const Instance& inst, Mem capacity, const LocalSearchOptions& options = {});
+
+}  // namespace dts

@@ -1,0 +1,81 @@
+#pragma once
+
+/// \file three_partition.hpp
+/// The NP-completeness machinery of the paper (Theorem 2): a polynomial
+/// reduction from 3-Partition to problem DT, built exactly as Table 1
+/// prescribes, plus the two directions of the equivalence:
+///   partition  -> tight schedule   (the Fig. 2 pattern, makespan L)
+///   schedule   -> partition        (reading triplets off the K-task
+///                                   communication windows)
+/// A brute-force 3-Partition solver (for small m) closes the loop in the
+/// tests: solvable instances yield schedules of length exactly L;
+/// unsolvable ones provably admit no such schedule.
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/instance.hpp"
+#include "core/schedule.hpp"
+
+namespace dts {
+
+/// A 3-Partition instance: 3m positive integers to split into m triplets
+/// of equal sum b = (sum values) / m.
+struct ThreePartitionInstance {
+  std::vector<std::int64_t> values;
+
+  [[nodiscard]] std::size_t m() const noexcept { return values.size() / 3; }
+  [[nodiscard]] std::int64_t total() const noexcept;
+  /// Target triplet sum; only meaningful when total() % m == 0.
+  [[nodiscard]] std::int64_t b() const noexcept;
+  /// Structurally admissible: size is a positive multiple of 3, all values
+  /// positive, total divisible by m.
+  [[nodiscard]] bool well_formed() const noexcept;
+};
+
+using Triplet = std::array<std::size_t, 3>;  ///< indices into `values`
+
+/// Exhaustive solver (exponential; intended for m <= 5). Returns the m
+/// triplets or nullopt when no partition exists.
+[[nodiscard]] std::optional<std::vector<Triplet>> solve_three_partition(
+    const ThreePartitionInstance& input);
+
+/// The DT instance produced by the Table 1 construction.
+struct DtReduction {
+  Instance instance;      ///< 4m+1 tasks; layout below
+  Mem capacity = 0.0;     ///< C = b' + 3
+  Time target = 0.0;      ///< L = m (b' + 3)
+  std::size_t m = 0;
+  std::int64_t x = 0;     ///< max a_i (the paper's scaling constant)
+  std::int64_t b = 0;     ///< triplet sum
+  std::int64_t b_prime = 0;  ///< b + 6x
+
+  /// Task ids: K_s for s = 0..m.
+  [[nodiscard]] TaskId k_task(std::size_t s) const {
+    return static_cast<TaskId>(s);
+  }
+  /// Task ids: A_i for i = 0..3m-1 (A_i corresponds to values[i]).
+  [[nodiscard]] TaskId a_task(std::size_t i) const {
+    return static_cast<TaskId>(m + 1 + i);
+  }
+};
+
+/// Builds the Table 1 instance. Throws std::invalid_argument when the
+/// input is not well_formed().
+[[nodiscard]] DtReduction reduce_to_dt(const ThreePartitionInstance& input);
+
+/// Forward direction: a valid partition yields the Fig. 2 schedule with
+/// makespan exactly `target` under `capacity`.
+[[nodiscard]] Schedule schedule_from_partition(
+    const DtReduction& red, const std::vector<Triplet>& triplets);
+
+/// Backward direction: reads the triplets off a schedule. Returns nullopt
+/// unless the schedule is the required shape: makespan <= target and each
+/// K_s communication window contains exactly the computations of a triplet
+/// summing to b.
+[[nodiscard]] std::optional<std::vector<Triplet>> partition_from_schedule(
+    const DtReduction& red, const Schedule& sched);
+
+}  // namespace dts

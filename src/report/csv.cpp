@@ -1,0 +1,51 @@
+#include "report/csv.hpp"
+
+#include <fstream>
+#include <ostream>
+
+namespace dts {
+
+std::string csv_escape(const std::string& field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void CsvWriter::row(std::span<const std::string> cells) {
+  bool first = true;
+  for (const auto& cell : cells) {
+    if (!first) *out_ << ',';
+    *out_ << csv_escape(cell);
+    first = false;
+  }
+  *out_ << '\n';
+}
+
+void CsvWriter::row(std::initializer_list<std::string> cells) {
+  row(std::span<const std::string>(cells.begin(), cells.size()));
+}
+
+void write_csv_file(const std::filesystem::path& path,
+                    std::span<const std::string> header,
+                    std::span<const std::vector<std::string>> rows) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("write_csv_file: cannot open " + path.string());
+  }
+  CsvWriter writer(out);
+  writer.row(header);
+  for (const auto& r : rows) writer.row(r);
+  if (!out) {
+    throw std::runtime_error("write_csv_file: write failed for " +
+                             path.string());
+  }
+}
+
+}  // namespace dts

@@ -1,0 +1,37 @@
+#pragma once
+
+/// \file csv.hpp
+/// Minimal RFC-4180 CSV output. The benches write one CSV per figure next
+/// to their stdout tables so the paper's plots can be regenerated with any
+/// plotting tool.
+
+#include <filesystem>
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace dts {
+
+/// Quotes a field when needed (commas, quotes, newlines).
+[[nodiscard]] std::string csv_escape(const std::string& field);
+
+class CsvWriter {
+ public:
+  /// Writes to a stream owned by the caller.
+  explicit CsvWriter(std::ostream& out) : out_(&out) {}
+
+  void row(std::span<const std::string> cells);
+  void row(std::initializer_list<std::string> cells);
+
+ private:
+  std::ostream* out_;
+};
+
+/// Convenience: write a whole table to `path` (parent directory must
+/// exist); throws std::runtime_error on IO failure.
+void write_csv_file(const std::filesystem::path& path,
+                    std::span<const std::string> header,
+                    std::span<const std::vector<std::string>> rows);
+
+}  // namespace dts

@@ -1,0 +1,119 @@
+#include "report/gantt.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "report/table.hpp"
+
+namespace dts {
+
+namespace {
+
+/// One display letter per task: name initial when task names start with
+/// distinct characters, else cycling A..Z by id.
+std::vector<char> task_letters(const Instance& inst) {
+  std::vector<char> letters(inst.size());
+  bool distinct = !inst.empty();
+  for (TaskId i = 0; i < inst.size() && distinct; ++i) {
+    if (inst[i].name.empty()) distinct = false;
+  }
+  if (distinct) {
+    std::vector<char> initials;
+    for (TaskId i = 0; i < inst.size(); ++i) {
+      initials.push_back(inst[i].name.front());
+    }
+    std::vector<char> sorted = initials;
+    std::sort(sorted.begin(), sorted.end());
+    distinct = std::adjacent_find(sorted.begin(), sorted.end()) == sorted.end();
+    if (distinct) letters = initials;
+  }
+  if (!distinct) {
+    for (TaskId i = 0; i < inst.size(); ++i) {
+      letters[i] = static_cast<char>('A' + (i % 26));
+    }
+  }
+  return letters;
+}
+
+void paint(std::string& lane, double t0, double t1, double scale, char c) {
+  // Floor-based half-open cell ranges: disjoint time intervals can never
+  // collide on a cell, so '#' genuinely flags overlapping work.
+  const auto begin = static_cast<std::size_t>(std::floor(t0 * scale));
+  const auto end = static_cast<std::size_t>(std::floor(t1 * scale));
+  for (std::size_t p = begin; p < end && p < lane.size(); ++p) {
+    lane[p] = (lane[p] == '.') ? c : '#';  // '#' marks impossible overlap
+  }
+}
+
+/// Sub-cell work is marked only into free cells (after all full-size
+/// intervals are painted), so a zero-length transfer sharing an instant
+/// with a real one never reads as an overlap.
+void paint_marker(std::string& lane, double t0, double scale, char c) {
+  const auto cell = static_cast<std::size_t>(std::floor(t0 * scale));
+  if (cell < lane.size() && lane[cell] == '.') lane[cell] = c;
+}
+
+}  // namespace
+
+std::string render_gantt(const Instance& inst, const Schedule& sched,
+                         const GanttOptions& options) {
+  std::ostringstream os;
+  if (inst.empty()) return "(empty schedule)\n";
+  const Time makespan = sched.makespan(inst);
+  if (makespan <= 0.0) return "(zero-length schedule)\n";
+
+  const std::size_t width = std::max<std::size_t>(options.width, 16);
+  const double scale = static_cast<double>(width) / makespan;
+  const std::vector<char> letters = task_letters(inst);
+
+  std::string comm_lane(width, '.');
+  std::string comp_lane(width, '.');
+  // Pass 1: full-size intervals (these detect real overlaps as '#').
+  for (TaskId i = 0; i < inst.size(); ++i) {
+    const TaskTimes& tt = sched[i];
+    if (inst[i].comm > 0.0) {
+      paint(comm_lane, tt.comm_start, tt.comm_start + inst[i].comm, scale,
+            letters[i]);
+    }
+    if (inst[i].comp > 0.0) {
+      paint(comp_lane, tt.comp_start, tt.comp_start + inst[i].comp, scale,
+            letters[i]);
+    }
+  }
+  // Pass 2: sub-cell work (zero-length or shorter than one cell) becomes
+  // a marker, visible only where a cell is free.
+  const auto spans_a_cell = [scale](Time start, Time len) {
+    return std::floor(start * scale) < std::floor((start + len) * scale);
+  };
+  for (TaskId i = 0; i < inst.size(); ++i) {
+    const TaskTimes& tt = sched[i];
+    if (!spans_a_cell(tt.comm_start, inst[i].comm)) {
+      paint_marker(comm_lane, tt.comm_start, scale, letters[i]);
+    }
+    if (!spans_a_cell(tt.comp_start, inst[i].comp)) {
+      paint_marker(comp_lane, tt.comp_start, scale, letters[i]);
+    }
+  }
+
+  os << "comm |" << comm_lane << "|\n";
+  os << "comp |" << comp_lane << "|\n";
+  os << "     0" << std::string(width > 12 ? width - 6 : 1, ' ')
+     << format_seconds(makespan) << "\n";
+
+  if (options.show_legend) {
+    os << "tasks:";
+    for (TaskId i = 0; i < inst.size(); ++i) {
+      os << ' ' << letters[i] << '='
+         << (inst[i].name.empty() ? "T" + std::to_string(i) : inst[i].name);
+      if (i >= 11 && inst.size() > 12) {
+        os << " ... (" << inst.size() << " tasks)";
+        break;
+      }
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace dts

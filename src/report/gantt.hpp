@@ -1,0 +1,26 @@
+#pragma once
+
+/// \file gantt.hpp
+/// ASCII rendering of a schedule as the two-lane Gantt charts the paper
+/// draws (Figs. 2-6): one lane for the communication link, one for the
+/// processor, labelled by task name initials, with a time axis.
+
+#include <string>
+
+#include "core/instance.hpp"
+#include "core/schedule.hpp"
+
+namespace dts {
+
+struct GanttOptions {
+  std::size_t width = 72;     ///< characters available for the time axis
+  bool show_legend = true;    ///< map of lane letters to task names
+};
+
+/// Renders both resource lanes. Tasks are labelled A, B, C... in id order
+/// (or by the first character of their name when names are unique).
+[[nodiscard]] std::string render_gantt(const Instance& inst,
+                                       const Schedule& sched,
+                                       const GanttOptions& options = {});
+
+}  // namespace dts

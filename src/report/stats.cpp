@@ -1,0 +1,59 @@
+#include "report/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace dts {
+
+double quantile_sorted(std::span<const double> sorted, double q) {
+  if (sorted.empty()) {
+    throw std::invalid_argument("quantile_sorted: empty sample");
+  }
+  if (q <= 0.0) return sorted.front();
+  if (q >= 1.0) return sorted.back();
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= sorted.size()) return sorted.back();
+  return sorted[lo] + frac * (sorted[lo + 1] - sorted[lo]);
+}
+
+BoxplotSummary summarize(std::vector<double> values) {
+  BoxplotSummary s;
+  s.n = values.size();
+  if (values.empty()) return s;
+
+  std::sort(values.begin(), values.end());
+  s.min = values.front();
+  s.max = values.back();
+  s.q1 = quantile_sorted(values, 0.25);
+  s.median = quantile_sorted(values, 0.50);
+  s.q3 = quantile_sorted(values, 0.75);
+
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  s.mean = sum / static_cast<double>(values.size());
+  if (values.size() > 1) {
+    double ss = 0.0;
+    for (double v : values) ss += (v - s.mean) * (v - s.mean);
+    s.stddev = std::sqrt(ss / static_cast<double>(values.size() - 1));
+  }
+
+  const double fence_lo = s.q1 - 1.5 * s.iqr();
+  const double fence_hi = s.q3 + 1.5 * s.iqr();
+  s.whisker_low = s.max;
+  s.whisker_high = s.min;
+  for (double v : values) {
+    if (v >= fence_lo) {
+      s.whisker_low = std::min(s.whisker_low, v);
+    }
+    if (v <= fence_hi) {
+      s.whisker_high = std::max(s.whisker_high, v);
+    }
+    if (v < fence_lo || v > fence_hi) s.outliers.push_back(v);
+  }
+  return s;
+}
+
+}  // namespace dts

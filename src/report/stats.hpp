@@ -1,0 +1,39 @@
+#pragma once
+
+/// \file stats.hpp
+/// Distribution summaries for the evaluation figures. The paper's Figs. 9
+/// and 11 are boxplots over 150 per-process ratios: median, quartiles,
+/// whiskers at the most extreme points within 1.5 IQR of the box, and
+/// outliers beyond — the ggplot2 convention, reproduced here.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace dts {
+
+/// Interpolated quantile (R type-7: linear between order statistics) of a
+/// sorted, non-empty sample. q in [0, 1].
+[[nodiscard]] double quantile_sorted(std::span<const double> sorted, double q);
+
+struct BoxplotSummary {
+  std::size_t n = 0;
+  double min = 0.0;
+  double q1 = 0.0;
+  double median = 0.0;
+  double q3 = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;          ///< sample standard deviation (n-1)
+  double whisker_low = 0.0;     ///< smallest value >= q1 - 1.5 IQR
+  double whisker_high = 0.0;    ///< largest value <= q3 + 1.5 IQR
+  std::vector<double> outliers; ///< values outside the whiskers
+
+  [[nodiscard]] double iqr() const noexcept { return q3 - q1; }
+};
+
+/// Summarizes a sample (copied and sorted internally). Empty input yields
+/// a zeroed summary with n == 0.
+[[nodiscard]] BoxplotSummary summarize(std::vector<double> values);
+
+}  // namespace dts

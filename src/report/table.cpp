@@ -1,0 +1,112 @@
+#include "report/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace dts {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  if (headers_.empty()) {
+    throw std::invalid_argument("TextTable: need at least one column");
+  }
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size()) {
+    throw std::invalid_argument("TextTable::add_row: expected " +
+                                std::to_string(headers_.size()) +
+                                " cells, got " + std::to_string(cells.size()));
+  }
+  rows_.push_back(std::move(cells));
+}
+
+namespace {
+
+std::vector<std::size_t> column_widths(
+    const std::vector<std::string>& headers,
+    const std::vector<std::vector<std::string>>& rows) {
+  std::vector<std::size_t> widths(headers.size());
+  for (std::size_t c = 0; c < headers.size(); ++c) widths[c] = headers[c].size();
+  for (const auto& row : rows) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  return widths;
+}
+
+void append_padded(std::string& out, const std::string& cell,
+                   std::size_t width) {
+  out += cell;
+  out.append(width - cell.size(), ' ');
+}
+
+}  // namespace
+
+std::string TextTable::to_ascii() const {
+  const std::vector<std::size_t> widths = column_widths(headers_, rows_);
+  std::string out;
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    append_padded(out, headers_[c], widths[c]);
+    out += (c + 1 < headers_.size()) ? "  " : "";
+  }
+  out += '\n';
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    out.append(widths[c], '-');
+    out += (c + 1 < headers_.size()) ? "  " : "";
+  }
+  out += '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      append_padded(out, row[c], widths[c]);
+      out += (c + 1 < row.size()) ? "  " : "";
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::string TextTable::to_markdown() const {
+  std::string out = "|";
+  for (const auto& h : headers_) out += " " + h + " |";
+  out += "\n|";
+  for (std::size_t c = 0; c < headers_.size(); ++c) out += "---|";
+  out += '\n';
+  for (const auto& row : rows_) {
+    out += '|';
+    for (const auto& cell : row) out += " " + cell + " |";
+    out += '\n';
+  }
+  return out;
+}
+
+std::string format_fixed(double value, int precision) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(precision);
+  os << value;
+  return os.str();
+}
+
+std::string format_si_bytes(double bytes) {
+  static constexpr const char* kUnits[] = {"B", "KB", "MB", "GB", "TB"};
+  int unit = 0;
+  while (bytes >= 1000.0 && unit < 4) {
+    bytes /= 1000.0;
+    ++unit;
+  }
+  return format_fixed(bytes, bytes < 10 ? 2 : (bytes < 100 ? 1 : 0)) +
+         kUnits[unit];
+}
+
+std::string format_seconds(double seconds) {
+  if (seconds == 0.0) return "0s";
+  if (seconds < 1e-3) return format_fixed(seconds * 1e6, 1) + "us";
+  if (seconds < 1.0) return format_fixed(seconds * 1e3, 2) + "ms";
+  return format_fixed(seconds, 3) + "s";
+}
+
+}  // namespace dts

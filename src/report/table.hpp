@@ -1,0 +1,44 @@
+#pragma once
+
+/// \file table.hpp
+/// Column-aligned text tables for the bench harnesses: every figure of the
+/// paper is regenerated as rows on stdout (plus CSV for plotting).
+
+#include <string>
+#include <vector>
+
+namespace dts {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+  /// Space-padded alignment with a header separator line.
+  [[nodiscard]] std::string to_ascii() const;
+
+  /// GitHub-flavored markdown.
+  [[nodiscard]] std::string to_markdown() const;
+
+  [[nodiscard]] const std::vector<std::string>& headers() const noexcept {
+    return headers_;
+  }
+  [[nodiscard]] const std::vector<std::vector<std::string>>& body()
+      const noexcept {
+    return rows_;
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision formatting helpers used by the benches.
+[[nodiscard]] std::string format_fixed(double value, int precision);
+[[nodiscard]] std::string format_si_bytes(double bytes);
+[[nodiscard]] std::string format_seconds(double seconds);
+
+}  // namespace dts

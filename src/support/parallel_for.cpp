@@ -1,0 +1,38 @@
+#include "support/parallel_for.hpp"
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+namespace dts {
+
+std::size_t parallel_workers() noexcept {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return std::clamp<std::size_t>(hw == 0 ? 1 : hw, 1, 64);
+}
+
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& fn) {
+  if (begin >= end) return;
+  const std::size_t n = end - begin;
+  const std::size_t workers = std::min(parallel_workers(), n);
+  if (workers <= 1 || n < 4) {
+    for (std::size_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  const std::size_t chunk = (n + workers - 1) / workers;
+  for (std::size_t w = 0; w < workers; ++w) {
+    const std::size_t lo = begin + w * chunk;
+    const std::size_t hi = std::min(lo + chunk, end);
+    if (lo >= hi) break;
+    pool.emplace_back([lo, hi, &fn] {
+      for (std::size_t i = lo; i < hi; ++i) fn(i);
+    });
+  }
+  for (auto& t : pool) t.join();
+}
+
+}  // namespace dts

@@ -1,0 +1,28 @@
+#pragma once
+
+/// \file parallel_for.hpp
+/// Minimal fork-join parallel loop used by the benchmark harnesses to sweep
+/// (trace x capacity x heuristic) grids. Deliberately simple: static block
+/// partitioning over std::thread, no work stealing — every grid cell in our
+/// sweeps costs roughly the same, so static partitioning is within a few
+/// percent of optimal and keeps the code auditable.
+
+#include <cstddef>
+#include <functional>
+
+namespace dts {
+
+/// Number of worker threads used by parallel_for (hardware concurrency,
+/// clamped to [1, 64]).
+[[nodiscard]] std::size_t parallel_workers() noexcept;
+
+/// Invoke fn(i) for every i in [begin, end), distributing contiguous blocks
+/// over worker threads. Falls back to a serial loop for tiny ranges or when
+/// only one worker is available. fn must be safe to call concurrently for
+/// distinct i. Exceptions thrown by fn terminate the process (HPC-style
+/// fail-fast): the sweeps are pure functions of their inputs, so an
+/// exception indicates a programming error, not a recoverable condition.
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& fn);
+
+}  // namespace dts

@@ -1,0 +1,21 @@
+#include "support/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace dts {
+
+double Rng::normal() noexcept {
+  // Box-Muller; regenerate on the (measure-zero) log(0) corner.
+  double u1 = next_double();
+  while (u1 <= 0.0) u1 = next_double();
+  const double u2 = next_double();
+  return std::sqrt(-2.0 * std::log(u1)) *
+         std::cos(2.0 * std::numbers::pi * u2);
+}
+
+double Rng::lognormal(double mu, double sigma) noexcept {
+  return std::exp(mu + sigma * normal());
+}
+
+}  // namespace dts

@@ -1,0 +1,77 @@
+#pragma once
+
+/// \file rng.hpp
+/// Deterministic, seedable random number generation for workload synthesis.
+///
+/// Every generator in the library takes an explicit seed so that the 150
+/// per-process traces of the evaluation are exactly reproducible across
+/// platforms. We implement SplitMix64 (Steele, Lea & Flood 2014) rather than
+/// relying on std::mt19937 streams because the standard library does not
+/// guarantee cross-implementation distribution behaviour for
+/// std::uniform_real_distribution; SplitMix64 plus our own scaling does.
+
+#include <cstdint>
+#include <limits>
+
+namespace dts {
+
+/// SplitMix64: passes BigCrush, 64 bits of state, trivially splittable.
+class Rng {
+ public:
+  constexpr explicit Rng(std::uint64_t seed) noexcept : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  constexpr std::uint64_t next_u64() noexcept {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform double in [0, 1).
+  constexpr double next_double() noexcept {
+    // 53 high-quality bits -> [0,1) with full double precision.
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  constexpr double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * next_double();
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  constexpr std::uint64_t uniform_u64(std::uint64_t lo, std::uint64_t hi) noexcept {
+    const std::uint64_t span = hi - lo + 1;
+    if (span == 0) return next_u64();  // full range when hi-lo+1 wraps
+#if defined(__SIZEOF_INT128__)
+    // Rejection-free multiply-shift (Lemire); negligible bias for span << 2^64.
+    __extension__ using Uint128 = unsigned __int128;
+    return lo + static_cast<std::uint64_t>(
+                    (static_cast<Uint128>(next_u64()) * span) >> 64);
+#else
+    return lo + next_u64() % span;  // modulo bias < span / 2^64
+#endif
+  }
+
+  /// Uniform size_t index in [0, n). Requires n > 0.
+  constexpr std::size_t index(std::size_t n) noexcept {
+    return static_cast<std::size_t>(uniform_u64(0, static_cast<std::uint64_t>(n) - 1));
+  }
+
+  /// Bernoulli trial with probability p of returning true.
+  constexpr bool chance(double p) noexcept { return next_double() < p; }
+
+  /// Log-normal-ish heavy-tailed positive sample: exp(N(mu, sigma)).
+  double lognormal(double mu, double sigma) noexcept;
+
+  /// Standard normal via Box-Muller (one value per call; simple over fast).
+  double normal() noexcept;
+
+  /// Derive an independent child stream (for per-trace generators).
+  constexpr Rng split() noexcept { return Rng(next_u64() ^ 0xA02BDBF7BB3C0A7ULL); }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace dts

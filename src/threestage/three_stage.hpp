@@ -1,0 +1,135 @@
+#pragma once
+
+/// \file three_stage.hpp
+/// The general problem the paper frames and then sets aside (§3): tasks
+/// with *output* transfers. "Order of task execution with input and
+/// output data transfers can be viewed as a 3-machine flowshop problem"
+/// — input link, processor, output link — which is NP-complete even
+/// without the memory constraint. The paper drops outputs (negligible or
+/// buffered); this module implements the full model, because it is
+/// exactly the duplex CPU<->GPU setting the paper's conclusion names:
+/// one copy engine per direction, device memory held from the moment an
+/// input upload starts until the result download finishes.
+///
+/// Model per task i:
+///   stage 1: input transfer, time in_comm, on the H2D engine;
+///   stage 2: computation, time comp, after the input arrived;
+///   stage 3: output transfer, time out_comm, on the D2H engine, after
+///            the computation finished.
+/// Memory: in_mem is held from stage-1 start to stage-2 end; out_mem from
+/// stage-2 start to stage-3 end. Both buffers are reserved together at
+/// stage-1 start (a runtime must guarantee the output fits before it
+/// uploads the input, or it can deadlock); the reservation of in_mem is
+/// dropped when the computation completes.
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace dts {
+
+struct StagedTask {
+  TaskId id = kInvalidTask;
+  Time in_comm = 0.0;   ///< H2D transfer time
+  Time comp = 0.0;      ///< kernel time
+  Time out_comm = 0.0;  ///< D2H transfer time
+  Mem in_mem = 0.0;     ///< input bytes resident until compute end
+  Mem out_mem = 0.0;    ///< output bytes resident until download end
+  std::string name;
+
+  [[nodiscard]] constexpr Mem total_mem() const noexcept {
+    return in_mem + out_mem;
+  }
+};
+
+class ThreeStageInstance {
+ public:
+  ThreeStageInstance() = default;
+  explicit ThreeStageInstance(std::vector<StagedTask> tasks);
+
+  [[nodiscard]] std::size_t size() const noexcept { return tasks_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return tasks_.empty(); }
+  [[nodiscard]] const StagedTask& operator[](TaskId id) const {
+    return tasks_.at(id);
+  }
+  [[nodiscard]] auto begin() const noexcept { return tasks_.begin(); }
+  [[nodiscard]] auto end() const noexcept { return tasks_.end(); }
+
+  /// Smallest capacity admitting any schedule: max over tasks of
+  /// in_mem + out_mem (both buffers coexist during the computation).
+  [[nodiscard]] Mem min_capacity() const noexcept;
+
+  [[nodiscard]] std::vector<TaskId> submission_order() const;
+
+ private:
+  std::vector<StagedTask> tasks_;
+};
+
+/// Start times of one task on the three resources.
+struct StagedTimes {
+  Time in_start = -1.0;
+  Time comp_start = -1.0;
+  Time out_start = -1.0;
+  [[nodiscard]] constexpr bool scheduled() const noexcept {
+    return in_start >= 0.0 && comp_start >= 0.0 && out_start >= 0.0;
+  }
+};
+
+class ThreeStageSchedule {
+ public:
+  ThreeStageSchedule() = default;
+  explicit ThreeStageSchedule(std::size_t n) : times_(n) {}
+
+  [[nodiscard]] std::size_t size() const noexcept { return times_.size(); }
+  [[nodiscard]] const StagedTimes& operator[](TaskId id) const {
+    return times_.at(id);
+  }
+  void set(TaskId id, const StagedTimes& t) { times_.at(id) = t; }
+
+  /// End of the last output transfer.
+  [[nodiscard]] Time makespan(const ThreeStageInstance& inst) const;
+
+ private:
+  std::vector<StagedTimes> times_;
+};
+
+/// Executes `order` as a permutation schedule on all three resources
+/// under `capacity`, earliest-start. A task's buffers (in_mem + out_mem)
+/// must fit at its stage-1 start; in_mem is released at compute end,
+/// out_mem at download end. Throws std::invalid_argument when a task can
+/// never fit.
+[[nodiscard]] ThreeStageSchedule simulate_three_stage(
+    const ThreeStageInstance& inst, std::span<const TaskId> order,
+    Mem capacity);
+
+/// Makespan convenience wrapper.
+[[nodiscard]] Time three_stage_makespan(const ThreeStageInstance& inst,
+                                        std::span<const TaskId> order,
+                                        Mem capacity);
+
+/// Johnson's 3-machine heuristic order: apply the 2-machine rule to the
+/// surrogate times (in_comm + comp, comp + out_comm). Optimal when the
+/// processor is dominated by either link (Johnson 1954); a strong
+/// heuristic otherwise.
+[[nodiscard]] std::vector<TaskId> johnson3_order(const ThreeStageInstance& inst);
+
+/// Lower bounds: per-resource loads with entry/exit lags, and the
+/// unconstrained 3-machine surrogate.
+struct ThreeStageBounds {
+  Time in_link_load = 0.0;   ///< sum in_comm + min (comp + out_comm)
+  Time proc_load = 0.0;      ///< min in_comm + sum comp + min out_comm
+  Time out_link_load = 0.0;  ///< min (in_comm + comp) + sum out_comm
+  Time combined = 0.0;
+};
+[[nodiscard]] ThreeStageBounds three_stage_bounds(const ThreeStageInstance& inst);
+
+/// Feasibility check mirroring validate_schedule for the 3-stage model.
+/// Returns an empty string when feasible, else a description of the first
+/// violation found.
+[[nodiscard]] std::string validate_three_stage(const ThreeStageInstance& inst,
+                                               const ThreeStageSchedule& sched,
+                                               Mem capacity);
+
+}  // namespace dts

@@ -1,0 +1,100 @@
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "support/rng.hpp"
+#include "trace/generators.hpp"
+#include "trace/tensor_tasks.hpp"
+
+namespace dts {
+
+std::string_view to_string(ChemistryKernel kernel) noexcept {
+  switch (kernel) {
+    case ChemistryKernel::kHartreeFock: return "HF";
+    case ChemistryKernel::kCoupledClusterSD: return "CCSD";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Largest slab a CCSD task fetches (the paper's mc for CCSD is 1.8 GB).
+constexpr double kMaxSlabBytes = 1.8e9;
+constexpr double kMinSlabBytes = 2.0e6;
+
+/// Log-uniform sample in [lo, hi].
+double log_uniform(Rng& rng, double lo, double hi) {
+  return lo * std::exp(rng.uniform(0.0, std::log(hi / lo)));
+}
+
+}  // namespace
+
+Instance generate_ccsd_trace(const TraceConfig& config) {
+  Rng rng(config.seed ^ 0x434353442D555241ULL);  // "CCSD-URA"
+  const MachineModel& m = config.machine;
+  const std::size_t n_tasks = static_cast<std::size_t>(
+      rng.uniform_u64(config.min_tasks, config.max_tasks));
+
+  // CCSD picks tile sizes per program point (paper §5), so a task's data
+  // volume spans three orders of magnitude, and the work-per-byte of a
+  // task varies independently of its size: a tile participates either in
+  // reshapes/fetch-digest passes (communication intensive) or in BLAS-3
+  // contractions whose arithmetic intensity depends on the contracted
+  // range (compute intensive). We model a task as
+  //    volume  ~ log-uniform [2 MB, 1.8 GB]    (transfer + footprint)
+  //    ratio r ~ lognormal, median 1           (CP = r * CM)
+  // which reproduces Fig. 8's CCSD shape: sum comm ~ sum comp, wide
+  // heterogeneity, and a roughly even split of task types at every size.
+  std::vector<Task> tasks;
+  tasks.reserve(n_tasks);
+
+  for (std::size_t i = 0; i < n_tasks; ++i) {
+    double bytes = 0.0;
+    if (i == 0 || rng.chance(0.03)) {
+      // Full T2-amplitude slab: the footprint that defines mc. Forced at
+      // least once per trace so every process sees the same minimum
+      // capacity, as in the paper's corpus.
+      bytes = kMaxSlabBytes * rng.uniform(0.98, 1.0);
+    } else {
+      bytes = log_uniform(rng, kMinSlabBytes, 0.45 * kMaxSlabBytes);
+    }
+    const Time comm = m.transfer_time(bytes);
+    // Lognormal work-per-byte with E[r] = 1 (mu = -sigma^2/2), sigma 0.65:
+    // the comm and comp sums balance in expectation (Fig. 8's CCSD shape)
+    // while ~37% of tasks are compute intensive and ~6% fall beyond ratio
+    // 3.5 either way — heterogeneous but not absurd.
+    const double ratio = std::exp(-0.211 + 0.65 * rng.normal());
+    const bool contraction = ratio >= 1.0;
+    tasks.push_back(Task{
+        .id = 0,
+        .comm = comm,
+        .comp = comm * ratio,
+        .mem = bytes,
+        .name = (contraction ? "contract_" : "fetch_") + std::to_string(i)});
+  }
+  return Instance(std::move(tasks));
+}
+
+Instance generate_trace(ChemistryKernel kernel, const TraceConfig& config) {
+  switch (kernel) {
+    case ChemistryKernel::kHartreeFock: return generate_hf_trace(config);
+    case ChemistryKernel::kCoupledClusterSD: return generate_ccsd_trace(config);
+  }
+  return Instance{};
+}
+
+std::vector<Instance> generate_process_traces(ChemistryKernel kernel,
+                                              std::size_t count,
+                                              std::uint64_t base_seed,
+                                              const TraceConfig& prototype) {
+  std::vector<Instance> traces;
+  traces.reserve(count);
+  for (std::size_t p = 0; p < count; ++p) {
+    TraceConfig config = prototype;
+    config.seed = base_seed + p;
+    traces.push_back(generate_trace(kernel, config));
+  }
+  return traces;
+}
+
+}  // namespace dts

@@ -1,0 +1,62 @@
+#pragma once
+
+/// \file generators.hpp
+/// Synthetic per-process traces standing in for the paper's NWChem runs on
+/// PNNL Cascade (150 processes, 300-800 tasks each; HF on SiOSi molecules
+/// with tile size 100, CCSD on Uracil). The generators are calibrated to
+/// the published aggregate shape (Fig. 8) — see DESIGN.md §5 for the
+/// substitution argument:
+///
+///  * HF: near-homogeneous tasks; communication dominates (the sum of
+///    computation times is ~a quarter of the sum of communication times,
+///    capping the achievable overlap near 20%); the compute-intensive
+///    minority has *small* communication times; the largest task fetches
+///    two 100x100 tiles plus an index buffer — mc = 176 KB.
+///  * CCSD: heterogeneous tile sizes; communication and computation sums
+///    are comparable (roughly half the sequential time can be hidden);
+///    significant fractions of both task types; the largest tasks fetch
+///    ~1.8 GB slabs — mc = 1.8 GB.
+///
+/// Generation is fully deterministic in the seed.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/instance.hpp"
+#include "trace/machine.hpp"
+
+namespace dts {
+
+enum class ChemistryKernel {
+  kHartreeFock,        ///< HF, SiOSi-like workload
+  kCoupledClusterSD,   ///< CCSD, Uracil-like workload
+};
+
+[[nodiscard]] std::string_view to_string(ChemistryKernel kernel) noexcept;
+
+struct TraceConfig {
+  std::uint64_t seed = 1;
+  /// Tasks per process trace, sampled uniformly in [min_tasks, max_tasks].
+  std::size_t min_tasks = 300;
+  std::size_t max_tasks = 800;
+  MachineModel machine = MachineModel::cascade();
+};
+
+/// One HF process trace (Fock-build fetches + small resident contractions).
+[[nodiscard]] Instance generate_hf_trace(const TraceConfig& config);
+
+/// One CCSD process trace (large slab fetches, tile transposes, and
+/// compute-rich amplitude contractions).
+[[nodiscard]] Instance generate_ccsd_trace(const TraceConfig& config);
+
+/// Dispatch on the kernel.
+[[nodiscard]] Instance generate_trace(ChemistryKernel kernel,
+                                      const TraceConfig& config);
+
+/// The paper's experimental corpus: `count` process traces (150 in the
+/// paper) with seeds base_seed, base_seed+1, ...
+[[nodiscard]] std::vector<Instance> generate_process_traces(
+    ChemistryKernel kernel, std::size_t count, std::uint64_t base_seed,
+    const TraceConfig& prototype = {});
+
+}  // namespace dts

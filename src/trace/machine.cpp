@@ -1,0 +1,4 @@
+#include "trace/machine.hpp"
+
+// MachineModel is header-only; this translation unit exists so the build
+// has a home for future non-inline additions (e.g. calibration loaders).

@@ -1,0 +1,61 @@
+#pragma once
+
+/// \file machine.hpp
+/// Cost model mapping data volumes and flop counts to (communication,
+/// computation) times. The defaults are shaped after one process's share
+/// of a PNNL Cascade node (Intel Xeon E5-2670, InfiniBand FDR, Global
+/// Arrays one-sided transfers), the testbed of the paper. Only the
+/// *ratios* between transfer and compute times influence scheduling
+/// decisions; the absolute magnitudes simply keep reported times in a
+/// realistic microsecond-to-second range.
+
+#include "core/types.hpp"
+
+namespace dts {
+
+struct MachineModel {
+  /// Effective one-sided transfer bandwidth per process (bytes/s). A
+  /// Cascade node's FDR link is shared by 15 worker processes.
+  double link_bandwidth = 1.2e9;
+  /// Per-transfer startup latency (s).
+  double link_latency = 2.0e-6;
+  /// Effective per-core floating-point rate for BLAS-3-like kernels
+  /// (flop/s); E5-2670 peak is 20.8 GF/s DP, DGEMM reaches ~60%.
+  double flop_rate = 1.2e10;
+  /// Per-core streaming bandwidth for memory-bound kernels such as tensor
+  /// transposes (bytes/s, counting read+write traffic once each).
+  double memory_bandwidth = 4.0e9;
+
+  /// Time to move `bytes` across the link.
+  [[nodiscard]] Time transfer_time(double bytes) const noexcept {
+    return link_latency + bytes / link_bandwidth;
+  }
+
+  /// Time to execute `flops` of dense compute.
+  [[nodiscard]] Time compute_time(double flops) const noexcept {
+    return flops / flop_rate;
+  }
+
+  /// Time of a memory-bound pass touching `bytes` twice (read + write).
+  [[nodiscard]] Time streaming_time(double bytes) const noexcept {
+    return 2.0 * bytes / memory_bandwidth;
+  }
+
+  /// The defaults above: one process's slice of a Cascade node.
+  [[nodiscard]] static MachineModel cascade() noexcept { return {}; }
+
+  /// A CPU->GPU offload link (PCIe 3.0 x16 with a ~7 TF/s accelerator),
+  /// used by the gpu_offload example: same model, different constants —
+  /// the paper's conclusion singles out this setting as the natural next
+  /// application of the heuristics.
+  [[nodiscard]] static MachineModel pcie_gpu() noexcept {
+    MachineModel m;
+    m.link_bandwidth = 1.2e10;
+    m.link_latency = 8.0e-6;
+    m.flop_rate = 7.0e12;
+    m.memory_bandwidth = 4.0e11;
+    return m;
+  }
+};
+
+}  // namespace dts

@@ -1,0 +1,85 @@
+#include "trace/trace_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace dts {
+
+namespace {
+constexpr std::string_view kMagic = "# dts-trace v1";
+}
+
+void write_trace(std::ostream& out, const Instance& inst) {
+  const InstanceStats stats = inst.stats();
+  out << kMagic << '\n';
+  out << "# tasks=" << stats.n_tasks << " sum_comm=" << stats.sum_comm
+      << " sum_comp=" << stats.sum_comp << " max_mem=" << stats.max_mem
+      << '\n';
+  out.precision(17);  // exact double round-trip
+  for (const Task& t : inst) {
+    out << "task " << (t.name.empty() ? "T" + std::to_string(t.id) : t.name)
+        << ' ' << t.comm << ' ' << t.comp << ' ' << t.mem << '\n';
+  }
+}
+
+void write_trace_file(const std::filesystem::path& path, const Instance& inst) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("write_trace_file: cannot open " + path.string());
+  }
+  write_trace(out, inst);
+}
+
+Instance read_trace(std::istream& in) {
+  std::vector<Task> tasks;
+  std::string line;
+  std::size_t line_no = 0;
+  bool magic_seen = false;
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line_no == 1) {
+      if (line != kMagic) {
+        throw TraceIoError(line_no, "missing header '" + std::string(kMagic) +
+                                        "'");
+      }
+      magic_seen = true;
+      continue;
+    }
+    if (line.empty() || line[0] == '#') continue;
+
+    std::istringstream fields(line);
+    std::string keyword;
+    fields >> keyword;
+    if (keyword != "task") {
+      throw TraceIoError(line_no, "unknown record '" + keyword + "'");
+    }
+    Task t;
+    fields >> t.name >> t.comm >> t.comp >> t.mem;
+    if (!fields) {
+      throw TraceIoError(line_no,
+                         "expected 'task <name> <comm> <comp> <mem>'");
+    }
+    std::string trailing;
+    if (fields >> trailing) {
+      throw TraceIoError(line_no, "trailing content '" + trailing + "'");
+    }
+    if (!is_valid(t)) {
+      throw TraceIoError(line_no, "negative or non-finite task fields");
+    }
+    tasks.push_back(std::move(t));
+  }
+  if (!magic_seen) throw TraceIoError(1, "empty trace");
+  return Instance(std::move(tasks));
+}
+
+Instance read_trace_file(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("read_trace_file: cannot open " + path.string());
+  }
+  return read_trace(in);
+}
+
+}  // namespace dts

@@ -1,0 +1,46 @@
+#pragma once
+
+/// \file trace_io.hpp
+/// Plain-text trace format, one task per line:
+///
+///     # dts-trace v1
+///     # optional comment lines
+///     task <name> <comm_seconds> <comp_seconds> <mem_bytes>
+///
+/// Durations are decimal seconds, memory decimal bytes; `<name>` contains
+/// no whitespace. The format round-trips every Instance the library can
+/// represent and is the interchange point for users who bring measured
+/// traces from their own runtimes (the paper's experiments consumed such
+/// per-process trace files).
+
+#include <filesystem>
+#include <iosfwd>
+#include <stdexcept>
+
+#include "core/instance.hpp"
+
+namespace dts {
+
+/// Error with 1-based line information for malformed trace text.
+class TraceIoError : public std::runtime_error {
+ public:
+  TraceIoError(std::size_t line, const std::string& message)
+      : std::runtime_error("trace line " + std::to_string(line) + ": " +
+                           message),
+        line_(line) {}
+  [[nodiscard]] std::size_t line() const noexcept { return line_; }
+
+ private:
+  std::size_t line_;
+};
+
+/// Serializes the instance; includes a summary comment header.
+void write_trace(std::ostream& out, const Instance& inst);
+void write_trace_file(const std::filesystem::path& path, const Instance& inst);
+
+/// Parses a trace; throws TraceIoError on malformed input and
+/// std::runtime_error when the file cannot be opened.
+[[nodiscard]] Instance read_trace(std::istream& in);
+[[nodiscard]] Instance read_trace_file(const std::filesystem::path& path);
+
+}  // namespace dts

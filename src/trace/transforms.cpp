@@ -1,0 +1,86 @@
+#include "trace/transforms.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dts {
+
+namespace {
+
+void require_positive_factor(double factor, const char* what) {
+  if (!(factor > 0.0) || !std::isfinite(factor)) {
+    throw std::invalid_argument(std::string(what) +
+                                ": factor must be positive and finite");
+  }
+}
+
+}  // namespace
+
+Instance scale_times(const Instance& inst, double comm_factor,
+                     double comp_factor) {
+  require_positive_factor(comm_factor, "scale_times(comm)");
+  require_positive_factor(comp_factor, "scale_times(comp)");
+  std::vector<Task> tasks(inst.tasks());
+  for (Task& t : tasks) {
+    t.comm *= comm_factor;
+    t.comp *= comp_factor;
+  }
+  return Instance(std::move(tasks));
+}
+
+Instance scale_memory(const Instance& inst, double factor) {
+  require_positive_factor(factor, "scale_memory");
+  std::vector<Task> tasks(inst.tasks());
+  for (Task& t : tasks) t.mem *= factor;
+  return Instance(std::move(tasks));
+}
+
+Instance merge_traces(std::span<const Instance> traces) {
+  std::vector<Task> tasks;
+  std::size_t total = 0;
+  for (const Instance& inst : traces) total += inst.size();
+  tasks.reserve(total);
+  for (const Instance& inst : traces) {
+    tasks.insert(tasks.end(), inst.tasks().begin(), inst.tasks().end());
+  }
+  return Instance(std::move(tasks));
+}
+
+Instance filter_tasks(const Instance& inst,
+                      const std::function<bool(const Task&)>& keep) {
+  std::vector<Task> tasks;
+  for (const Task& t : inst) {
+    if (keep(t)) tasks.push_back(t);
+  }
+  return Instance(std::move(tasks));
+}
+
+Instance jitter_times(const Instance& inst, Rng& rng, double jitter) {
+  if (!(jitter >= 0.0) || jitter >= 1.0) {
+    throw std::invalid_argument("jitter_times: jitter must be in [0, 1)");
+  }
+  std::vector<Task> tasks(inst.tasks());
+  for (Task& t : tasks) {
+    t.comm *= rng.uniform(1.0 - jitter, 1.0 + jitter);
+    t.comp *= rng.uniform(1.0 - jitter, 1.0 + jitter);
+  }
+  return Instance(std::move(tasks));
+}
+
+std::vector<Instance> split_batches(const Instance& inst,
+                                    std::size_t batch_size) {
+  if (batch_size == 0) {
+    throw std::invalid_argument("split_batches: batch_size must be > 0");
+  }
+  std::vector<Instance> batches;
+  const auto& tasks = inst.tasks();
+  for (std::size_t lo = 0; lo < tasks.size(); lo += batch_size) {
+    const std::size_t hi = std::min(lo + batch_size, tasks.size());
+    batches.emplace_back(
+        std::vector<Task>(tasks.begin() + static_cast<std::ptrdiff_t>(lo),
+                          tasks.begin() + static_cast<std::ptrdiff_t>(hi)));
+  }
+  return batches;
+}
+
+}  // namespace dts

@@ -1,0 +1,46 @@
+#pragma once
+
+/// \file transforms.hpp
+/// Trace surgery for calibration and what-if studies: rescaling times
+/// (faster link / faster cores), rescaling memory, merging process traces,
+/// filtering task populations and jittering durations. All transforms
+/// return new instances; task names are preserved.
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "core/instance.hpp"
+#include "support/rng.hpp"
+
+namespace dts {
+
+/// Multiplies every communication time by comm_factor and every
+/// computation time by comp_factor (e.g. 0.5 comm = a twice-faster link).
+/// Factors must be positive and finite.
+[[nodiscard]] Instance scale_times(const Instance& inst, double comm_factor,
+                                   double comp_factor);
+
+/// Multiplies every memory requirement by `factor` (> 0).
+[[nodiscard]] Instance scale_memory(const Instance& inst, double factor);
+
+/// Concatenates traces in order (task ids renumbered).
+[[nodiscard]] Instance merge_traces(std::span<const Instance> traces);
+
+/// Keeps the tasks satisfying `keep`, preserving submission order.
+[[nodiscard]] Instance filter_tasks(const Instance& inst,
+                                    const std::function<bool(const Task&)>& keep);
+
+/// Multiplies each duration by an independent uniform factor in
+/// [1 - jitter, 1 + jitter] (jitter in [0, 1)). Models measurement noise
+/// for robustness studies: how stable are the heuristics' decisions under
+/// imprecise cost models?
+[[nodiscard]] Instance jitter_times(const Instance& inst, Rng& rng,
+                                    double jitter);
+
+/// Splits a trace into consecutive batches of at most `batch_size` tasks
+/// (the §6.3 runtime visibility model).
+[[nodiscard]] std::vector<Instance> split_batches(const Instance& inst,
+                                                  std::size_t batch_size);
+
+}  // namespace dts

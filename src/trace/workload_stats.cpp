@@ -1,0 +1,26 @@
+#include "trace/workload_stats.hpp"
+
+namespace dts {
+
+WorkloadCharacteristics characterize(const Instance& inst) {
+  WorkloadCharacteristics wc;
+  wc.bounds = compute_bounds(inst);
+  const Time omim = wc.bounds.omim_lower;
+  if (omim > 0.0) {
+    wc.comm_over_omim = wc.bounds.sum_comm / omim;
+    wc.comp_over_omim = wc.bounds.sum_comp / omim;
+    wc.max_over_omim = wc.bounds.area_lower / omim;
+    wc.total_over_omim = wc.bounds.sequential_upper / omim;
+  }
+  return wc;
+}
+
+std::vector<WorkloadCharacteristics> characterize_all(
+    const std::vector<Instance>& traces) {
+  std::vector<WorkloadCharacteristics> all;
+  all.reserve(traces.size());
+  for (const Instance& inst : traces) all.push_back(characterize(inst));
+  return all;
+}
+
+}  // namespace dts

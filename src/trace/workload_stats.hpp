@@ -1,0 +1,35 @@
+#pragma once
+
+/// \file workload_stats.hpp
+/// Workload characterization (paper §5.1 / Fig. 8): for a trace, the four
+/// quantities the paper normalizes by OMIM — sum of communication times,
+/// sum of computation times, their max (a makespan lower bound) and their
+/// sum (the zero-overlap upper bound).
+
+#include <vector>
+
+#include "core/bounds.hpp"
+#include "core/instance.hpp"
+
+namespace dts {
+
+struct WorkloadCharacteristics {
+  Bounds bounds;
+  double comm_over_omim = 0.0;  ///< sum comm / OMIM
+  double comp_over_omim = 0.0;  ///< sum comp / OMIM
+  double max_over_omim = 0.0;   ///< max(sum comm, sum comp) / OMIM
+  double total_over_omim = 0.0; ///< (sum comm + sum comp) / OMIM
+
+  /// Achievable overlap headroom: 1 - OMIM / sequential.
+  [[nodiscard]] double overlap_potential() const noexcept {
+    return bounds.max_overlap_fraction();
+  }
+};
+
+[[nodiscard]] WorkloadCharacteristics characterize(const Instance& inst);
+
+/// Characterizes a corpus of traces (e.g. the 150 process traces).
+[[nodiscard]] std::vector<WorkloadCharacteristics> characterize_all(
+    const std::vector<Instance>& traces);
+
+}  // namespace dts

@@ -1,0 +1,181 @@
+#include "cli/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "core/registry.hpp"
+
+namespace dts::cli {
+namespace {
+
+struct CliRun {
+  int exit_code;
+  std::string out;
+  std::string err;
+};
+
+CliRun run(const std::vector<std::string>& args) {
+  std::vector<const char*> argv;
+  argv.reserve(args.size());
+  for (const auto& a : args) argv.push_back(a.c_str());
+  std::ostringstream out;
+  std::ostringstream err;
+  const int code =
+      run_cli(static_cast<int>(argv.size()), argv.data(), out, err);
+  return CliRun{code, out.str(), err.str()};
+}
+
+/// Unique temp file path per test, cleaned up on destruction.
+class TempFile {
+ public:
+  explicit TempFile(const std::string& name)
+      : path_(std::filesystem::temp_directory_path() /
+              ("dts_cli_test_" + name)) {
+    std::filesystem::remove(path_);
+  }
+  ~TempFile() { std::filesystem::remove(path_); }
+  [[nodiscard]] std::string str() const { return path_.string(); }
+
+ private:
+  std::filesystem::path path_;
+};
+
+TEST(CommandLineParse, SplitsCommandFlagsAndPositional) {
+  const char* argv[] = {"schedule", "file.trace", "--heuristic=LCMR",
+                        "--gantt"};
+  const CommandLine cmd = parse_command_line(4, argv);
+  EXPECT_EQ(cmd.command, "schedule");
+  ASSERT_EQ(cmd.positional.size(), 1u);
+  EXPECT_EQ(cmd.positional[0], "file.trace");
+  EXPECT_EQ(cmd.flag("heuristic").value_or(""), "LCMR");
+  EXPECT_EQ(cmd.flag("gantt").value_or(""), "true");
+  EXPECT_FALSE(cmd.flag("absent").has_value());
+  EXPECT_DOUBLE_EQ(cmd.flag_or("absent", 7.5), 7.5);
+}
+
+TEST(CommandLineParse, RejectsMalformedFlags) {
+  const char* empty[] = {"--"};
+  EXPECT_THROW((void)parse_command_line(1, empty), std::invalid_argument);
+  const char* noname[] = {"--=3"};
+  EXPECT_THROW((void)parse_command_line(1, noname), std::invalid_argument);
+}
+
+TEST(Cli, NoCommandShowsUsage) {
+  const CliRun r = run({});
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.out.find("usage:"), std::string::npos);
+}
+
+TEST(Cli, HelpExitsZero) {
+  const CliRun r = run({"help"});
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.out.find("generate"), std::string::npos);
+}
+
+TEST(Cli, UnknownCommandFails) {
+  const CliRun r = run({"frobnicate"});
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.err.find("unknown command"), std::string::npos);
+}
+
+TEST(Cli, GenerateInfoScheduleRoundTrip) {
+  TempFile file("roundtrip.trace");
+  const CliRun gen = run({"generate", "--kernel=HF", "--seed=5",
+                          "--min-tasks=40", "--max-tasks=60",
+                          "--out=" + file.str()});
+  ASSERT_EQ(gen.exit_code, 0) << gen.err;
+  EXPECT_NE(gen.out.find("wrote"), std::string::npos);
+
+  const CliRun info = run({"info", file.str()});
+  ASSERT_EQ(info.exit_code, 0) << info.err;
+  EXPECT_NE(info.out.find("OMIM lower bound"), std::string::npos);
+  EXPECT_NE(info.out.find("176KB"), std::string::npos);
+
+  const CliRun sched = run({"schedule", file.str(), "--heuristic=OOLCMR",
+                            "--capacity-factor=1.5", "--gantt"});
+  ASSERT_EQ(sched.exit_code, 0) << sched.err;
+  EXPECT_NE(sched.out.find("ratio to OMIM"), std::string::npos);
+  EXPECT_NE(sched.out.find("comm |"), std::string::npos);
+}
+
+TEST(Cli, CompareListsEveryHeuristic) {
+  TempFile file("compare.trace");
+  ASSERT_EQ(run({"generate", "--kernel=CCSD", "--seed=2", "--min-tasks=30",
+                 "--max-tasks=40", "--out=" + file.str()})
+                .exit_code,
+            0);
+  const CliRun r = run({"compare", file.str(), "--capacity-factor=1.25"});
+  ASSERT_EQ(r.exit_code, 0) << r.err;
+  for (const auto& h : all_heuristics()) {
+    EXPECT_NE(r.out.find(std::string(h.name)), std::string::npos) << h.name;
+  }
+  EXPECT_NE(r.out.find("best:"), std::string::npos);
+}
+
+TEST(Cli, RecommendNamesARegime) {
+  TempFile file("recommend.trace");
+  ASSERT_EQ(run({"generate", "--kernel=HF", "--seed=3", "--min-tasks=30",
+                 "--max-tasks=40", "--out=" + file.str()})
+                .exit_code,
+            0);
+  const CliRun r = run({"recommend", file.str(), "--capacity-factor=1.05"});
+  ASSERT_EQ(r.exit_code, 0) << r.err;
+  EXPECT_NE(r.out.find("capacity regime:"), std::string::npos);
+  EXPECT_NE(r.out.find("recommended heuristic:"), std::string::npos);
+}
+
+TEST(Cli, ImproveReportsGain) {
+  TempFile file("improve.trace");
+  ASSERT_EQ(run({"generate", "--kernel=CCSD", "--seed=4", "--min-tasks=25",
+                 "--max-tasks=30", "--out=" + file.str()})
+                .exit_code,
+            0);
+  const CliRun r = run({"improve", file.str(), "--capacity-factor=1.25",
+                        "--iterations=400"});
+  ASSERT_EQ(r.exit_code, 0) << r.err;
+  EXPECT_NE(r.out.find("improved makespan"), std::string::npos);
+}
+
+TEST(Cli, MissingFileIsAUserError) {
+  const CliRun r = run({"info", "/nonexistent/path.trace"});
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.err.find("error:"), std::string::npos);
+}
+
+TEST(Cli, UnknownHeuristicIsAUserError) {
+  TempFile file("badheur.trace");
+  ASSERT_EQ(run({"generate", "--kernel=HF", "--seed=1", "--min-tasks=20",
+                 "--max-tasks=25", "--out=" + file.str()})
+                .exit_code,
+            0);
+  const CliRun r =
+      run({"schedule", file.str(), "--heuristic=NOPE", "--capacity-factor=2"});
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.err.find("unknown heuristic"), std::string::npos);
+}
+
+TEST(Cli, ConflictingCapacityFlagsRejected) {
+  TempFile file("conflict.trace");
+  ASSERT_EQ(run({"generate", "--kernel=HF", "--seed=1", "--min-tasks=20",
+                 "--max-tasks=25", "--out=" + file.str()})
+                .exit_code,
+            0);
+  const CliRun r = run({"compare", file.str(), "--capacity=1000000",
+                        "--capacity-factor=1.5"});
+  EXPECT_EQ(r.exit_code, 1);
+}
+
+TEST(Cli, GenerateValidatesTaskRange) {
+  TempFile file("range.trace");
+  const CliRun r = run({"generate", "--kernel=HF", "--min-tasks=50",
+                        "--max-tasks=10", "--out=" + file.str()});
+  EXPECT_EQ(r.exit_code, 1);
+}
+
+}  // namespace
+}  // namespace dts::cli

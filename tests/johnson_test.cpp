@@ -1,0 +1,115 @@
+#include "core/johnson.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/bounds.hpp"
+#include "core/simulate.hpp"
+#include "test_util.hpp"
+
+namespace dts {
+namespace {
+
+TEST(Johnson, OrderOnTable3) {
+  // S1 = {B, C} by increasing comm; S2 = {A, D} by decreasing comp.
+  const Instance inst = testing::table3_instance();
+  EXPECT_EQ(johnson_order(inst), (std::vector<TaskId>{1, 2, 0, 3}));
+}
+
+TEST(Johnson, EmptyAndSingleton) {
+  EXPECT_DOUBLE_EQ(omim(Instance{}), 0.0);
+  const Instance one = Instance::from_comm_comp({{3, 4}});
+  EXPECT_EQ(johnson_order(one), (std::vector<TaskId>{0}));
+  EXPECT_DOUBLE_EQ(omim(one), 7.0);
+}
+
+TEST(Johnson, StableTieBreakPreservesSubmission) {
+  const Instance inst = Instance::from_comm_comp({{2, 5}, {2, 6}, {2, 4}});
+  // All compute intensive with equal comm: submission order kept.
+  EXPECT_EQ(johnson_order(inst), (std::vector<TaskId>{0, 1, 2}));
+}
+
+TEST(Johnson, OptimalVersusExhaustiveOnRandomInstances) {
+  // Theorem 1: Johnson's order is optimal with infinite memory. Check
+  // against brute force over all permutations for hundreds of small
+  // random instances, including zero-duration edge cases.
+  Rng rng(99);
+  for (int iter = 0; iter < 300; ++iter) {
+    const std::size_t n = 1 + rng.index(6);
+    const Instance inst = testing::random_instance(rng, n);
+    const Time johnson = omim(inst);
+
+    std::vector<TaskId> order = inst.submission_order();
+    std::sort(order.begin(), order.end());
+    Time best = kInfiniteTime;
+    do {
+      best = std::min(best, makespan_of_order(inst, order, kInfiniteMem));
+    } while (std::next_permutation(order.begin(), order.end()));
+
+    EXPECT_NEAR(johnson, best, 1e-9)
+        << "Johnson suboptimal on iteration " << iter;
+  }
+}
+
+TEST(Johnson, SwapLemmaConditions) {
+  const Task a{.id = 0, .comm = 2, .comp = 5, .mem = 2, .name = {}};
+  const Task b{.id = 1, .comm = 3, .comp = 4, .mem = 3, .name = {}};
+  EXPECT_TRUE(swap_cannot_improve(a, b));  // condition (i)
+  const Task c{.id = 0, .comm = 5, .comp = 3, .mem = 5, .name = {}};
+  const Task d{.id = 1, .comm = 4, .comp = 2, .mem = 4, .name = {}};
+  EXPECT_TRUE(swap_cannot_improve(c, d));  // condition (ii)
+  EXPECT_TRUE(swap_cannot_improve(a, d));  // condition (iii)
+  EXPECT_FALSE(swap_cannot_improve(d, a)) << "comm-intensive before "
+                                             "compute-intensive can improve";
+}
+
+TEST(Johnson, SwapLemmaNumerically) {
+  // Lemma 1: when a condition holds, swapping two adjacent tasks never
+  // reduces the makespan, for any resource-availability offsets t1, t2.
+  Rng rng(7);
+  for (int iter = 0; iter < 2000; ++iter) {
+    const Task a{.id = 0, .comm = rng.uniform(0, 5), .comp = rng.uniform(0, 5),
+                 .mem = 0, .name = {}};
+    const Task b{.id = 1, .comm = rng.uniform(0, 5), .comp = rng.uniform(0, 5),
+                 .mem = 0, .name = {}};
+    if (!swap_cannot_improve(a, b)) continue;
+    const Time t1 = rng.uniform(0, 3);
+    const Time t2 = rng.uniform(0, 6);
+    const auto completion = [&](const Task& x, const Task& y) {
+      // x then y starting from link time t1 and processor time t2.
+      const Time comp_x = std::max(t1 + x.comm, t2);
+      const Time comp_y =
+          std::max(comp_x + x.comp, t1 + x.comm + y.comm) + y.comp;
+      return comp_y;
+    };
+    EXPECT_LE(completion(a, b), completion(b, a) + 1e-9);
+  }
+}
+
+TEST(Bounds, OrderingOfBounds) {
+  Rng rng(123);
+  for (int iter = 0; iter < 100; ++iter) {
+    const Instance inst = testing::random_instance(rng, 8);
+    const Bounds b = compute_bounds(inst);
+    EXPECT_LE(b.area_lower, b.omim_lower + 1e-9);
+    EXPECT_LE(b.omim_lower, b.sequential_upper + 1e-9);
+    EXPECT_DOUBLE_EQ(b.sequential_upper, b.sum_comm + b.sum_comp);
+    EXPECT_GE(b.max_overlap_fraction(), -1e-12);
+    EXPECT_LE(b.max_overlap_fraction(), 1.0);
+  }
+}
+
+TEST(Bounds, OmimLowerBoundsConstrainedSchedules) {
+  Rng rng(321);
+  for (int iter = 0; iter < 100; ++iter) {
+    const Instance inst = testing::random_instance(rng, 8);
+    const Mem capacity = testing::random_capacity(rng, inst);
+    const Time constrained =
+        makespan_of_order(inst, johnson_order(inst), capacity);
+    EXPECT_GE(constrained + 1e-9, omim(inst));
+  }
+}
+
+}  // namespace
+}  // namespace dts

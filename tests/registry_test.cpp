@@ -1,0 +1,113 @@
+#include "core/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/bounds.hpp"
+#include "core/validate.hpp"
+#include "test_util.hpp"
+
+namespace dts {
+namespace {
+
+TEST(Registry, FourteenHeuristics) {
+  EXPECT_EQ(all_heuristics().size(), 14u);
+  EXPECT_EQ(all_heuristic_ids().size(), 14u);
+}
+
+TEST(Registry, NamesMatchThePaper) {
+  const std::set<std::string_view> expected{
+      "OS",   "OOSIM",  "IOCMS",  "DOCPS",  "IOCCS",  "DOCCS",  "GG",
+      "BP",   "LCMR",   "SCMR",   "MAMR",   "OOLCMR", "OOSCMR", "OOMAMR"};
+  std::set<std::string_view> actual;
+  for (const auto& h : all_heuristics()) actual.insert(h.name);
+  EXPECT_EQ(actual, expected);
+}
+
+TEST(Registry, NameRoundTrip) {
+  for (const auto& h : all_heuristics()) {
+    const auto id = heuristic_from_name(h.name);
+    ASSERT_TRUE(id.has_value()) << h.name;
+    EXPECT_EQ(*id, h.id);
+    EXPECT_EQ(name_of(h.id), h.name);
+  }
+  EXPECT_FALSE(heuristic_from_name("NOPE").has_value());
+  EXPECT_FALSE(heuristic_from_name("oosim").has_value()) << "case sensitive";
+}
+
+TEST(Registry, CategoriesPartitionTheRegistry) {
+  std::size_t total = 0;
+  for (HeuristicCategory cat :
+       {HeuristicCategory::kBaseline, HeuristicCategory::kStatic,
+        HeuristicCategory::kDynamic, HeuristicCategory::kCorrected}) {
+    total += heuristics_in(cat).size();
+  }
+  EXPECT_EQ(total, all_heuristics().size());
+  EXPECT_EQ(heuristics_in(HeuristicCategory::kBaseline).size(), 1u);
+  EXPECT_EQ(heuristics_in(HeuristicCategory::kStatic).size(), 7u);
+  EXPECT_EQ(heuristics_in(HeuristicCategory::kDynamic).size(), 3u);
+  EXPECT_EQ(heuristics_in(HeuristicCategory::kCorrected).size(), 3u);
+}
+
+class AllHeuristicsTest : public ::testing::TestWithParam<HeuristicId> {};
+
+TEST_P(AllHeuristicsTest, FeasibleWithinBoundsAcrossCapacities) {
+  const HeuristicId id = GetParam();
+  Rng rng(0xC0FFEE);
+  for (int iter = 0; iter < 40; ++iter) {
+    const Instance inst = testing::random_instance(rng, 14);
+    const Bounds b = compute_bounds(inst);
+    const Mem mc = inst.min_capacity();
+    for (double factor : {1.0, 1.25, 1.5, 2.0}) {
+      const Mem capacity = mc * factor;
+      const Schedule s = run_heuristic(id, inst, capacity);
+      ASSERT_TRUE(testing::feasible(inst, s, capacity))
+          << name_of(id) << " capacity factor " << factor;
+      const Time ms = s.makespan(inst);
+      EXPECT_GE(ms + 1e-9, b.omim_lower) << name_of(id);
+      EXPECT_LE(ms, b.sequential_upper + 1e-9) << name_of(id);
+    }
+  }
+}
+
+TEST_P(AllHeuristicsTest, PermutationSchedulesAlways) {
+  // Every registry heuristic keeps a common order on both resources
+  // (paper §4: "In all of our strategies (except linear programming based
+  // strategy), communication and computations take place in the same
+  // order").
+  const HeuristicId id = GetParam();
+  Rng rng(0xBEEF);
+  const Instance inst = testing::random_instance(rng, 12);
+  const Schedule s = run_heuristic(id, inst, inst.min_capacity() * 1.3);
+  EXPECT_TRUE(s.is_permutation_schedule()) << name_of(id);
+}
+
+TEST_P(AllHeuristicsTest, DeterministicAcrossRuns) {
+  const HeuristicId id = GetParam();
+  Rng rng(0xD00D);
+  const Instance inst = testing::random_instance(rng, 10);
+  const Mem capacity = inst.min_capacity() * 1.4;
+  const Schedule a = run_heuristic(id, inst, capacity);
+  const Schedule b = run_heuristic(id, inst, capacity);
+  for (TaskId i = 0; i < inst.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].comm_start, b[i].comm_start);
+    EXPECT_DOUBLE_EQ(a[i].comp_start, b[i].comp_start);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Registry, AllHeuristicsTest, ::testing::ValuesIn(all_heuristic_ids()),
+    [](const ::testing::TestParamInfo<HeuristicId>& param_info) {
+      return std::string(name_of(param_info.param));
+    });
+
+TEST(Registry, HeuristicMakespanMatchesSchedule) {
+  const Instance inst = testing::table3_instance();
+  EXPECT_DOUBLE_EQ(
+      heuristic_makespan(HeuristicId::kOOSIM, inst, testing::kTable3Capacity),
+      15.0);
+}
+
+}  // namespace
+}  // namespace dts

@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/simulate.hpp"
+#include "report/csv.hpp"
+#include "report/gantt.hpp"
+#include "report/stats.hpp"
+#include "report/table.hpp"
+#include "test_util.hpp"
+
+namespace dts {
+namespace {
+
+TEST(Quantile, KnownValues) {
+  const std::vector<double> v{1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(quantile_sorted(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted(v, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted(v, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(quantile_sorted(v, 0.25), 1.75);  // R type-7
+}
+
+TEST(Quantile, SingleElement) {
+  const std::vector<double> v{7.0};
+  EXPECT_DOUBLE_EQ(quantile_sorted(v, 0.3), 7.0);
+}
+
+TEST(Quantile, EmptyThrows) {
+  const std::vector<double> v;
+  EXPECT_THROW((void)quantile_sorted(v, 0.5), std::invalid_argument);
+}
+
+TEST(Boxplot, BasicSummary) {
+  const BoxplotSummary s = summarize({5, 1, 3, 2, 4});
+  EXPECT_EQ(s.n, 5u);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_TRUE(s.outliers.empty());
+  EXPECT_DOUBLE_EQ(s.whisker_low, 1.0);
+  EXPECT_DOUBLE_EQ(s.whisker_high, 5.0);
+}
+
+TEST(Boxplot, DetectsOutliers) {
+  std::vector<double> values(99, 1.0);
+  values.push_back(100.0);
+  const BoxplotSummary s = summarize(values);
+  ASSERT_EQ(s.outliers.size(), 1u);
+  EXPECT_DOUBLE_EQ(s.outliers.front(), 100.0);
+  EXPECT_DOUBLE_EQ(s.whisker_high, 1.0);
+}
+
+TEST(Boxplot, EmptySample) {
+  const BoxplotSummary s = summarize({});
+  EXPECT_EQ(s.n, 0u);
+}
+
+TEST(Boxplot, StddevOfConstantIsZero) {
+  const BoxplotSummary s = summarize({2, 2, 2, 2});
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+}
+
+TEST(TextTable, AsciiAlignment) {
+  TextTable t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22"});
+  const std::string out = t.to_ascii();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("-----"), std::string::npos);
+}
+
+TEST(TextTable, MarkdownShape) {
+  TextTable t({"a", "b"});
+  t.add_row({"1", "2"});
+  const std::string md = t.to_markdown();
+  EXPECT_NE(md.find("| a | b |"), std::string::npos);
+  EXPECT_NE(md.find("|---|---|"), std::string::npos);
+  EXPECT_NE(md.find("| 1 | 2 |"), std::string::npos);
+}
+
+TEST(TextTable, RowArityEnforced) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(TextTable, NeedsColumns) {
+  EXPECT_THROW(TextTable({}), std::invalid_argument);
+}
+
+TEST(Format, FixedAndUnits) {
+  EXPECT_EQ(format_fixed(1.23456, 2), "1.23");
+  EXPECT_EQ(format_si_bytes(176000.0), "176KB");
+  EXPECT_EQ(format_si_bytes(1.8e9), "1.80GB");
+  EXPECT_EQ(format_seconds(0.0), "0s");
+  EXPECT_EQ(format_seconds(1.5e-5), "15.0us");
+  EXPECT_EQ(format_seconds(0.25), "250.00ms");
+  EXPECT_EQ(format_seconds(2.0), "2.000s");
+}
+
+TEST(Csv, EscapingRules) {
+  EXPECT_EQ(csv_escape("plain"), "plain");
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(csv_escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(Csv, WriterEmitsRows) {
+  std::ostringstream out;
+  CsvWriter w(out);
+  w.row({"h1", "h2"});
+  w.row({"a,b", "2"});
+  EXPECT_EQ(out.str(), "h1,h2\n\"a,b\",2\n");
+}
+
+TEST(Gantt, RendersLanesAndLegend) {
+  const Instance inst = testing::table3_instance();
+  const std::vector<TaskId> order{1, 2, 0, 3};
+  const Schedule s = simulate_order(inst, order, kInfiniteMem);
+  const std::string g = render_gantt(inst, s);
+  EXPECT_NE(g.find("comm |"), std::string::npos);
+  EXPECT_NE(g.find("comp |"), std::string::npos);
+  EXPECT_NE(g.find("tasks:"), std::string::npos);
+}
+
+TEST(Gantt, NoOverlapMarkers) {
+  // A feasible schedule must never paint two tasks on the same cell.
+  const Instance inst = testing::table4_instance();
+  const Schedule s = simulate_order(inst, inst.submission_order(), 6.0);
+  const std::string g = render_gantt(inst, s);
+  EXPECT_EQ(g.find('#'), std::string::npos);
+}
+
+TEST(Gantt, EmptySchedule) {
+  const Instance inst;
+  const Schedule s(0);
+  EXPECT_EQ(render_gantt(inst, s), "(empty schedule)\n");
+}
+
+}  // namespace
+}  // namespace dts

@@ -1,0 +1,70 @@
+#include "report/schedule_stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/simulate.hpp"
+#include "test_util.hpp"
+
+namespace dts {
+namespace {
+
+TEST(ScheduleStats, EmptySchedule) {
+  const ScheduleBreakdown b = analyze_schedule(Instance{}, Schedule(0));
+  EXPECT_DOUBLE_EQ(b.makespan, 0.0);
+  EXPECT_DOUBLE_EQ(b.link_utilization(), 0.0);
+}
+
+TEST(ScheduleStats, SequentialScheduleHasZeroOverlap) {
+  // One task: comm [0,3), comp [3,5): no overlap possible.
+  const Instance inst = Instance::from_comm_comp({{3, 2}});
+  const Schedule s = simulate_order(inst, inst.submission_order(), 3.0);
+  const ScheduleBreakdown b = analyze_schedule(inst, s);
+  EXPECT_DOUBLE_EQ(b.makespan, 5.0);
+  EXPECT_DOUBLE_EQ(b.link_busy, 3.0);
+  EXPECT_DOUBLE_EQ(b.proc_busy, 2.0);
+  EXPECT_DOUBLE_EQ(b.link_idle, 2.0);
+  EXPECT_DOUBLE_EQ(b.proc_idle, 3.0);
+  EXPECT_DOUBLE_EQ(b.overlap, 0.0);
+}
+
+TEST(ScheduleStats, FullOverlapPattern) {
+  // Johnson on Table 3 with infinite memory (Fig. 4a): comm busy [0,10),
+  // comp busy [1,4) u [5,12); their intersection is [1,4) u [5,10) = 8 of
+  // the 10 comm units.
+  const Instance inst = testing::table3_instance();
+  const std::vector<TaskId> order{1, 2, 0, 3};
+  const Schedule s = simulate_order(inst, order, kInfiniteMem);
+  const ScheduleBreakdown b = analyze_schedule(inst, s);
+  EXPECT_DOUBLE_EQ(b.makespan, 12.0);
+  EXPECT_DOUBLE_EQ(b.link_busy, 10.0);
+  EXPECT_DOUBLE_EQ(b.proc_busy, 10.0);
+  EXPECT_NEAR(b.overlap, 0.8, 1e-12);
+}
+
+TEST(ScheduleStats, UtilizationsSumWithIdle) {
+  Rng rng(601);
+  for (int iter = 0; iter < 50; ++iter) {
+    const Instance inst = testing::random_instance(rng, 10);
+    const Mem capacity = testing::random_capacity(rng, inst);
+    const Schedule s = simulate_order(inst, inst.submission_order(), capacity);
+    const ScheduleBreakdown b = analyze_schedule(inst, s);
+    EXPECT_NEAR(b.link_busy + b.link_idle, b.makespan, 1e-9);
+    EXPECT_NEAR(b.proc_busy + b.proc_idle, b.makespan, 1e-9);
+    EXPECT_GE(b.overlap, -1e-12);
+    EXPECT_LE(b.overlap, 1.0 + 1e-12);
+    EXPECT_LE(b.proc_starved, b.proc_idle + 1e-9)
+        << "starved time is a kind of idle time";
+  }
+}
+
+TEST(ScheduleStats, StarvationDetectsDataWait) {
+  // Processor waits 4 units for the only task's transfer: all idle before
+  // its computation is starvation.
+  const Instance inst = Instance::from_comm_comp({{4, 1}});
+  const Schedule s = simulate_order(inst, inst.submission_order(), 4.0);
+  const ScheduleBreakdown b = analyze_schedule(inst, s);
+  EXPECT_DOUBLE_EQ(b.proc_starved, 4.0);
+}
+
+}  // namespace
+}  // namespace dts

@@ -1,0 +1,88 @@
+#include "core/schedule.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "test_util.hpp"
+
+namespace dts {
+namespace {
+
+TEST(Schedule, StartsUnscheduled) {
+  Schedule s(3);
+  EXPECT_FALSE(s.complete());
+  EXPECT_FALSE(s[0].scheduled());
+}
+
+TEST(Schedule, SetAndComplete) {
+  Schedule s(2);
+  s.set(0, 0.0, 1.0);
+  EXPECT_FALSE(s.complete());
+  s.set(1, 1.0, 2.0);
+  EXPECT_TRUE(s.complete());
+}
+
+TEST(Schedule, MakespanIsLastComputeEnd) {
+  const Instance inst = testing::table3_instance();
+  Schedule s(inst.size());
+  s.set(0, 0, 3);    // A comp [3,5)
+  s.set(1, 3, 4);    // B comp [4,7)
+  s.set(2, 4, 8);    // C comp [8,12)
+  s.set(3, 8, 12);   // D comp [12,13)
+  EXPECT_DOUBLE_EQ(s.makespan(inst), 13.0);
+}
+
+TEST(Schedule, MakespanThrowsOnIncomplete) {
+  const Instance inst = testing::table3_instance();
+  Schedule s(inst.size());
+  s.set(0, 0, 3);
+  EXPECT_THROW((void)s.makespan(inst), std::logic_error);
+}
+
+TEST(Schedule, MakespanThrowsOnSizeMismatch) {
+  const Instance inst = testing::table3_instance();
+  Schedule s(2);
+  s.set(0, 0, 1);
+  s.set(1, 1, 2);
+  EXPECT_THROW((void)s.makespan(inst), std::invalid_argument);
+}
+
+TEST(Schedule, CommAndCompOrders) {
+  Schedule s(3);
+  s.set(0, 5.0, 9.0);
+  s.set(1, 0.0, 2.0);
+  s.set(2, 2.0, 5.0);
+  EXPECT_EQ(s.comm_order(), (std::vector<TaskId>{1, 2, 0}));
+  EXPECT_EQ(s.comp_order(), (std::vector<TaskId>{1, 2, 0}));
+  EXPECT_TRUE(s.is_permutation_schedule());
+}
+
+TEST(Schedule, DetectsOrderMismatch) {
+  Schedule s(2);
+  s.set(0, 0.0, 5.0);  // first on link...
+  s.set(1, 1.0, 3.0);  // ...second on link but first on processor
+  EXPECT_FALSE(s.is_permutation_schedule());
+}
+
+TEST(Schedule, OrderTieBreaksById) {
+  Schedule s(2);
+  s.set(1, 0.0, 0.0);
+  s.set(0, 0.0, 0.0);  // same instants: id order wins
+  EXPECT_EQ(s.comm_order(), (std::vector<TaskId>{0, 1}));
+}
+
+TEST(Schedule, ToStringListsEveryTask) {
+  const Instance inst = testing::table3_instance();
+  Schedule s(inst.size());
+  s.set(0, 0, 3);
+  s.set(1, 3, 4);
+  s.set(2, 4, 8);
+  s.set(3, 8, 12);
+  const std::string text = to_string(s, inst);
+  EXPECT_NE(text.find("T0"), std::string::npos);
+  EXPECT_NE(text.find("T3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dts

@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <stdexcept>
+
+#include "core/instance.hpp"
+#include "test_util.hpp"
+
+namespace dts {
+namespace {
+
+TEST(Task, ComputeIntensiveClassification) {
+  EXPECT_TRUE((Task{.id = 0, .comm = 2, .comp = 3, .mem = 2, .name = {}})
+                  .compute_intensive());
+  EXPECT_TRUE((Task{.id = 0, .comm = 2, .comp = 2, .mem = 2, .name = {}})
+                  .compute_intensive())
+      << "CP == CM counts as compute intensive (paper definition)";
+  EXPECT_FALSE((Task{.id = 0, .comm = 3, .comp = 2, .mem = 3, .name = {}})
+                   .compute_intensive());
+}
+
+TEST(Task, AccelerationRatio) {
+  const Task t{.id = 0, .comm = 2, .comp = 5, .mem = 2, .name = {}};
+  EXPECT_DOUBLE_EQ(t.acceleration(), 2.5);
+  const Task zero_comm{.id = 0, .comm = 0, .comp = 5, .mem = 0, .name = {}};
+  EXPECT_EQ(zero_comm.acceleration(), kInfiniteTime);
+}
+
+TEST(Task, Validity) {
+  EXPECT_TRUE(is_valid(Task{.id = 0, .comm = 0, .comp = 0, .mem = 0, .name = {}}));
+  EXPECT_FALSE(is_valid(Task{.id = 0, .comm = -1, .comp = 0, .mem = 0, .name = {}}));
+  EXPECT_FALSE(is_valid(Task{.id = 0, .comm = 0, .comp = -0.5, .mem = 0, .name = {}}));
+  EXPECT_FALSE(is_valid(Task{.id = 0, .comm = 0, .comp = 0, .mem = -2, .name = {}}));
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_FALSE(is_valid(Task{.id = 0, .comm = nan, .comp = 0, .mem = 0, .name = {}}));
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_FALSE(is_valid(Task{.id = 0, .comm = inf, .comp = 0, .mem = 0, .name = {}}));
+}
+
+TEST(Task, ToStringContainsFields) {
+  const Task t{.id = 3, .comm = 2.5, .comp = 4, .mem = 7, .name = "alpha"};
+  const std::string s = to_string(t);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("2.5"), std::string::npos);
+}
+
+TEST(Instance, AssignsIdsByPosition) {
+  const Instance inst = testing::table3_instance();
+  ASSERT_EQ(inst.size(), 4u);
+  for (TaskId i = 0; i < inst.size(); ++i) EXPECT_EQ(inst[i].id, i);
+}
+
+TEST(Instance, RejectsInvalidTask) {
+  std::vector<Task> tasks{
+      Task{.id = 0, .comm = 1, .comp = -1, .mem = 1, .name = {}}};
+  EXPECT_THROW(Instance{std::move(tasks)}, std::invalid_argument);
+}
+
+TEST(Instance, FromTriplesAndPairs) {
+  const Instance a = Instance::from_triples({{1, 2, 7}});
+  EXPECT_DOUBLE_EQ(a[0].mem, 7.0);
+  const Instance b = Instance::from_comm_comp({{3, 4}});
+  EXPECT_DOUBLE_EQ(b[0].mem, 3.0) << "paper convention: mem = comm time";
+}
+
+TEST(Instance, MinCapacityIsLargestFootprint) {
+  const Instance inst = testing::table5_instance();
+  EXPECT_DOUBLE_EQ(inst.min_capacity(), 8.0);
+  EXPECT_DOUBLE_EQ(Instance{}.min_capacity(), 0.0);
+}
+
+TEST(Instance, StatsAggregates) {
+  const Instance inst = testing::table3_instance();
+  const InstanceStats s = inst.stats();
+  EXPECT_EQ(s.n_tasks, 4u);
+  EXPECT_DOUBLE_EQ(s.sum_comm, 10.0);
+  EXPECT_DOUBLE_EQ(s.sum_comp, 10.0);
+  EXPECT_DOUBLE_EQ(s.max_mem, 4.0);
+  EXPECT_DOUBLE_EQ(s.total_mem, 10.0);
+  // B (1,3) and C (4,4) are compute intensive.
+  EXPECT_EQ(s.n_compute_intensive, 2u);
+  EXPECT_DOUBLE_EQ(s.compute_intensive_fraction(), 0.5);
+}
+
+TEST(Instance, SubsetRenumbersIds) {
+  const Instance inst = testing::table3_instance();
+  const std::vector<TaskId> ids{2, 0};
+  const Instance sub = inst.subset(ids);
+  ASSERT_EQ(sub.size(), 2u);
+  EXPECT_DOUBLE_EQ(sub[0].comm, 4.0);  // was task C
+  EXPECT_DOUBLE_EQ(sub[1].comm, 3.0);  // was task A
+  EXPECT_EQ(sub[0].id, 0u);
+  EXPECT_EQ(sub[1].id, 1u);
+}
+
+TEST(Instance, SubsetRejectsBadId) {
+  const Instance inst = testing::table3_instance();
+  const std::vector<TaskId> ids{9};
+  EXPECT_THROW((void)inst.subset(ids), std::out_of_range);
+}
+
+TEST(Instance, SubmissionOrderIsIota) {
+  const Instance inst = testing::table4_instance();
+  EXPECT_EQ(inst.submission_order(), (std::vector<TaskId>{0, 1, 2, 3}));
+}
+
+TEST(Instance, EmptyInstanceStats) {
+  const Instance inst;
+  EXPECT_TRUE(inst.empty());
+  EXPECT_EQ(inst.stats().n_tasks, 0u);
+  EXPECT_DOUBLE_EQ(inst.stats().compute_intensive_fraction(), 0.0);
+}
+
+}  // namespace
+}  // namespace dts

@@ -1,0 +1,187 @@
+#include "threestage/three_stage.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "support/rng.hpp"
+
+namespace dts {
+namespace {
+
+StagedTask staged(Time in, Time comp, Time out, Mem in_mem, Mem out_mem) {
+  return StagedTask{.id = 0, .in_comm = in, .comp = comp, .out_comm = out,
+                    .in_mem = in_mem, .out_mem = out_mem, .name = {}};
+}
+
+ThreeStageInstance random_staged(Rng& rng, std::size_t n) {
+  std::vector<StagedTask> tasks;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Mem in_mem = rng.uniform(0.5, 5.0);
+    const Mem out_mem = rng.uniform(0.1, 2.0);
+    tasks.push_back(staged(rng.uniform(0.0, 5.0), rng.uniform(0.0, 5.0),
+                           rng.uniform(0.0, 2.0), in_mem, out_mem));
+  }
+  return ThreeStageInstance(std::move(tasks));
+}
+
+Time brute_force(const ThreeStageInstance& inst, Mem capacity) {
+  std::vector<TaskId> order = inst.submission_order();
+  std::sort(order.begin(), order.end());
+  Time best = kInfiniteTime;
+  do {
+    best = std::min(best, three_stage_makespan(inst, order, capacity));
+  } while (std::next_permutation(order.begin(), order.end()));
+  return best;
+}
+
+TEST(ThreeStage, RejectsNegativeFields) {
+  std::vector<StagedTask> bad{staged(-1, 1, 1, 1, 1)};
+  EXPECT_THROW(ThreeStageInstance{std::move(bad)}, std::invalid_argument);
+}
+
+TEST(ThreeStage, MinCapacityIsPeakPerTask) {
+  const ThreeStageInstance inst(
+      {staged(1, 1, 1, 4, 2), staged(1, 1, 1, 3, 1)});
+  EXPECT_DOUBLE_EQ(inst.min_capacity(), 6.0);
+}
+
+TEST(ThreeStage, SingleTaskTimeline) {
+  const ThreeStageInstance inst({staged(2, 3, 1, 4, 2)});
+  const auto order = inst.submission_order();
+  const ThreeStageSchedule s = simulate_three_stage(inst, order, 6.0);
+  EXPECT_DOUBLE_EQ(s[0].in_start, 0.0);
+  EXPECT_DOUBLE_EQ(s[0].comp_start, 2.0);
+  EXPECT_DOUBLE_EQ(s[0].out_start, 5.0);
+  EXPECT_DOUBLE_EQ(s.makespan(inst), 6.0);
+  EXPECT_TRUE(validate_three_stage(inst, s, 6.0).empty());
+}
+
+TEST(ThreeStage, PipelinesThreeResources) {
+  // Two identical tasks: stages pipeline, so the second finishes one
+  // stage-length after the first (all stage times 1, ample memory).
+  const ThreeStageInstance inst(
+      {staged(1, 1, 1, 1, 1), staged(1, 1, 1, 1, 1)});
+  const auto order = inst.submission_order();
+  const ThreeStageSchedule s = simulate_three_stage(inst, order, 100.0);
+  EXPECT_DOUBLE_EQ(s.makespan(inst), 4.0);
+}
+
+TEST(ThreeStage, MemoryCapSerializes) {
+  // Both buffers of each task total 6; capacity 6 admits one task at a
+  // time: the second input waits for the first download to finish (its
+  // out buffer persists until then).
+  const ThreeStageInstance inst(
+      {staged(1, 1, 1, 4, 2), staged(1, 1, 1, 4, 2)});
+  const auto order = inst.submission_order();
+  const ThreeStageSchedule s = simulate_three_stage(inst, order, 6.0);
+  EXPECT_TRUE(validate_three_stage(inst, s, 6.0).empty());
+  EXPECT_DOUBLE_EQ(s[1].in_start, 3.0);
+  EXPECT_DOUBLE_EQ(s.makespan(inst), 6.0);
+}
+
+TEST(ThreeStage, InputBufferReleasedAtComputeEnd) {
+  // Task 0: in_mem 4 released at compute end (t=2); out_mem 1 lingers.
+  // Task 1 (total 5) fits from t=2 under capacity 6.
+  const ThreeStageInstance inst(
+      {staged(1, 1, 5, 4, 1), staged(1, 1, 1, 4, 1)});
+  const auto order = inst.submission_order();
+  const ThreeStageSchedule s = simulate_three_stage(inst, order, 6.0);
+  EXPECT_TRUE(validate_three_stage(inst, s, 6.0).empty());
+  EXPECT_DOUBLE_EQ(s[1].in_start, 2.0);
+}
+
+TEST(ThreeStage, ThrowsWhenTaskExceedsCapacity) {
+  const ThreeStageInstance inst({staged(1, 1, 1, 5, 2)});
+  const auto order = inst.submission_order();
+  EXPECT_THROW((void)simulate_three_stage(inst, order, 6.0),
+               std::invalid_argument);
+}
+
+TEST(ThreeStage, ValidatorCatchesViolations) {
+  const ThreeStageInstance inst({staged(2, 2, 2, 1, 1)});
+  ThreeStageSchedule s(1);
+  s.set(0, StagedTimes{0.0, 1.0, 4.0});  // computes before input arrives
+  EXPECT_FALSE(validate_three_stage(inst, s, 10.0).empty());
+  s.set(0, StagedTimes{0.0, 2.0, 3.0});  // downloads before compute ends
+  EXPECT_FALSE(validate_three_stage(inst, s, 10.0).empty());
+  s.set(0, StagedTimes{0.0, 2.0, 4.0});
+  EXPECT_TRUE(validate_three_stage(inst, s, 10.0).empty());
+}
+
+TEST(ThreeStage, SimulatorAlwaysFeasible) {
+  Rng rng(901);
+  for (int iter = 0; iter < 150; ++iter) {
+    const ThreeStageInstance inst = random_staged(rng, 12);
+    const Mem capacity = inst.min_capacity() * rng.uniform(1.0, 3.0);
+    std::vector<TaskId> order = inst.submission_order();
+    for (std::size_t i = order.size(); i > 1; --i) {
+      std::swap(order[i - 1], order[rng.index(i)]);
+    }
+    const ThreeStageSchedule s = simulate_three_stage(inst, order, capacity);
+    const std::string verdict = validate_three_stage(inst, s, capacity);
+    EXPECT_TRUE(verdict.empty()) << verdict;
+  }
+}
+
+TEST(ThreeStage, BoundsHoldForEveryOrder) {
+  Rng rng(902);
+  for (int iter = 0; iter < 80; ++iter) {
+    const ThreeStageInstance inst = random_staged(rng, 6);
+    const Mem capacity = inst.min_capacity() * rng.uniform(1.0, 2.0);
+    const ThreeStageBounds b = three_stage_bounds(inst);
+    EXPECT_LE(b.combined, brute_force(inst, capacity) + 1e-9);
+  }
+}
+
+TEST(ThreeStage, Johnson3CompetitiveWhenMemoryIsAmple) {
+  // The 3-machine Johnson surrogate is memory-oblivious, so judge it on
+  // its home turf (no memory constraint). Under tight memory it can be
+  // much worse — which is exactly what bench/ext_three_stage quantifies.
+  Rng rng(903);
+  double worst = 1.0;
+  for (int iter = 0; iter < 60; ++iter) {
+    const ThreeStageInstance inst = random_staged(rng, 6);
+    const std::vector<TaskId> order = johnson3_order(inst);
+    const Time johnson = three_stage_makespan(inst, order, kInfiniteMem);
+    const Time best = brute_force(inst, kInfiniteMem);
+    worst = std::max(worst, johnson / best);
+  }
+  // Deterministic seed; the observed worst case over these 60 instances
+  // is ~1.17 — pin a small margin above as a regression bound.
+  EXPECT_LT(worst, 1.25);
+}
+
+TEST(ThreeStage, OutputsOnlyEverDelay) {
+  // Dropping the output stage (the paper's simplification) can only
+  // shorten a schedule: for any fixed order, the 2-stage makespan lower-
+  // bounds the 3-stage one.
+  Rng rng(904);
+  for (int iter = 0; iter < 60; ++iter) {
+    const ThreeStageInstance with_out = random_staged(rng, 8);
+    std::vector<StagedTask> stripped(with_out.begin(), with_out.end());
+    for (StagedTask& t : stripped) {
+      t.out_comm = 0.0;
+      t.out_mem = 0.0;
+    }
+    const ThreeStageInstance without_out(std::move(stripped));
+    const Mem capacity = with_out.min_capacity() * rng.uniform(1.0, 2.0);
+    std::vector<TaskId> order = with_out.submission_order();
+    for (std::size_t i = order.size(); i > 1; --i) {
+      std::swap(order[i - 1], order[rng.index(i)]);
+    }
+    EXPECT_LE(three_stage_makespan(without_out, order, capacity),
+              three_stage_makespan(with_out, order, capacity) + 1e-9);
+  }
+}
+
+TEST(ThreeStage, EmptyInstance) {
+  const ThreeStageInstance inst;
+  const ThreeStageSchedule s =
+      simulate_three_stage(inst, inst.submission_order(), 1.0);
+  EXPECT_EQ(s.size(), 0u);
+  EXPECT_DOUBLE_EQ(three_stage_bounds(inst).combined, 0.0);
+}
+
+}  // namespace
+}  // namespace dts

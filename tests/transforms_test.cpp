@@ -1,0 +1,101 @@
+#include "trace/transforms.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/johnson.hpp"
+#include "test_util.hpp"
+
+namespace dts {
+namespace {
+
+TEST(Transforms, ScaleTimes) {
+  const Instance inst = testing::table3_instance();
+  const Instance scaled = scale_times(inst, 0.5, 2.0);
+  for (TaskId i = 0; i < inst.size(); ++i) {
+    EXPECT_DOUBLE_EQ(scaled[i].comm, inst[i].comm * 0.5);
+    EXPECT_DOUBLE_EQ(scaled[i].comp, inst[i].comp * 2.0);
+    EXPECT_DOUBLE_EQ(scaled[i].mem, inst[i].mem) << "memory untouched";
+  }
+}
+
+TEST(Transforms, ScaleTimesRejectsBadFactors) {
+  const Instance inst = testing::table3_instance();
+  EXPECT_THROW((void)scale_times(inst, 0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)scale_times(inst, 1.0, -2.0), std::invalid_argument);
+}
+
+TEST(Transforms, FasterLinkLowersOmim) {
+  Rng rng(801);
+  for (int iter = 0; iter < 30; ++iter) {
+    const Instance inst = testing::random_instance(rng, 10);
+    const Instance faster = scale_times(inst, 0.5, 1.0);
+    EXPECT_LE(omim(faster), omim(inst) + 1e-9);
+  }
+}
+
+TEST(Transforms, ScaleMemory) {
+  const Instance inst = testing::table3_instance();
+  const Instance scaled = scale_memory(inst, 3.0);
+  EXPECT_DOUBLE_EQ(scaled.min_capacity(), 3.0 * inst.min_capacity());
+}
+
+TEST(Transforms, MergePreservesTaskCountAndOrder) {
+  const Instance a = testing::table3_instance();
+  const Instance b = testing::table4_instance();
+  const std::vector<Instance> traces{a, b};
+  const Instance merged = merge_traces(traces);
+  ASSERT_EQ(merged.size(), a.size() + b.size());
+  EXPECT_DOUBLE_EQ(merged[0].comm, a[0].comm);
+  EXPECT_DOUBLE_EQ(merged[static_cast<TaskId>(a.size())].comm, b[0].comm);
+  // Ids renumbered to positions.
+  for (TaskId i = 0; i < merged.size(); ++i) EXPECT_EQ(merged[i].id, i);
+}
+
+TEST(Transforms, FilterTasks) {
+  const Instance inst = testing::table3_instance();
+  const Instance compute_only = filter_tasks(
+      inst, [](const Task& t) { return t.compute_intensive(); });
+  EXPECT_EQ(compute_only.size(), 2u);  // B and C
+  const Instance none = filter_tasks(inst, [](const Task&) { return false; });
+  EXPECT_TRUE(none.empty());
+}
+
+TEST(Transforms, JitterStaysWithinBand) {
+  const Instance inst = testing::table4_instance();
+  Rng rng(802);
+  const Instance jittered = jitter_times(inst, rng, 0.1);
+  for (TaskId i = 0; i < inst.size(); ++i) {
+    EXPECT_GE(jittered[i].comm, inst[i].comm * 0.9 - 1e-12);
+    EXPECT_LE(jittered[i].comm, inst[i].comm * 1.1 + 1e-12);
+    EXPECT_GE(jittered[i].comp, inst[i].comp * 0.9 - 1e-12);
+    EXPECT_LE(jittered[i].comp, inst[i].comp * 1.1 + 1e-12);
+  }
+  EXPECT_THROW((void)jitter_times(inst, rng, 1.0), std::invalid_argument);
+}
+
+TEST(Transforms, SplitBatches) {
+  const Instance inst = testing::table5_instance();  // 5 tasks
+  const std::vector<Instance> batches = split_batches(inst, 2);
+  ASSERT_EQ(batches.size(), 3u);
+  EXPECT_EQ(batches[0].size(), 2u);
+  EXPECT_EQ(batches[1].size(), 2u);
+  EXPECT_EQ(batches[2].size(), 1u);
+  EXPECT_DOUBLE_EQ(batches[2][0].comm, inst[4].comm);
+  EXPECT_THROW((void)split_batches(inst, 0), std::invalid_argument);
+}
+
+TEST(Transforms, SplitThenMergeRoundTrips) {
+  Rng rng(803);
+  const Instance inst = testing::random_instance(rng, 17);
+  const std::vector<Instance> batches = split_batches(inst, 5);
+  const Instance merged = merge_traces(batches);
+  ASSERT_EQ(merged.size(), inst.size());
+  for (TaskId i = 0; i < inst.size(); ++i) {
+    EXPECT_DOUBLE_EQ(merged[i].comm, inst[i].comm);
+    EXPECT_DOUBLE_EQ(merged[i].comp, inst[i].comp);
+    EXPECT_DOUBLE_EQ(merged[i].mem, inst[i].mem);
+  }
+}
+
+}  // namespace
+}  // namespace dts

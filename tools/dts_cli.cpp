@@ -1,0 +1,10 @@
+/// Thin main() for the `dts` command-line tool; all logic (and its tests)
+/// lives in src/cli/cli.cpp.
+
+#include <iostream>
+
+#include "cli/cli.hpp"
+
+int main(int argc, char** argv) {
+  return dts::cli::run_cli(argc - 1, argv + 1, std::cout, std::cerr);
+}
