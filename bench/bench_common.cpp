@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "core/johnson.hpp"
+#include "core/solver.hpp"
 #include "report/csv.hpp"
 #include "support/parallel_for.hpp"
 
@@ -63,15 +64,24 @@ std::vector<RatioCell> ratio_grid(const std::vector<Instance>& traces,
       grid.push_back(RatioCell{id, factor, std::vector<double>(traces.size())});
     }
   }
-  // Parallelize over (cell, trace): flatten to cell-major, trace work in
-  // parallel; each (heuristic, capacity, trace) run is independent.
-  for (RatioCell& cell : grid) {
-    parallel_for(0, traces.size(), [&](std::size_t t) {
-      const Mem capacity = mcs[t] * cell.factor;
-      const Time ms = heuristic_makespan(cell.id, traces[t], capacity);
-      cell.ratios[t] = omims[t] > 0.0 ? ms / omims[t] : 1.0;
-    });
-  }
+  // Parallelize over traces; one SolveRequest per trace, re-aimed at each
+  // capacity, is reused across heuristics. Bounds are precomputed above,
+  // so the solve() calls skip them.
+  SolveOptions options;
+  options.compute_bounds = false;
+  parallel_for(0, traces.size(), [&](std::size_t t) {
+    SolveRequest request;
+    request.instance = traces[t];
+    for (std::size_t fi = 0; fi < factors.size(); ++fi) {
+      request.capacity = mcs[t] * factors[fi];
+      for (std::size_t hi = 0; hi < ids.size(); ++hi) {
+        const Time ms =
+            solve(request, name_of(ids[hi]), options).makespan;
+        grid[fi * ids.size() + hi].ratios[t] =
+            omims[t] > 0.0 ? ms / omims[t] : 1.0;
+      }
+    }
+  });
   return grid;
 }
 

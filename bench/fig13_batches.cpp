@@ -7,8 +7,8 @@
 #include <cstdio>
 
 #include "bench_common.hpp"
-#include "core/batch.hpp"
 #include "core/johnson.hpp"
+#include "core/solver.hpp"
 #include "support/parallel_for.hpp"
 
 namespace {
@@ -44,12 +44,16 @@ int main(int argc, char** argv) {
             HeuristicCategory::kDynamic, HeuristicCategory::kCorrected}) {
         const std::vector<HeuristicId> family = heuristics_in(cat);
         std::vector<double> best(traces.size());
+        SolveOptions solve_options;
+        solve_options.compute_bounds = false;
         parallel_for(0, traces.size(), [&](std::size_t t) {
+          SolveRequest request;
+          request.instance = traces[t];
+          request.capacity = mcs[t] * factor;
+          request.batch_size = kBatch;  // §6.3 visibility window
           double best_ratio = kInfiniteTime;
           for (HeuristicId id : family) {
-            const Time ms =
-                schedule_in_batches(id, traces[t], mcs[t] * factor, kBatch)
-                    .makespan(traces[t]);
+            const Time ms = solve(request, name_of(id), solve_options).makespan;
             best_ratio = std::min(best_ratio, ms / omims[t]);
           }
           best[t] = best_ratio;

@@ -9,8 +9,8 @@
 #include <functional>
 
 #include "bench_common.hpp"
-#include "core/auto_scheduler.hpp"
 #include "core/recommend.hpp"
+#include "core/solver.hpp"
 #include "support/rng.hpp"
 
 namespace {
@@ -135,24 +135,29 @@ int main(int argc, char** argv) {
     std::vector<double> ranks;
     std::size_t close = 0;
     std::size_t rec_close = 0;
+    SolveOptions solve_options;
+    solve_options.compute_bounds = false;
     for (std::size_t run = 0; run < kRuns; ++run) {
-      const Instance inst = sc.make(rng);
+      Instance inst = sc.make(rng);
       const Mem capacity = sc.capacity(inst);
-      const AutoScheduleResult res = auto_schedule(inst, capacity);
+      SolveRequest request;
+      request.instance = std::move(inst);
+      request.capacity = capacity;
+      const SolveResult res = solve(request, "auto", solve_options);
       Time favored_ms = kInfiniteTime;
       double rank = 1.0;
-      for (const HeuristicOutcome& o : res.outcomes) {
-        if (o.id == sc.favored) favored_ms = o.makespan;
+      for (const CandidateOutcome& o : res.outcomes) {
+        if (o.name == name_of(sc.favored)) favored_ms = o.makespan;
       }
-      for (const HeuristicOutcome& o : res.outcomes) {
+      for (const CandidateOutcome& o : res.outcomes) {
         if (o.makespan < favored_ms - 1e-12) rank += 1.0;
       }
       ranks.push_back(rank);
       if (favored_ms <= res.makespan * 1.02) ++close;
-      const Recommendation rec = recommend(inst, capacity);
+      const Recommendation rec = recommend(request.instance, capacity);
       Time rec_ms = kInfiniteTime;
-      for (const HeuristicOutcome& o : res.outcomes) {
-        if (o.id == rec.primary) rec_ms = o.makespan;
+      for (const CandidateOutcome& o : res.outcomes) {
+        if (o.name == name_of(rec.primary)) rec_ms = o.makespan;
       }
       if (rec_ms <= res.makespan * 1.02) ++rec_close;
     }

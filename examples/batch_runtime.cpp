@@ -1,18 +1,19 @@
 /// Batch-mode runtime scheduling (paper §6.3): a task-based runtime rarely
 /// sees the whole DAG frontier at once — it observes windows of ready
-/// tasks. This example replays a CCSD trace through the batch scheduler
-/// with different window sizes and shows what limited visibility costs,
-/// plus the auto-selecting runtime the paper's conclusion sketches.
+/// tasks. This example replays a CCSD trace through the unified
+/// dts::solve() surface with different batch windows and shows what
+/// limited visibility costs, plus the auto-selecting runtime the paper's
+/// conclusion sketches ("auto-batch:N" in the solver registry).
 ///
 ///   $ ./batch_runtime [batch_size...]
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 #include <vector>
 
-#include "core/batch.hpp"
-#include "core/bounds.hpp"
-#include "core/registry.hpp"
+#include "core/solver.hpp"
 #include "report/table.hpp"
 #include "trace/generators.hpp"
 
@@ -27,35 +28,38 @@ int main(int argc, char** argv) {
 
   TraceConfig config;
   config.seed = 11;
-  const Instance inst = generate_ccsd_trace(config);
-  const Bounds bounds = compute_bounds(inst);
-  const Mem capacity = 1.5 * inst.min_capacity();
+  SolveRequest request;
+  request.instance = generate_ccsd_trace(config);
+  request.capacity = 1.5 * request.instance.min_capacity();
+  const Time omim = solve(request, "OS").bounds.omim;
 
   std::printf("CCSD trace: %zu tasks, capacity 1.5 mc, OMIM %s\n\n",
-              inst.size(), format_seconds(bounds.omim_lower).c_str());
+              request.instance.size(), format_seconds(omim).c_str());
 
   // Representative heuristic of each family plus the submission baseline.
-  const std::vector<HeuristicId> picks{
-      HeuristicId::kOS, HeuristicId::kOOSIM, HeuristicId::kMAMR,
-      HeuristicId::kOOMAMR};
+  const std::vector<std::string> picks{"OS", "OOSIM", "MAMR", "OOMAMR"};
 
   std::vector<std::string> headers{"visibility"};
-  for (HeuristicId id : picks) headers.emplace_back(name_of(id));
+  for (const std::string& name : picks) headers.push_back(name);
   TextTable table(std::move(headers));
 
+  SolveOptions options;
+  options.compute_bounds = false;  // OMIM is already known
   for (std::size_t batch : batch_sizes) {
+    request.batch_size = batch;
     std::vector<std::string> row{std::to_string(batch) + "-task batches"};
-    for (HeuristicId id : picks) {
-      const Schedule s = schedule_in_batches(id, inst, capacity, batch);
-      row.push_back(format_fixed(s.makespan(inst) / bounds.omim_lower, 4));
+    for (const std::string& name : picks) {
+      row.push_back(
+          format_fixed(solve(request, name, options).makespan / omim, 4));
     }
     table.add_row(std::move(row));
   }
   {
+    request.batch_size.reset();  // full visibility
     std::vector<std::string> row{"whole trace"};
-    for (HeuristicId id : picks) {
-      row.push_back(format_fixed(
-          heuristic_makespan(id, inst, capacity) / bounds.omim_lower, 4));
+    for (const std::string& name : picks) {
+      row.push_back(
+          format_fixed(solve(request, name, options).makespan / omim, 4));
     }
     table.add_row(std::move(row));
   }
@@ -63,22 +67,25 @@ int main(int argc, char** argv) {
               table.to_ascii().c_str());
 
   // The "auto-selecting runtime" (the paper's concluding vision), in its
-  // online form: per batch, simulate every heuristic from the carried
-  // state and commit the winner.
+  // online form: per batch, simulate every candidate from the carried
+  // state and commit the winner — one registry name.
   std::printf("online auto-selecting runtime (per-batch winner):\n");
-  const std::vector<HeuristicId> candidates = all_heuristic_ids();
   for (std::size_t batch : batch_sizes) {
-    const BatchAutoResult res =
-        schedule_in_batches_auto(inst, capacity, batch, candidates);
-    std::size_t switches = 0;
-    for (std::size_t b = 1; b < res.winners.size(); ++b) {
-      if (res.winners[b] != res.winners[b - 1]) ++switches;
+    const SolveResult res = solve(
+        request, "auto-batch:" + std::to_string(batch), options);
+    std::vector<CandidateOutcome> ranked = res.outcomes;
+    std::stable_sort(ranked.begin(), ranked.end(),
+                     [](const CandidateOutcome& a, const CandidateOutcome& b) {
+                       return a.batch_wins > b.batch_wins;
+                     });
+    std::string wins;
+    for (std::size_t k = 0; k < ranked.size() && k < 3; ++k) {
+      if (ranked[k].batch_wins == 0) break;
+      if (!wins.empty()) wins += ", ";
+      wins += ranked[k].name + " x" + std::to_string(ranked[k].batch_wins);
     }
-    std::printf("  %4zu-task batches -> ratio %.4f (first winner %s, "
-                "%zu policy switches over %zu batches)\n",
-                batch, res.schedule.makespan(inst) / bounds.omim_lower,
-                std::string(name_of(res.winners.front())).c_str(), switches,
-                res.winners.size());
+    std::printf("  %4zu-task batches -> ratio %.4f (%s; top winners: %s)\n",
+                batch, res.makespan / omim, res.detail.c_str(), wins.c_str());
   }
   return 0;
 }

@@ -11,8 +11,7 @@
 #include <cstdio>
 #include <filesystem>
 
-#include "core/auto_scheduler.hpp"
-#include "core/registry.hpp"
+#include "core/solver.hpp"
 #include "report/table.hpp"
 #include "trace/generators.hpp"
 #include "trace/trace_io.hpp"
@@ -44,15 +43,17 @@ void sweep(ChemistryKernel kernel, const Instance& inst) {
   const Mem mc = inst.min_capacity();
   TextTable table({"capacity", "best static", "ratio", "best dynamic",
                    "ratio", "best corrected", "ratio"});
+  SolveOptions options;
+  options.compute_bounds = false;  // OMIM is already known
   for (double f : {1.0, 1.25, 1.5, 1.75, 2.0}) {
-    const Mem capacity = mc * f;
     std::vector<std::string> row{format_fixed(f, 2) + " mc"};
-    for (HeuristicCategory cat :
-         {HeuristicCategory::kStatic, HeuristicCategory::kDynamic,
-          HeuristicCategory::kCorrected}) {
-      const std::vector<HeuristicId> family = heuristics_in(cat);
-      const AutoScheduleResult best = auto_schedule(inst, capacity, family);
-      row.push_back(std::string(name_of(best.best)));
+    // Each family is one registry name: the auto solver restricted to the
+    // family's candidates.
+    for (const char* family : {"auto:static", "auto:dynamic",
+                               "auto:corrected"}) {
+      const SolveResult best =
+          solve({.instance = inst, .capacity = mc * f}, family, options);
+      row.push_back(best.winner);
       row.push_back(format_fixed(best.makespan / omim, 4));
     }
     table.add_row(std::move(row));

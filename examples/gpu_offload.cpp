@@ -12,10 +12,10 @@
 #include <cstdio>
 #include <vector>
 
-#include "core/auto_scheduler.hpp"
 #include "core/bounds.hpp"
 #include "core/recommend.hpp"
 #include "core/registry.hpp"
+#include "core/solver.hpp"
 #include "report/gantt.hpp"
 #include "report/table.hpp"
 #include "support/rng.hpp"
@@ -74,12 +74,18 @@ int main() {
   TextTable table({"device mem", "naive FIFO", "best heuristic", "makespan",
                    "vs FIFO", "vs lower bound"});
   for (double factor : {1.0, 1.5, 2.0, 4.0}) {
+    // One dts::solve() call per budget: the auto solver tries every
+    // registered heuristic; the FIFO baseline is its first outcome ("OS").
+    const SolveResult best =
+        solve({.instance = inst, .capacity = factor * inst.min_capacity()},
+              "auto");
     const Mem budget = factor * inst.min_capacity();
-    const Time fifo = heuristic_makespan(HeuristicId::kOS, inst, budget);
-    const AutoScheduleResult best = auto_schedule(inst, budget);
+    Time fifo = kInfiniteTime;
+    for (const CandidateOutcome& o : best.outcomes) {
+      if (o.name == "OS") fifo = o.makespan;
+    }
     table.add_row({format_si_bytes(budget), format_seconds(fifo),
-                   std::string(name_of(best.best)),
-                   format_seconds(best.makespan),
+                   best.winner, format_seconds(best.makespan),
                    format_fixed(100.0 * (fifo - best.makespan) / fifo, 1) + "%",
                    format_fixed(best.makespan / bounds.omim_lower, 3) + "x"});
   }
@@ -90,10 +96,12 @@ int main() {
   std::printf("recommended policy at 1.5x: %s (%s)\n",
               std::string(name_of(rec.primary)).c_str(), rec.rationale.c_str());
 
-  const Schedule sched = run_heuristic(rec.primary, inst, budget);
+  const SolveResult res = solve({.instance = inst, .capacity = budget},
+                                std::string(name_of(rec.primary)));
   std::printf("\ncopy-engine / GPU timeline under %s:\n%s",
               std::string(name_of(rec.primary)).c_str(),
-              render_gantt(inst, sched, {.width = 72, .show_legend = false})
+              render_gantt(inst, res.schedule,
+                           {.width = 72, .show_legend = false})
                   .c_str());
   return 0;
 }

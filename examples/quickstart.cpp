@@ -1,18 +1,15 @@
-/// Quickstart: model a handful of tasks, pick a memory budget, compare the
-/// paper's scheduling heuristics, and render the winning schedule.
+/// Quickstart: model a handful of tasks, pick a memory budget, and let the
+/// unified dts::solve() surface run the paper's heuristics for you.
 ///
 ///   $ ./quickstart
 ///
-/// Walks through the core API surface in ~60 lines: Instance construction,
-/// bounds, the registry of heuristics, the auto-scheduler, the recommender
-/// and the Gantt renderer.
+/// Walks through the API in ~60 lines: Instance construction, a
+/// SolveRequest, the string-keyed solver registry ("auto", "OOLCMR",
+/// "local-search", ...), the rich SolveResult and the Gantt renderer.
 
 #include <cstdio>
 
-#include "core/auto_scheduler.hpp"
-#include "core/bounds.hpp"
-#include "core/recommend.hpp"
-#include "core/registry.hpp"
+#include "core/solver.hpp"
 #include "report/gantt.hpp"
 #include "report/table.hpp"
 
@@ -21,7 +18,8 @@ int main() {
 
   // Six independent tasks: communication time, computation time; memory
   // requirement equals communication volume (the paper's convention).
-  const Instance inst = Instance::from_comm_comp({
+  SolveRequest request;
+  request.instance = Instance::from_comm_comp({
       {4.0, 1.0},   // A: fetch-heavy
       {2.0, 6.0},   // B: compute-heavy
       {8.0, 8.0},   // C: the big one
@@ -29,40 +27,38 @@ int main() {
       {3.0, 2.0},   // E
       {1.0, 5.0},   // F: tiny transfer, long compute
   });
-
   // Memory capacity: 1.25x the largest single footprint.
-  const Mem capacity = 1.25 * inst.min_capacity();
+  request.capacity = 1.25 * request.instance.min_capacity();
 
-  const Bounds bounds = compute_bounds(inst);
-  std::printf("tasks: %zu   capacity: %.1f\n", inst.size(), capacity);
-  std::printf("lower bound (OMIM, infinite memory): %.2f\n", bounds.omim_lower);
-  std::printf("upper bound (zero overlap):          %.2f\n",
-              bounds.sequential_upper);
-  std::printf("overlap headroom: %.0f%%\n\n",
-              100.0 * bounds.max_overlap_fraction());
+  // One call tries every registered heuristic and keeps the best schedule;
+  // the result carries the lower bounds, the per-candidate outcomes and
+  // the winner's name.
+  const SolveResult best = solve(request, "auto");
+  std::printf("tasks: %zu   capacity: %.1f\n", request.instance.size(),
+              request.capacity);
+  std::printf("lower bound (OMIM, infinite memory): %.2f\n", best.bounds.omim);
+  std::printf("capacity-aware lower bound:          %.2f\n\n",
+              best.bounds.combined);
 
-  // Every heuristic of the paper, via the registry.
-  TextTable table({"heuristic", "family", "makespan", "ratio to OMIM"});
-  for (const HeuristicInfo& h : all_heuristics()) {
-    const Time ms = heuristic_makespan(h.id, inst, capacity);
-    table.add_row({std::string(h.name), std::string(name_of(h.category)),
-                   format_fixed(ms, 2), format_fixed(ms / bounds.omim_lower, 3)});
+  TextTable table({"candidate", "makespan", "ratio to OMIM"});
+  for (const CandidateOutcome& outcome : best.outcomes) {
+    table.add_row({outcome.name, format_fixed(outcome.makespan, 2),
+                   format_fixed(outcome.makespan / best.bounds.omim, 3)});
   }
   std::printf("%s\n", table.to_ascii().c_str());
+  std::printf("winner: %s (makespan %.2f, ratio %.3f, %.2f ms wall)\n\n",
+              best.winner.c_str(), best.makespan, best.ratio_to_optimal(),
+              1e3 * best.wall_seconds);
 
-  // Or just ask for the best.
-  const AutoScheduleResult best = auto_schedule(inst, capacity);
-  std::printf("auto-scheduler winner: %s (makespan %.2f, ratio %.3f)\n",
-              std::string(name_of(best.best)).c_str(), best.makespan,
-              best.ratio_to_optimal());
+  // Any other strategy is one registry name away — same request, same
+  // result type. See `dts solvers` for the full list.
+  for (const char* name : {"OOLCMR", "local-search", "window:4"}) {
+    const SolveResult res = solve(request, name);
+    std::printf("%-12s -> makespan %.2f (ratio %.3f)\n", name, res.makespan,
+                res.ratio_to_optimal());
+  }
 
-  // Table 6 as a library call: what does the paper recommend here?
-  const Recommendation rec = recommend(inst, capacity);
-  std::printf("recommended for this regime (%s): %s — %s\n\n",
-              std::string(to_string(rec.regime)).c_str(),
-              std::string(name_of(rec.primary)).c_str(), rec.rationale.c_str());
-
-  std::printf("winning schedule:\n%s",
-              render_gantt(inst, best.schedule).c_str());
+  std::printf("\nwinning schedule:\n%s",
+              render_gantt(request.instance, best.schedule).c_str());
   return 0;
 }

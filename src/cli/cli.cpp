@@ -1,14 +1,14 @@
 #include "cli/cli.hpp"
 
+#include <cerrno>
+#include <charconv>
+#include <cstdlib>
 #include <ostream>
 #include <stdexcept>
 
-#include "core/auto_scheduler.hpp"
-#include "core/bounds.hpp"
 #include "core/recommend.hpp"
 #include "core/registry.hpp"
-#include "exact/lower_bounds.hpp"
-#include "heuristics/local_search.hpp"
+#include "core/solver.hpp"
 #include "report/gantt.hpp"
 #include "report/schedule_stats.hpp"
 #include "report/table.hpp"
@@ -26,14 +26,44 @@ constexpr std::string_view kUsage =
     "  generate  --kernel=HF|CCSD [--seed=N] [--min-tasks=N] [--max-tasks=N]\n"
     "            --out=FILE          synthesize a process trace\n"
     "  info      FILE                bounds and workload characteristics\n"
+    "  solve     FILE [--solver=NAME] (--capacity=B | --capacity-factor=F)\n"
+    "            [--batch=N] [--iterations=N] [--seed=N] [--time-limit=S]\n"
+    "            [--gantt]           run any registered solver\n"
     "  schedule  FILE --heuristic=NAME (--capacity=B | --capacity-factor=F)\n"
-    "            [--gantt]           run one heuristic, print the analysis\n"
+    "            [--batch=N] [--gantt]  run one heuristic, print the analysis\n"
     "  compare   FILE (--capacity=B | --capacity-factor=F)\n"
     "                                all 14 heuristics side by side\n"
     "  recommend FILE (--capacity=B | --capacity-factor=F)\n"
     "                                the Table-6 recommendation\n"
     "  improve   FILE (--capacity=B | --capacity-factor=F) [--iterations=N]\n"
-    "                                local search on top of the best heuristic\n";
+    "                                local search on top of the best heuristic\n"
+    "  solvers                       list every registered solver\n"
+    "                                (also available as dts --list-solvers)\n";
+
+/// Full-string numeric parse with a flag-specific error message.
+double parse_double_flag(std::string_view key, const std::string& text) {
+  const char* begin = text.c_str();
+  char* end = nullptr;
+  errno = 0;
+  const double value = std::strtod(begin, &end);
+  if (end != begin + text.size() || text.empty() || errno == ERANGE) {
+    throw std::invalid_argument("invalid value for --" + std::string(key) +
+                                ": '" + text + "' (expected a number)");
+  }
+  return value;
+}
+
+std::size_t parse_count_flag(std::string_view key, const std::string& text) {
+  std::size_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc{} || ptr != text.data() + text.size() || text.empty()) {
+    throw std::invalid_argument("invalid value for --" + std::string(key) +
+                                ": '" + text +
+                                "' (expected a non-negative integer)");
+  }
+  return value;
+}
 
 /// Resolves the capacity flags against the trace. Throws on bad input.
 Mem resolve_capacity(const CommandLine& cmd, const Instance& inst) {
@@ -42,8 +72,18 @@ Mem resolve_capacity(const CommandLine& cmd, const Instance& inst) {
   if (absolute && factor) {
     throw std::invalid_argument("give either --capacity or --capacity-factor");
   }
-  if (absolute) return std::stod(*absolute);
-  const double f = factor ? std::stod(*factor) : 1.5;
+  if (absolute) {
+    const double bytes = parse_double_flag("capacity", *absolute);
+    if (!(bytes > 0.0)) {  // negated form also rejects NaN
+      throw std::invalid_argument("--capacity must be positive");
+    }
+    return bytes;
+  }
+  const double f =
+      factor ? parse_double_flag("capacity-factor", *factor) : 1.5;
+  if (!(f > 0.0)) {
+    throw std::invalid_argument("--capacity-factor must be positive");
+  }
   return inst.min_capacity() * f;
 }
 
@@ -52,6 +92,35 @@ Instance load(const CommandLine& cmd) {
     throw std::invalid_argument("missing trace file argument");
   }
   return read_trace_file(cmd.positional.front());
+}
+
+/// Builds the SolveRequest shared by every scheduling command.
+SolveRequest make_request(const CommandLine& cmd) {
+  SolveRequest request;
+  request.instance = load(cmd);
+  request.capacity = resolve_capacity(cmd, request.instance);
+  if (cmd.flag("batch")) {
+    const std::size_t batch = cmd.count_or("batch", 0);
+    if (batch == 0) {
+      throw std::invalid_argument("--batch must be a positive integer");
+    }
+    request.batch_size = batch;
+  }
+  return request;
+}
+
+SolveOptions make_options(const CommandLine& cmd) {
+  SolveOptions options;
+  options.max_iterations = cmd.count_or("iterations", options.max_iterations);
+  options.seed = cmd.count_or("seed", 1);
+  if (const auto limit = cmd.flag("time-limit")) {
+    const double seconds = parse_double_flag("time-limit", *limit);
+    if (!(seconds >= 0.0)) {  // negated form also rejects NaN
+      throw std::invalid_argument("--time-limit must be non-negative");
+    }
+    options.time_limit_seconds = seconds;
+  }
+  return options;
 }
 
 int cmd_generate(const CommandLine& cmd, std::ostream& out) {
@@ -68,9 +137,9 @@ int cmd_generate(const CommandLine& cmd, std::ostream& out) {
                                 "' (use HF or CCSD)");
   }
   TraceConfig config;
-  config.seed = static_cast<std::uint64_t>(cmd.flag_or("seed", 1));
-  config.min_tasks = static_cast<std::size_t>(cmd.flag_or("min-tasks", 300));
-  config.max_tasks = static_cast<std::size_t>(cmd.flag_or("max-tasks", 800));
+  config.seed = cmd.count_or("seed", 1);
+  config.min_tasks = cmd.count_or("min-tasks", 300);
+  config.max_tasks = cmd.count_or("max-tasks", 800);
   if (config.min_tasks == 0 || config.min_tasks > config.max_tasks) {
     throw std::invalid_argument("need 0 < min-tasks <= max-tasks");
   }
@@ -105,10 +174,9 @@ int cmd_info(const CommandLine& cmd, std::ostream& out) {
 }
 
 void print_schedule_analysis(std::ostream& out, const Instance& inst,
-                             const Schedule& sched, Mem capacity,
-                             bool gantt) {
+                             const Schedule& sched,
+                             const CapacityAwareBounds& lb, bool gantt) {
   const ScheduleBreakdown breakdown = analyze_schedule(inst, sched);
-  const CapacityAwareBounds lb = capacity_aware_bounds(inst, capacity);
   TextTable table({"quantity", "value"});
   table.add_row({"makespan", format_seconds(breakdown.makespan)});
   table.add_row({"ratio to OMIM",
@@ -125,36 +193,71 @@ void print_schedule_analysis(std::ostream& out, const Instance& inst,
   if (gantt) out << render_gantt(inst, sched, {.width = 72});
 }
 
+int cmd_solve(const CommandLine& cmd, std::ostream& out) {
+  const SolveRequest request = make_request(cmd);
+  const SolveOptions options = make_options(cmd);
+  const auto solver = cmd.flag("solver").value_or("auto");
+  const SolveResult res = solve(request, solver, options);
+  out << "solver " << solver << " at capacity "
+      << format_si_bytes(request.capacity);
+  if (request.batch_size) out << " (batches of " << *request.batch_size << ")";
+  out << ":\n";
+  out << "winner: " << res.winner;
+  if (!res.detail.empty()) out << "  (" << res.detail << ")";
+  out << "\n";
+  if (res.cancelled) {
+    out << "stopped early (deadline or cancellation); best incumbent shown\n";
+  }
+  if (!res.outcomes.empty()) {
+    const bool batch_mode = res.outcomes.front().makespan == kInfiniteTime;
+    TextTable table({"candidate", batch_mode ? "batch wins" : "makespan"});
+    for (const CandidateOutcome& o : res.outcomes) {
+      table.add_row({o.name, batch_mode ? std::to_string(o.batch_wins)
+                                        : format_seconds(o.makespan)});
+    }
+    out << table.to_ascii();
+  }
+  print_schedule_analysis(out, request.instance, res.schedule, res.bounds,
+                          cmd.flag("gantt").has_value());
+  out << "wall time: " << format_fixed(1e3 * res.wall_seconds, 2) << " ms ("
+      << res.evaluations << " evaluations)\n";
+  return 0;
+}
+
 int cmd_schedule(const CommandLine& cmd, std::ostream& out) {
-  const Instance inst = load(cmd);
-  const Mem capacity = resolve_capacity(cmd, inst);
   const auto name = cmd.flag("heuristic").value_or("OOSIM");
-  const auto id = heuristic_from_name(name);
-  if (!id) {
+  if (!heuristic_from_name(name)) {
     throw std::invalid_argument("unknown heuristic '" + name +
                                 "' (see `dts compare` for the list)");
   }
-  const Schedule sched = run_heuristic(*id, inst, capacity);
-  out << name << " at capacity " << format_si_bytes(capacity) << ":\n";
-  print_schedule_analysis(out, inst, sched, capacity,
+  const SolveRequest request = make_request(cmd);
+  const SolveResult res = solve(request, name);
+  out << name << " at capacity " << format_si_bytes(request.capacity) << ":\n";
+  print_schedule_analysis(out, request.instance, res.schedule, res.bounds,
                           cmd.flag("gantt").has_value());
   return 0;
 }
 
 int cmd_compare(const CommandLine& cmd, std::ostream& out) {
-  const Instance inst = load(cmd);
-  const Mem capacity = resolve_capacity(cmd, inst);
-  const AutoScheduleResult res = auto_schedule(inst, capacity);
-  TextTable table({"heuristic", "family", "makespan", "ratio to OMIM"});
-  for (const HeuristicOutcome& o : res.outcomes) {
-    table.add_row({std::string(name_of(o.id)),
-                   std::string(name_of(info(o.id).category)),
-                   format_seconds(o.makespan),
-                   format_fixed(o.makespan / res.omim, 4)});
+  if (cmd.flag("batch")) {
+    // Batched candidates report per-batch wins, not makespans, which this
+    // table cannot render.
+    throw std::invalid_argument(
+        "compare does not take --batch; use `dts solve --solver=auto-batch:N`");
   }
-  out << "capacity " << format_si_bytes(capacity) << " (OMIM "
-      << format_seconds(res.omim) << "):\n"
-      << table.to_ascii() << "best: " << name_of(res.best) << " at ratio "
+  const SolveRequest request = make_request(cmd);
+  const SolveResult res = solve(request, "auto");
+  TextTable table({"heuristic", "family", "makespan", "ratio to OMIM"});
+  for (const CandidateOutcome& o : res.outcomes) {
+    const auto id = heuristic_from_name(o.name);
+    table.add_row({o.name,
+                   id ? std::string(name_of(info(*id).category)) : "?",
+                   format_seconds(o.makespan),
+                   format_fixed(o.makespan / res.bounds.omim, 4)});
+  }
+  out << "capacity " << format_si_bytes(request.capacity) << " (OMIM "
+      << format_seconds(res.bounds.omim) << "):\n"
+      << table.to_ascii() << "best: " << res.winner << " at ratio "
       << format_fixed(res.ratio_to_optimal(), 4) << "\n";
   return 0;
 }
@@ -170,20 +273,25 @@ int cmd_recommend(const CommandLine& cmd, std::ostream& out) {
 }
 
 int cmd_improve(const CommandLine& cmd, std::ostream& out) {
-  const Instance inst = load(cmd);
-  const Mem capacity = resolve_capacity(cmd, inst);
-  LocalSearchOptions options;
-  options.max_iterations =
-      static_cast<std::size_t>(cmd.flag_or("iterations", 20000));
-  options.seed = static_cast<std::uint64_t>(cmd.flag_or("seed", 1));
-  const LocalSearchResult res = schedule_local_search(inst, capacity, options);
-  out << "seed makespan:     " << format_seconds(res.initial_makespan) << "\n"
+  const SolveRequest request = make_request(cmd);
+  const SolveResult res = solve(request, "local-search", make_options(cmd));
+  const Time initial =
+      res.outcomes.empty() ? res.makespan : res.outcomes.front().makespan;
+  const double gain = initial <= 0.0 ? 0.0 : 1.0 - res.makespan / initial;
+  out << "seed makespan:     " << format_seconds(initial) << "\n"
       << "improved makespan: " << format_seconds(res.makespan) << "  ("
-      << format_fixed(100.0 * res.improvement(), 2) << "% better, "
-      << res.improvements << " accepted moves over " << res.iterations
-      << " candidates)\n";
-  print_schedule_analysis(out, inst, res.schedule, capacity,
+      << format_fixed(100.0 * gain, 2) << "% better, " << res.detail << ")\n";
+  print_schedule_analysis(out, request.instance, res.schedule, res.bounds,
                           cmd.flag("gantt").has_value());
+  return 0;
+}
+
+int cmd_solvers(std::ostream& out) {
+  TextTable table({"solver", "arguments", "description"});
+  for (const SolverListing& listing : list_solvers()) {
+    table.add_row({listing.name, listing.params, listing.description});
+  }
+  out << table.to_ascii();
   return 0;
 }
 
@@ -197,7 +305,13 @@ std::optional<std::string> CommandLine::flag(std::string_view key) const {
 
 double CommandLine::flag_or(std::string_view key, double fallback) const {
   const auto value = flag(key);
-  return value ? std::stod(*value) : fallback;
+  return value ? parse_double_flag(key, *value) : fallback;
+}
+
+std::size_t CommandLine::count_or(std::string_view key,
+                                  std::size_t fallback) const {
+  const auto value = flag(key);
+  return value ? parse_count_flag(key, *value) : fallback;
 }
 
 CommandLine parse_command_line(int argc, const char* const* argv) {
@@ -229,15 +343,18 @@ int run_cli(int argc, const char* const* argv, std::ostream& out,
   try {
     const CommandLine cmd = parse_command_line(argc, argv);
     if (cmd.command.empty() || cmd.command == "help") {
+      if (cmd.flag("list-solvers")) return cmd_solvers(out);
       out << kUsage;
       return cmd.command.empty() ? 2 : 0;
     }
     if (cmd.command == "generate") return cmd_generate(cmd, out);
     if (cmd.command == "info") return cmd_info(cmd, out);
+    if (cmd.command == "solve") return cmd_solve(cmd, out);
     if (cmd.command == "schedule") return cmd_schedule(cmd, out);
     if (cmd.command == "compare") return cmd_compare(cmd, out);
     if (cmd.command == "recommend") return cmd_recommend(cmd, out);
     if (cmd.command == "improve") return cmd_improve(cmd, out);
+    if (cmd.command == "solvers") return cmd_solvers(out);
     err << "unknown command '" << cmd.command << "'\n" << kUsage;
     return 2;
   } catch (const std::exception& e) {

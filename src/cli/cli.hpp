@@ -8,13 +8,18 @@
 ///
 ///   dts generate --kernel=HF --seed=7 --out=hf.trace
 ///   dts info hf.trace
+///   dts solve hf.trace --solver=auto --capacity-factor=1.5
+///   dts solve hf.trace --solver=auto-batch:16 --capacity-factor=1.25
 ///   dts schedule hf.trace --heuristic=OOLCMR --capacity-factor=1.5 --gantt
 ///   dts compare hf.trace --capacity-factor=1.25
 ///   dts recommend hf.trace --capacity-factor=1.1
 ///   dts improve hf.trace --capacity-factor=1.5 --iterations=20000
+///   dts solvers                (also: dts --list-solvers)
 ///
-/// Capacities are given either absolutely (--capacity=BYTES) or relative
-/// to the trace's minimum feasible capacity (--capacity-factor=F).
+/// Every scheduling command runs through the unified dts::solve() registry
+/// (core/solver.hpp). Capacities are given either absolutely
+/// (--capacity=BYTES) or relative to the trace's minimum feasible capacity
+/// (--capacity-factor=F).
 
 #include <iosfwd>
 #include <map>
@@ -32,7 +37,16 @@ struct CommandLine {
   std::map<std::string, std::string, std::less<>> flags;
 
   [[nodiscard]] std::optional<std::string> flag(std::string_view key) const;
+
+  /// Numeric flag with a fallback. Unlike a silent std::stod, a present but
+  /// malformed value ("--capacity-factor=abc", "--seed=1.5x") throws
+  /// std::invalid_argument naming the flag.
   [[nodiscard]] double flag_or(std::string_view key, double fallback) const;
+
+  /// Non-negative integer flag with a fallback; rejects fractions,
+  /// negatives and trailing garbage with a clear error.
+  [[nodiscard]] std::size_t count_or(std::string_view key,
+                                     std::size_t fallback) const;
 };
 
 /// Parses argv (past the program name). Throws std::invalid_argument on a

@@ -1,0 +1,163 @@
+#include "core/solver.hpp"
+
+#include <charconv>
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+
+namespace dts {
+
+namespace detail {
+// Defined in solvers_builtin.cpp. Referencing it from here guarantees the
+// built-in adapters' translation unit is pulled out of a static library
+// even when the program only ever names solvers by string.
+void register_builtin_solvers(SolverRegistry& registry);
+}  // namespace detail
+
+SolverSpec SolverSpec::parse(std::string_view name) {
+  SolverSpec spec;
+  spec.full = std::string(name);
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t colon = name.find(':', start);
+    const std::string_view part =
+        name.substr(start, colon == std::string_view::npos ? colon
+                                                           : colon - start);
+    if (spec.base.empty() && start == 0) {
+      spec.base = std::string(part);
+    } else {
+      spec.args.emplace_back(part);
+    }
+    if (colon == std::string_view::npos) break;
+    start = colon + 1;
+  }
+  if (spec.base.empty()) {
+    throw std::invalid_argument("solver name must not be empty");
+  }
+  return spec;
+}
+
+std::size_t SolverSpec::size_arg(std::size_t index,
+                                 std::size_t fallback) const {
+  if (index >= args.size()) return fallback;
+  const std::string& text = args[index];
+  std::size_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc{} || ptr != text.data() + text.size() || value == 0) {
+    throw std::invalid_argument("solver '" + full +
+                                "': argument '" + text +
+                                "' is not a positive integer");
+  }
+  return value;
+}
+
+namespace {
+
+std::mutex& registry_mutex() {
+  static std::mutex mutex;
+  return mutex;
+}
+
+}  // namespace
+
+SolverRegistry& SolverRegistry::global() {
+  static SolverRegistry registry;
+  static std::once_flag builtin_once;
+  std::call_once(builtin_once,
+                 [] { detail::register_builtin_solvers(registry); });
+  return registry;
+}
+
+void SolverRegistry::add(std::string key, std::string params,
+                         std::string description, Factory factory) {
+  if (key.empty()) throw std::logic_error("solver key must not be empty");
+  if (key.find(':') != std::string::npos) {
+    throw std::logic_error("solver key '" + key +
+                           "' must not contain ':' (reserved for arguments)");
+  }
+  const std::lock_guard<std::mutex> lock(registry_mutex());
+  for (const Entry& entry : entries_) {
+    if (entry.key == key) {
+      throw std::logic_error("solver '" + key + "' registered twice");
+    }
+  }
+  entries_.push_back(Entry{std::move(key), std::move(params),
+                           std::move(description), std::move(factory)});
+}
+
+std::unique_ptr<Solver> SolverRegistry::make(std::string_view name) const {
+  const SolverSpec spec = SolverSpec::parse(name);
+  Factory factory;
+  {
+    const std::lock_guard<std::mutex> lock(registry_mutex());
+    for (const Entry& entry : entries_) {
+      if (entry.key == spec.base) {
+        factory = entry.factory;
+        break;
+      }
+    }
+  }
+  if (!factory) {
+    std::ostringstream message;
+    message << "unknown solver '" << spec.base << "'; available:";
+    for (const std::string& key : keys()) message << " " << key;
+    throw std::invalid_argument(message.str());
+  }
+  return factory(spec);
+}
+
+bool SolverRegistry::contains(std::string_view key) const {
+  const std::lock_guard<std::mutex> lock(registry_mutex());
+  for (const Entry& entry : entries_) {
+    if (entry.key == key) return true;
+  }
+  return false;
+}
+
+std::vector<SolverListing> SolverRegistry::listings() const {
+  const std::lock_guard<std::mutex> lock(registry_mutex());
+  std::vector<SolverListing> rows;
+  rows.reserve(entries_.size());
+  for (const Entry& entry : entries_) {
+    rows.push_back(SolverListing{entry.key, entry.params, entry.description});
+  }
+  return rows;
+}
+
+std::vector<std::string> SolverRegistry::keys() const {
+  const std::lock_guard<std::mutex> lock(registry_mutex());
+  std::vector<std::string> keys;
+  keys.reserve(entries_.size());
+  for (const Entry& entry : entries_) keys.push_back(entry.key);
+  return keys;
+}
+
+SolveResult solve(const SolveRequest& request, std::string_view solver,
+                  const SolveOptions& options) {
+  if (!request.instance.empty() &&
+      definitely_less(request.capacity, request.instance.min_capacity())) {
+    throw std::invalid_argument(
+        "solve: capacity below the instance's minimum feasible capacity");
+  }
+  if (request.batch_size && *request.batch_size == 0) {
+    throw std::invalid_argument("solve: batch_size must be > 0");
+  }
+  const std::unique_ptr<Solver> impl = SolverRegistry::global().make(solver);
+  const auto start = std::chrono::steady_clock::now();
+  SolveResult result = impl->run(request, options);
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  if (options.compute_bounds && !request.instance.empty()) {
+    result.bounds = capacity_aware_bounds(request.instance, request.capacity);
+  }
+  if (result.winner.empty()) result.winner = std::string(solver);
+  return result;
+}
+
+std::vector<SolverListing> list_solvers() {
+  return SolverRegistry::global().listings();
+}
+
+}  // namespace dts

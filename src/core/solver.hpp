@@ -1,0 +1,276 @@
+#pragma once
+
+/// \file solver.hpp
+/// The unified solving surface of the library — the "runtime system
+/// exposing different heuristics and automatically selecting the best one"
+/// the paper's conclusion sketches, as one API.
+///
+/// A SolveRequest (instance + capacity + optional batch visibility) goes
+/// through dts::solve(request, "name", options) to a polymorphic Solver
+/// resolved from a string-keyed registry. Every strategy of the library is
+/// registered: the 14 paper heuristics by acronym ("OS" ... "OOMAMR"), the
+/// auto-scheduler ("auto", "auto:static"), the batch-auto runtime
+/// ("auto-batch:16"), local search ("local-search"), the exact solvers
+/// ("branch-bound", "exhaustive") and the iterative window heuristic
+/// ("window:4"). New strategies plug in by registering a factory — no enum
+/// edits, no new entry points:
+///
+///   namespace { const dts::RegisterSolver reg{
+///       "my-solver", "", "one-line description",
+///       [](const dts::SolverSpec&) { return std::make_unique<MySolver>(); }}; }
+///
+/// Names are parameterized with ':' — "auto-batch:16" is the base key
+/// "auto-batch" with argument "16". The legacy free functions
+/// (run_heuristic, auto_schedule, schedule_in_batches, ...) remain the
+/// underlying implementations; solve() reproduces their makespans
+/// bit-for-bit (tests/solver_test.cpp).
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/instance.hpp"
+#include "core/schedule.hpp"
+#include "exact/lower_bounds.hpp"
+
+namespace dts {
+
+/// What to solve: an instance under a memory capacity, optionally through
+/// the batched runtime (the solver only sees `batch_size` tasks at a time,
+/// paper §6.3). Solvers that cannot honor a batch window reject requests
+/// that set one.
+struct SolveRequest {
+  Instance instance;
+  Mem capacity = 0.0;
+  std::optional<std::size_t> batch_size;
+};
+
+/// Cooperative cancellation. A default-constructed token can never fire;
+/// CancellationToken::source() creates one that can. Copies share the flag,
+/// so a controller thread can cancel() while a solver polls cancelled().
+class CancellationToken {
+ public:
+  CancellationToken() = default;
+
+  /// A token whose cancel() actually cancels.
+  [[nodiscard]] static CancellationToken source() {
+    CancellationToken token;
+    token.flag_ = std::make_shared<std::atomic<bool>>(false);
+    return token;
+  }
+
+  /// Requests cancellation; no-op for a default-constructed token.
+  void cancel() const noexcept {
+    if (flag_) flag_->store(true, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] bool cancelled() const noexcept {
+    return flag_ && flag_->load(std::memory_order_relaxed);
+  }
+
+  /// True when this token was created by source() (cancel() can fire).
+  [[nodiscard]] bool cancellable() const noexcept { return flag_ != nullptr; }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+/// How to solve it. Every knob is optional; the defaults match the legacy
+/// entry points so solve() is a drop-in replacement.
+struct SolveOptions {
+  /// Wall-clock budget measured from solver entry. Long-running solvers
+  /// (branch-bound) stop at the deadline and return their incumbent with
+  /// SolveResult::cancelled set; one-shot heuristics ignore it (they finish
+  /// in microseconds).
+  std::optional<double> time_limit_seconds;
+  /// Cooperative cancellation, same semantics as the deadline.
+  CancellationToken cancel;
+  /// Iteration budget for anytime solvers (local search candidates).
+  std::size_t max_iterations = 20000;
+  /// Seed for randomized solvers (local search neighborhood order).
+  std::uint64_t seed = 1;
+  /// Evaluate independent candidates of the auto-scheduler with
+  /// support/parallel_for. The winner is identical either way (the
+  /// reduction is deterministic); this only buys wall time.
+  bool parallel_candidates = true;
+  /// Fill SolveResult::bounds (OMIM + capacity-aware bounds). Sweeps that
+  /// already track bounds per trace disable this to skip the recompute.
+  bool compute_bounds = true;
+};
+
+/// Deadline + cancellation token, bound at solver entry. Cheap to poll.
+class StopCondition {
+ public:
+  explicit StopCondition(const SolveOptions& options)
+      : cancel_(options.cancel) {
+    if (options.time_limit_seconds) {
+      deadline_ = std::chrono::steady_clock::now() +
+                  std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                      std::chrono::duration<double>(*options.time_limit_seconds));
+    }
+  }
+
+  [[nodiscard]] bool stop_requested() const {
+    if (cancel_.cancelled()) return true;
+    return deadline_ && std::chrono::steady_clock::now() >= *deadline_;
+  }
+
+  /// True when stopping is possible at all — solvers skip the polling
+  /// plumbing entirely otherwise.
+  [[nodiscard]] bool armed() const noexcept {
+    return deadline_.has_value() || cancel_.cancellable();
+  }
+
+ private:
+  CancellationToken cancel_;
+  std::optional<std::chrono::steady_clock::time_point> deadline_;
+};
+
+/// One candidate the solver considered. Auto solvers report every
+/// heuristic's full-instance makespan; the batch-auto runtime reports how
+/// many batches each candidate won instead (makespan stays infinite).
+struct CandidateOutcome {
+  std::string name;
+  Time makespan = kInfiniteTime;
+  std::size_t batch_wins = 0;
+};
+
+/// Everything a solve produced.
+struct SolveResult {
+  /// Name of the winning strategy: the heuristic acronym for single and
+  /// auto solvers, the solver key otherwise (e.g. "lp.4", "branch-bound").
+  std::string winner;
+  Schedule schedule;
+  Time makespan = kInfiniteTime;
+  /// OMIM + capacity-aware lower bounds (exact/lower_bounds); filled by
+  /// solve() unless options.compute_bounds is off.
+  CapacityAwareBounds bounds;
+  /// Wall-clock duration of the solver call, filled by solve().
+  double wall_seconds = 0.0;
+  /// The deadline or cancellation token fired; the schedule is the best
+  /// incumbent found before stopping (always complete and feasible).
+  bool cancelled = false;
+  /// Candidate evaluations: schedules simulated (auto), local-search
+  /// candidates, or branch-and-bound order pairs.
+  std::uint64_t evaluations = 0;
+  /// Per-candidate outcomes, in display order (auto and batch-auto).
+  std::vector<CandidateOutcome> outcomes;
+  /// Free-form solver note (e.g. local search's improvement summary).
+  std::string detail;
+
+  /// makespan / OMIM — the paper's quality metric (>= 1). Requires bounds.
+  [[nodiscard]] double ratio_to_optimal() const noexcept {
+    return bounds.omim <= 0.0 ? 1.0 : makespan / bounds.omim;
+  }
+};
+
+/// A parsed solver name: "auto-batch:16" -> base "auto-batch", args
+/// {"16"}. The base is the registry key; arguments are interpreted by the
+/// factory.
+struct SolverSpec {
+  std::string full;
+  std::string base;
+  std::vector<std::string> args;
+
+  /// Splits on ':'. Throws std::invalid_argument for an empty base.
+  [[nodiscard]] static SolverSpec parse(std::string_view name);
+
+  /// Positional argument as a positive integer; `fallback` when absent.
+  /// Throws std::invalid_argument on a malformed or non-positive value.
+  [[nodiscard]] std::size_t size_arg(std::size_t index,
+                                     std::size_t fallback) const;
+};
+
+/// A scheduling strategy behind the unified surface. Implementations must
+/// be safe to call concurrently from different threads on distinct
+/// requests (all built-in solvers are pure functions of their inputs).
+class Solver {
+ public:
+  virtual ~Solver() = default;
+
+  /// The name this solver was resolved under (the full spec).
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+
+  /// Solves the request. Implementations fill winner, schedule, makespan,
+  /// evaluations, outcomes, cancelled and detail; solve() adds bounds and
+  /// wall time. Throws std::invalid_argument for requests the solver
+  /// cannot honor (e.g. a batch window on an exact solver).
+  [[nodiscard]] virtual SolveResult run(const SolveRequest& request,
+                                        const SolveOptions& options) const = 0;
+};
+
+/// One row of SolverRegistry::listings().
+struct SolverListing {
+  std::string name;         ///< registry key, e.g. "auto-batch"
+  std::string params;       ///< accepted arguments, e.g. "[:BATCH]"
+  std::string description;
+};
+
+/// String-keyed factory registry. Factories self-register via the
+/// RegisterSolver helper below (static objects); the built-in strategies
+/// are registered on first access so a static-library link never loses
+/// them.
+class SolverRegistry {
+ public:
+  using Factory =
+      std::function<std::unique_ptr<Solver>(const SolverSpec& spec)>;
+
+  /// The process-wide registry.
+  [[nodiscard]] static SolverRegistry& global();
+
+  /// Registers a factory under `key`. Throws std::logic_error when the key
+  /// is already taken or empty.
+  void add(std::string key, std::string params, std::string description,
+           Factory factory);
+
+  /// Instantiates the solver a (possibly parameterized) name refers to.
+  /// Throws std::invalid_argument for an unknown base key — the message
+  /// lists every available name — or factory-rejected arguments.
+  [[nodiscard]] std::unique_ptr<Solver> make(std::string_view name) const;
+
+  [[nodiscard]] bool contains(std::string_view key) const;
+
+  /// Every registered solver, in registration order.
+  [[nodiscard]] std::vector<SolverListing> listings() const;
+
+  /// Registered keys, in registration order (error messages, --list-solvers).
+  [[nodiscard]] std::vector<std::string> keys() const;
+
+ private:
+  struct Entry {
+    std::string key;
+    std::string params;
+    std::string description;
+    Factory factory;
+  };
+  std::vector<Entry> entries_;  // small; linear lookup, stable order
+};
+
+/// Self-registration helper: a namespace-scope `const RegisterSolver` in
+/// any linked translation unit adds the factory before main() runs.
+struct RegisterSolver {
+  RegisterSolver(std::string key, std::string params, std::string description,
+                 SolverRegistry::Factory factory) {
+    SolverRegistry::global().add(std::move(key), std::move(params),
+                                 std::move(description), std::move(factory));
+  }
+};
+
+/// The single entry point: resolves `solver` in the global registry, runs
+/// it, and fills in bounds, ratio and wall time. Throws
+/// std::invalid_argument for unknown solvers, capacities below the
+/// instance's minimum, or solver-rejected requests.
+[[nodiscard]] SolveResult solve(const SolveRequest& request,
+                                std::string_view solver = "auto",
+                                const SolveOptions& options = {});
+
+/// Listings of the global registry (CLI `--list-solvers`, error messages).
+[[nodiscard]] std::vector<SolverListing> list_solvers();
+
+}  // namespace dts

@@ -1,0 +1,422 @@
+/// \file solvers_builtin.cpp
+/// Adapters that put every strategy of the library behind the unified
+/// Solver interface: the 14 paper heuristics, the auto-scheduler (full and
+/// batched), local search, the exact solvers and the window heuristic.
+/// Each adapter delegates to the legacy free function, so solve()
+/// reproduces the legacy makespans bit-for-bit.
+
+#include <algorithm>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "core/auto_scheduler.hpp"
+#include "core/batch.hpp"
+#include "core/registry.hpp"
+#include "core/solver.hpp"
+#include "exact/branch_bound.hpp"
+#include "exact/exhaustive.hpp"
+#include "exact/window_solver.hpp"
+#include "heuristics/local_search.hpp"
+#include "support/parallel_for.hpp"
+
+namespace dts {
+
+namespace {
+
+void expect_no_args(const SolverSpec& spec) {
+  if (!spec.args.empty()) {
+    throw std::invalid_argument("solver '" + spec.base +
+                                "' takes no ':' arguments (got '" + spec.full +
+                                "')");
+  }
+}
+
+void reject_batch(const SolveRequest& request, std::string_view solver) {
+  if (request.batch_size) {
+    throw std::invalid_argument("solver '" + std::string(solver) +
+                                "' does not support a batch window");
+  }
+}
+
+Time makespan_of(const SolveRequest& request, const Schedule& schedule) {
+  return request.instance.empty() ? 0.0 : schedule.makespan(request.instance);
+}
+
+/// One paper heuristic by acronym; honors the request's batch window via
+/// the batch runtime.
+class HeuristicSolver final : public Solver {
+ public:
+  HeuristicSolver(HeuristicId id, std::string name)
+      : id_(id), name_(std::move(name)) {}
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return name_;
+  }
+
+  [[nodiscard]] SolveResult run(const SolveRequest& request,
+                                const SolveOptions& /*options*/) const override {
+    SolveResult result;
+    result.schedule =
+        request.batch_size
+            ? schedule_in_batches(id_, request.instance, request.capacity,
+                                  *request.batch_size)
+            : run_heuristic(id_, request.instance, request.capacity);
+    result.makespan = makespan_of(request, result.schedule);
+    result.winner = std::string(name_of(id_));
+    result.evaluations = 1;
+    return result;
+  }
+
+ private:
+  HeuristicId id_;
+  std::string name_;
+};
+
+/// Per-batch win counts -> outcomes + overall winner (most wins, ties to
+/// the earlier candidate in display order).
+void fill_batch_outcomes(const std::vector<HeuristicId>& candidates,
+                         const std::vector<HeuristicId>& winners,
+                         SolveResult& result) {
+  result.outcomes.clear();
+  for (HeuristicId id : candidates) {
+    CandidateOutcome outcome;
+    outcome.name = std::string(name_of(id));
+    outcome.batch_wins = static_cast<std::size_t>(
+        std::count(winners.begin(), winners.end(), id));
+    result.outcomes.push_back(std::move(outcome));
+  }
+  const auto best = std::max_element(
+      result.outcomes.begin(), result.outcomes.end(),
+      [](const CandidateOutcome& a, const CandidateOutcome& b) {
+        return a.batch_wins < b.batch_wins;  // first max wins ties
+      });
+  if (best != result.outcomes.end()) result.winner = best->name;
+}
+
+/// The paper's envisioned runtime: evaluate every candidate, keep the
+/// best. Candidate evaluation optionally fans out over
+/// support/parallel_for; the reduction scans candidates in display order
+/// with a strict-less comparison, so the winner is identical to the serial
+/// auto_schedule fold.
+class AutoSolver final : public Solver {
+ public:
+  AutoSolver(std::vector<HeuristicId> candidates, std::string name,
+             std::optional<std::size_t> forced_batch)
+      : candidates_(std::move(candidates)),
+        name_(std::move(name)),
+        forced_batch_(forced_batch) {}
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return name_;
+  }
+
+  [[nodiscard]] SolveResult run(const SolveRequest& request,
+                                const SolveOptions& options) const override {
+    if (!request.instance.empty() &&
+        definitely_less(request.capacity, request.instance.min_capacity())) {
+      // parallel_for fail-fast would turn this user error into an abort;
+      // surface it as the invalid_argument the legacy entry points throw.
+      throw std::invalid_argument(
+          "auto: a task exceeds the memory capacity");
+    }
+    const std::optional<std::size_t> batch =
+        forced_batch_ ? forced_batch_ : request.batch_size;
+    return batch ? run_batched(request, *batch) : run_full(request, options);
+  }
+
+ private:
+  [[nodiscard]] SolveResult run_full(const SolveRequest& request,
+                                     const SolveOptions& options) const {
+    SolveResult result;
+    std::vector<Schedule> schedules(candidates_.size());
+    std::vector<Time> makespans(candidates_.size(), kInfiniteTime);
+    const auto evaluate = [&](std::size_t k) {
+      schedules[k] =
+          run_heuristic(candidates_[k], request.instance, request.capacity);
+      makespans[k] = makespan_of(request, schedules[k]);
+    };
+    if (options.parallel_candidates && candidates_.size() > 1) {
+      parallel_for(0, candidates_.size(), evaluate);
+    } else {
+      for (std::size_t k = 0; k < candidates_.size(); ++k) evaluate(k);
+    }
+    std::size_t best = 0;
+    for (std::size_t k = 0; k < candidates_.size(); ++k) {
+      result.outcomes.push_back(CandidateOutcome{
+          std::string(name_of(candidates_[k])), makespans[k], 0});
+      if (makespans[k] < makespans[best]) best = k;
+    }
+    if (!candidates_.empty()) {
+      result.winner = std::string(name_of(candidates_[best]));
+      result.schedule = std::move(schedules[best]);
+      result.makespan = makespans[best];
+    }
+    if (request.instance.empty()) result.makespan = 0.0;
+    result.evaluations = candidates_.size();
+    return result;
+  }
+
+  [[nodiscard]] SolveResult run_batched(const SolveRequest& request,
+                                        std::size_t batch) const {
+    SolveResult result;
+    BatchAutoResult res = schedule_in_batches_auto(
+        request.instance, request.capacity, batch, candidates_);
+    result.schedule = std::move(res.schedule);
+    result.makespan = makespan_of(request, result.schedule);
+    fill_batch_outcomes(candidates_, res.winners, result);
+    result.evaluations = candidates_.size() * res.winners.size();
+    std::ostringstream detail;
+    detail << res.winners.size() << " batches of " << batch;
+    result.detail = detail.str();
+    return result;
+  }
+
+  std::vector<HeuristicId> candidates_;
+  std::string name_;
+  std::optional<std::size_t> forced_batch_;
+};
+
+std::vector<HeuristicId> candidates_for(const SolverSpec& spec,
+                                        std::size_t arg_index) {
+  if (arg_index >= spec.args.size()) return all_heuristic_ids();
+  const std::string& family = spec.args[arg_index];
+  if (family == "all") return all_heuristic_ids();
+  if (family == "baseline") return heuristics_in(HeuristicCategory::kBaseline);
+  if (family == "static") return heuristics_in(HeuristicCategory::kStatic);
+  if (family == "dynamic") return heuristics_in(HeuristicCategory::kDynamic);
+  if (family == "corrected") {
+    return heuristics_in(HeuristicCategory::kCorrected);
+  }
+  throw std::invalid_argument(
+      "solver '" + spec.full + "': unknown candidate family '" + family +
+      "' (use all, baseline, static, dynamic or corrected)");
+}
+
+/// Hill climbing on top of the best registry heuristic (local_search.hpp).
+class LocalSearchSolver final : public Solver {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "local-search";
+  }
+
+  [[nodiscard]] SolveResult run(const SolveRequest& request,
+                                const SolveOptions& options) const override {
+    reject_batch(request, name());
+    LocalSearchOptions search;
+    search.max_iterations = options.max_iterations;
+    search.seed = options.seed;
+    LocalSearchResult res =
+        schedule_local_search(request.instance, request.capacity, search);
+    SolveResult result;
+    result.winner = "local-search";
+    result.schedule = std::move(res.schedule);
+    result.makespan = res.makespan;
+    result.evaluations = res.iterations;
+    result.outcomes.push_back(
+        CandidateOutcome{"seed-order", res.initial_makespan, 0});
+    std::ostringstream detail;
+    detail << res.improvements << " accepted moves over " << res.iterations
+           << " candidates";
+    result.detail = detail.str();
+    return result;
+  }
+};
+
+/// Exact search over independent (comm, comp) order pairs — the MILP's
+/// solution space. Honors the deadline/cancellation token; when stopped
+/// before the first incumbent it falls back to the submission order so the
+/// result is always a complete feasible schedule.
+class BranchBoundSolver final : public Solver {
+ public:
+  explicit BranchBoundSolver(std::size_t max_n) : max_n_(max_n) {}
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "branch-bound";
+  }
+
+  [[nodiscard]] SolveResult run(const SolveRequest& request,
+                                const SolveOptions& options) const override {
+    reject_batch(request, name());
+    PairOrderOptions search;
+    search.max_n = max_n_;
+    const StopCondition stop(options);
+    if (stop.armed()) {
+      search.should_stop = [&stop] { return stop.stop_requested(); };
+    }
+    PairOrderResult res =
+        best_pair_order(request.instance, request.capacity, search);
+    SolveResult result;
+    result.winner = "branch-bound";
+    result.cancelled = res.stopped;
+    result.evaluations = res.pairs_simulated;
+    if (res.makespan == kInfiniteTime) {
+      // Stopped before any feasible pair was simulated to completion.
+      result.schedule =
+          run_heuristic(HeuristicId::kOS, request.instance, request.capacity);
+      result.makespan = makespan_of(request, result.schedule);
+      result.detail = "stopped before the first incumbent; submission order";
+    } else {
+      result.schedule = std::move(res.schedule);
+      result.makespan = res.makespan;
+      std::ostringstream detail;
+      detail << res.pairs_simulated << " order pairs simulated";
+      result.detail = detail.str();
+    }
+    return result;
+  }
+
+ private:
+  std::size_t max_n_;
+};
+
+/// Exact search over permutation (common-order) schedules.
+class ExhaustiveSolver final : public Solver {
+ public:
+  explicit ExhaustiveSolver(std::size_t max_n) : max_n_(max_n) {}
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "exhaustive";
+  }
+
+  [[nodiscard]] SolveResult run(const SolveRequest& request,
+                                const SolveOptions& /*options*/) const override {
+    reject_batch(request, name());
+    ExhaustiveOptions search;
+    search.max_n = max_n_;
+    ExhaustiveResult res =
+        best_common_order(request.instance, request.capacity, search);
+    SolveResult result;
+    result.winner = "exhaustive";
+    result.schedule = std::move(res.schedule);
+    result.makespan = request.instance.empty() ? 0.0 : res.makespan;
+    result.evaluations = res.permutations_tried;
+    return result;
+  }
+
+ private:
+  std::size_t max_n_;
+};
+
+/// The paper's iterative MILP heuristic (window_solver.hpp), lp.k.
+class WindowedSolver final : public Solver {
+ public:
+  explicit WindowedSolver(WindowOptions options) : options_(options) {}
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "window";
+  }
+
+  [[nodiscard]] SolveResult run(const SolveRequest& request,
+                                const SolveOptions& /*options*/) const override {
+    reject_batch(request, name());
+    SolveResult result;
+    result.schedule =
+        schedule_windowed(request.instance, request.capacity, options_);
+    result.makespan = makespan_of(request, result.schedule);
+    result.winner = window_heuristic_name(options_);
+    return result;
+  }
+
+ private:
+  WindowOptions options_;
+};
+
+WindowOptions parse_window_spec(const SolverSpec& spec) {
+  WindowOptions options;
+  options.window = spec.size_arg(0, options.window);
+  if (spec.args.size() > 1) {
+    const std::string& mode = spec.args[1];
+    if (mode == "pair") {
+      options.mode = WindowMode::kPairOrder;
+    } else if (mode == "common") {
+      options.mode = WindowMode::kCommonOrder;
+    } else {
+      throw std::invalid_argument("solver '" + spec.full +
+                                  "': unknown window mode '" + mode +
+                                  "' (use common or pair)");
+    }
+  }
+  if (spec.args.size() > 2) {
+    throw std::invalid_argument("solver '" + spec.full +
+                                "': expected at most two arguments");
+  }
+  return options;
+}
+
+}  // namespace
+
+namespace detail {
+
+void register_builtin_solvers(SolverRegistry& registry) {
+  for (const HeuristicInfo& h : all_heuristics()) {
+    registry.add(std::string(h.name), "", std::string(h.description),
+                 [id = h.id](const SolverSpec& spec) {
+                   expect_no_args(spec);
+                   return std::make_unique<HeuristicSolver>(id, spec.full);
+                 });
+  }
+  registry.add(
+      "auto", "[:all|baseline|static|dynamic|corrected]",
+      "evaluate every candidate heuristic, keep the best schedule",
+      [](const SolverSpec& spec) {
+        if (spec.args.size() > 1) {
+          throw std::invalid_argument("solver '" + spec.full +
+                                      "': expected at most one argument");
+        }
+        return std::make_unique<AutoSolver>(candidates_for(spec, 0), spec.full,
+                                            std::nullopt);
+      });
+  registry.add(
+      "auto-batch", "[:BATCH]",
+      "auto-selecting batch runtime: per batch, commit the candidate "
+      "finishing earliest (default batch 16)",
+      [](const SolverSpec& spec) {
+        if (spec.args.size() > 1) {
+          throw std::invalid_argument("solver '" + spec.full +
+                                      "': expected at most one argument");
+        }
+        return std::make_unique<AutoSolver>(all_heuristic_ids(), spec.full,
+                                            spec.size_arg(0, 16));
+      });
+  registry.add("local-search", "",
+               "hill climbing over orders, seeded with the best heuristic",
+               [](const SolverSpec& spec) {
+                 expect_no_args(spec);
+                 return std::make_unique<LocalSearchSolver>();
+               });
+  registry.add("branch-bound", "[:MAX_N]",
+               "exact search over independent comm/comp order pairs "
+               "(the MILP's space; default max n = 7)",
+               [](const SolverSpec& spec) {
+                 if (spec.args.size() > 1) {
+                   throw std::invalid_argument(
+                       "solver '" + spec.full +
+                       "': expected at most one argument");
+                 }
+                 return std::make_unique<BranchBoundSolver>(
+                     spec.size_arg(0, PairOrderOptions{}.max_n));
+               });
+  registry.add("exhaustive", "[:MAX_N]",
+               "exact search over permutation schedules (default max n = 10)",
+               [](const SolverSpec& spec) {
+                 if (spec.args.size() > 1) {
+                   throw std::invalid_argument(
+                       "solver '" + spec.full +
+                       "': expected at most one argument");
+                 }
+                 return std::make_unique<ExhaustiveSolver>(
+                     spec.size_arg(0, ExhaustiveOptions{}.max_n));
+               });
+  registry.add("window", "[:K[:common|pair]]",
+               "iterative window optimization, the paper's lp.k (default k=4)",
+               [](const SolverSpec& spec) {
+                 return std::make_unique<WindowedSolver>(
+                     parse_window_spec(spec));
+               });
+}
+
+}  // namespace detail
+
+}  // namespace dts

@@ -153,10 +153,21 @@ PairOrderResult best_pair_order(const Instance& inst, Mem capacity,
   std::sort(comm.begin(), comm.end(), value_less);
 
   Schedule scratch(inst.size());
+  // Deadline/cancellation poll, amortized to every 256 simulated pairs
+  // (the callback may read a clock). Polling at pair 0 makes an
+  // already-fired token return before any work.
+  const auto stop_requested = [&options, &result] {
+    return options.should_stop && (result.pairs_simulated & 0xFFu) == 0 &&
+           options.should_stop();
+  };
   do {
     std::vector<TaskId> comp = comm;  // start each inner scan from sorted
     std::sort(comp.begin(), comp.end(), value_less);
     do {
+      if (stop_requested()) {
+        result.stopped = true;
+        break;
+      }
       ++result.pairs_simulated;
       const std::optional<Time> ms = simulate_pair_order(
           inst, comm, comp, capacity, initial, result.makespan, scratch);
@@ -168,9 +179,16 @@ PairOrderResult best_pair_order(const Instance& inst, Mem capacity,
         result.comp_order = comp;
       }
     } while (std::next_permutation(comp.begin(), comp.end(), value_less));
+    if (result.stopped) break;
   } while (std::next_permutation(comm.begin(), comm.end(), value_less));
 
   if (!found) {
+    if (result.stopped) {
+      // Nothing feasible seen before the stop: the caller's upper bound (if
+      // any) was never confirmed, so report "no incumbent" as documented.
+      result.makespan = kInfiniteTime;
+      return result;
+    }
     // Either the caller's upper bound was already optimal or no pair is
     // feasible; with capacity >= max task memory a feasible pair always
     // exists (any common order), so the former.

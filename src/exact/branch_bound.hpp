@@ -17,6 +17,7 @@
 /// remaining tasks) aborts a pair early, and identical tasks collapse into
 /// one representative ordering.
 
+#include <functional>
 #include <optional>
 #include <vector>
 
@@ -34,6 +35,10 @@ struct PairOrderOptions {
   /// Stop exploring a pair as soon as its makespan provably reaches the
   /// incumbent; also used as an initial upper bound when finite.
   Time upper_bound = kInfiniteTime;
+  /// Cooperative stop (deadline / cancellation): polled every few hundred
+  /// simulated pairs; returning true abandons the search, marking the
+  /// result stopped. The incumbent found so far is still returned.
+  std::function<bool()> should_stop;
 };
 
 struct PairOrderResult {
@@ -43,6 +48,9 @@ struct PairOrderResult {
   std::vector<TaskId> comp_order;
   ExecutionState::Snapshot final_state;
   std::uint64_t pairs_simulated = 0;
+  /// True when options.should_stop ended the search early; the makespan is
+  /// then only an upper bound (kInfiniteTime if nothing feasible was seen).
+  bool stopped = false;
 };
 
 /// Minimum makespan over independent (comm order, comp order) pairs.

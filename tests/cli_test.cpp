@@ -177,5 +177,117 @@ TEST(Cli, GenerateValidatesTaskRange) {
   EXPECT_EQ(r.exit_code, 1);
 }
 
+TEST(CommandLineParse, MalformedNumericFlagValuesRejected) {
+  const char* argv[] = {"x", "--capacity-factor=abc", "--iterations=12x",
+                        "--seed=-3"};
+  const CommandLine cmd = parse_command_line(4, argv);
+  EXPECT_THROW((void)cmd.flag_or("capacity-factor", 1.5),
+               std::invalid_argument);
+  EXPECT_THROW((void)cmd.count_or("iterations", 100), std::invalid_argument);
+  EXPECT_THROW((void)cmd.count_or("seed", 1), std::invalid_argument);
+  EXPECT_EQ(cmd.count_or("absent", 7u), 7u);
+}
+
+TEST(Cli, MalformedCapacityFactorIsAClearUserError) {
+  TempFile file("badfactor.trace");
+  ASSERT_EQ(run({"generate", "--kernel=HF", "--seed=1", "--min-tasks=20",
+                 "--max-tasks=25", "--out=" + file.str()})
+                .exit_code,
+            0);
+  const CliRun r = run({"compare", file.str(), "--capacity-factor=abc"});
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.err.find("invalid value for --capacity-factor"),
+            std::string::npos)
+      << r.err;
+  EXPECT_NE(r.err.find("'abc'"), std::string::npos) << r.err;
+
+  const CliRun neg = run({"compare", file.str(), "--capacity-factor=-2"});
+  EXPECT_EQ(neg.exit_code, 1);
+  EXPECT_NE(neg.err.find("must be positive"), std::string::npos) << neg.err;
+
+  // NaN parses as a double but is not a usable capacity.
+  const CliRun nan_cap = run({"compare", file.str(), "--capacity=nan"});
+  EXPECT_EQ(nan_cap.exit_code, 1);
+  EXPECT_NE(nan_cap.err.find("must be positive"), std::string::npos)
+      << nan_cap.err;
+}
+
+TEST(Cli, CompareRejectsBatchWindow) {
+  TempFile file("comparebatch.trace");
+  ASSERT_EQ(run({"generate", "--kernel=HF", "--seed=1", "--min-tasks=20",
+                 "--max-tasks=25", "--out=" + file.str()})
+                .exit_code,
+            0);
+  const CliRun r =
+      run({"compare", file.str(), "--capacity-factor=1.5", "--batch=4"});
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.err.find("auto-batch"), std::string::npos) << r.err;
+}
+
+TEST(Cli, SolveRunsAnyRegisteredSolver) {
+  TempFile file("solve.trace");
+  ASSERT_EQ(run({"generate", "--kernel=HF", "--seed=6", "--min-tasks=30",
+                 "--max-tasks=40", "--out=" + file.str()})
+                .exit_code,
+            0);
+  const CliRun r =
+      run({"solve", file.str(), "--capacity-factor=1.25"});
+  ASSERT_EQ(r.exit_code, 0) << r.err;
+  EXPECT_NE(r.out.find("winner:"), std::string::npos);
+  EXPECT_NE(r.out.find("ratio to OMIM"), std::string::npos);
+  EXPECT_NE(r.out.find("wall time:"), std::string::npos);
+
+  const CliRun named = run({"solve", file.str(), "--solver=OOLCMR",
+                            "--capacity-factor=1.25"});
+  ASSERT_EQ(named.exit_code, 0) << named.err;
+  EXPECT_NE(named.out.find("winner: OOLCMR"), std::string::npos);
+
+  const CliRun batched = run({"solve", file.str(), "--solver=auto-batch:8",
+                              "--capacity-factor=1.25"});
+  ASSERT_EQ(batched.exit_code, 0) << batched.err;
+  EXPECT_NE(batched.out.find("batch wins"), std::string::npos);
+}
+
+TEST(Cli, SolveUnknownSolverListsAvailable) {
+  TempFile file("badsolver.trace");
+  ASSERT_EQ(run({"generate", "--kernel=HF", "--seed=1", "--min-tasks=20",
+                 "--max-tasks=25", "--out=" + file.str()})
+                .exit_code,
+            0);
+  const CliRun r = run({"solve", file.str(), "--solver=nope",
+                        "--capacity-factor=1.5"});
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.err.find("unknown solver"), std::string::npos) << r.err;
+  EXPECT_NE(r.err.find("available:"), std::string::npos) << r.err;
+}
+
+TEST(Cli, ListSolversBothSpellings) {
+  for (const std::vector<std::string>& args :
+       {std::vector<std::string>{"solvers"},
+        std::vector<std::string>{"--list-solvers"}}) {
+    const CliRun r = run(args);
+    ASSERT_EQ(r.exit_code, 0) << r.err;
+    EXPECT_NE(r.out.find("auto-batch"), std::string::npos);
+    EXPECT_NE(r.out.find("branch-bound"), std::string::npos);
+    EXPECT_NE(r.out.find("OOLCMR"), std::string::npos);
+  }
+}
+
+TEST(Cli, ScheduleAcceptsBatchWindow) {
+  TempFile file("batchflag.trace");
+  ASSERT_EQ(run({"generate", "--kernel=CCSD", "--seed=8", "--min-tasks=30",
+                 "--max-tasks=40", "--out=" + file.str()})
+                .exit_code,
+            0);
+  const CliRun r = run({"schedule", file.str(), "--heuristic=OOSIM",
+                        "--capacity-factor=1.5", "--batch=8"});
+  ASSERT_EQ(r.exit_code, 0) << r.err;
+  EXPECT_NE(r.out.find("ratio to OMIM"), std::string::npos);
+
+  const CliRun bad = run({"schedule", file.str(), "--heuristic=OOSIM",
+                          "--capacity-factor=1.5", "--batch=0"});
+  EXPECT_EQ(bad.exit_code, 1);
+}
+
 }  // namespace
 }  // namespace dts::cli
