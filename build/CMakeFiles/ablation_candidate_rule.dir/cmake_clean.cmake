@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_candidate_rule.dir/bench/ablation_candidate_rule.cpp.o"
+  "CMakeFiles/ablation_candidate_rule.dir/bench/ablation_candidate_rule.cpp.o.d"
+  "ablation_candidate_rule"
+  "ablation_candidate_rule.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_candidate_rule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

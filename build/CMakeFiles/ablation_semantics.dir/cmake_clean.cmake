@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_semantics.dir/bench/ablation_semantics.cpp.o"
+  "CMakeFiles/ablation_semantics.dir/bench/ablation_semantics.cpp.o.d"
+  "ablation_semantics"
+  "ablation_semantics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_semantics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

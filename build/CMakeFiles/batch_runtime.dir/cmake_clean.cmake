@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/batch_runtime.dir/examples/batch_runtime.cpp.o"
+  "CMakeFiles/batch_runtime.dir/examples/batch_runtime.cpp.o.d"
+  "batch_runtime"
+  "batch_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/batch_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

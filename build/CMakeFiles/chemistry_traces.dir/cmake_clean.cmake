@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chemistry_traces.dir/examples/chemistry_traces.cpp.o"
+  "CMakeFiles/chemistry_traces.dir/examples/chemistry_traces.cpp.o.d"
+  "chemistry_traces"
+  "chemistry_traces.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chemistry_traces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

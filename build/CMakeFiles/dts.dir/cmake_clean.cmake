@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dts.dir/tools/dts_cli.cpp.o"
+  "CMakeFiles/dts.dir/tools/dts_cli.cpp.o.d"
+  "dts"
+  "dts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

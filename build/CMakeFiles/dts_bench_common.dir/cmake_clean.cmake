@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dts_bench_common.dir/bench/bench_common.cpp.o"
+  "CMakeFiles/dts_bench_common.dir/bench/bench_common.cpp.o.d"
+  "libdts_bench_common.a"
+  "libdts_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dts_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

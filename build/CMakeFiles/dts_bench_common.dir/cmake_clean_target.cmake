@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdts_bench_common.a"
+)

@@ -1,0 +1,58 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cli/cli.cpp" "CMakeFiles/dts_core.dir/src/cli/cli.cpp.o" "gcc" "CMakeFiles/dts_core.dir/src/cli/cli.cpp.o.d"
+  "/root/repo/src/core/auto_scheduler.cpp" "CMakeFiles/dts_core.dir/src/core/auto_scheduler.cpp.o" "gcc" "CMakeFiles/dts_core.dir/src/core/auto_scheduler.cpp.o.d"
+  "/root/repo/src/core/batch.cpp" "CMakeFiles/dts_core.dir/src/core/batch.cpp.o" "gcc" "CMakeFiles/dts_core.dir/src/core/batch.cpp.o.d"
+  "/root/repo/src/core/bounds.cpp" "CMakeFiles/dts_core.dir/src/core/bounds.cpp.o" "gcc" "CMakeFiles/dts_core.dir/src/core/bounds.cpp.o.d"
+  "/root/repo/src/core/instance.cpp" "CMakeFiles/dts_core.dir/src/core/instance.cpp.o" "gcc" "CMakeFiles/dts_core.dir/src/core/instance.cpp.o.d"
+  "/root/repo/src/core/johnson.cpp" "CMakeFiles/dts_core.dir/src/core/johnson.cpp.o" "gcc" "CMakeFiles/dts_core.dir/src/core/johnson.cpp.o.d"
+  "/root/repo/src/core/recommend.cpp" "CMakeFiles/dts_core.dir/src/core/recommend.cpp.o" "gcc" "CMakeFiles/dts_core.dir/src/core/recommend.cpp.o.d"
+  "/root/repo/src/core/registry.cpp" "CMakeFiles/dts_core.dir/src/core/registry.cpp.o" "gcc" "CMakeFiles/dts_core.dir/src/core/registry.cpp.o.d"
+  "/root/repo/src/core/schedule.cpp" "CMakeFiles/dts_core.dir/src/core/schedule.cpp.o" "gcc" "CMakeFiles/dts_core.dir/src/core/schedule.cpp.o.d"
+  "/root/repo/src/core/simulate.cpp" "CMakeFiles/dts_core.dir/src/core/simulate.cpp.o" "gcc" "CMakeFiles/dts_core.dir/src/core/simulate.cpp.o.d"
+  "/root/repo/src/core/solver.cpp" "CMakeFiles/dts_core.dir/src/core/solver.cpp.o" "gcc" "CMakeFiles/dts_core.dir/src/core/solver.cpp.o.d"
+  "/root/repo/src/core/solvers_builtin.cpp" "CMakeFiles/dts_core.dir/src/core/solvers_builtin.cpp.o" "gcc" "CMakeFiles/dts_core.dir/src/core/solvers_builtin.cpp.o.d"
+  "/root/repo/src/core/task.cpp" "CMakeFiles/dts_core.dir/src/core/task.cpp.o" "gcc" "CMakeFiles/dts_core.dir/src/core/task.cpp.o.d"
+  "/root/repo/src/core/validate.cpp" "CMakeFiles/dts_core.dir/src/core/validate.cpp.o" "gcc" "CMakeFiles/dts_core.dir/src/core/validate.cpp.o.d"
+  "/root/repo/src/exact/branch_bound.cpp" "CMakeFiles/dts_core.dir/src/exact/branch_bound.cpp.o" "gcc" "CMakeFiles/dts_core.dir/src/exact/branch_bound.cpp.o.d"
+  "/root/repo/src/exact/exhaustive.cpp" "CMakeFiles/dts_core.dir/src/exact/exhaustive.cpp.o" "gcc" "CMakeFiles/dts_core.dir/src/exact/exhaustive.cpp.o.d"
+  "/root/repo/src/exact/lower_bounds.cpp" "CMakeFiles/dts_core.dir/src/exact/lower_bounds.cpp.o" "gcc" "CMakeFiles/dts_core.dir/src/exact/lower_bounds.cpp.o.d"
+  "/root/repo/src/exact/window_solver.cpp" "CMakeFiles/dts_core.dir/src/exact/window_solver.cpp.o" "gcc" "CMakeFiles/dts_core.dir/src/exact/window_solver.cpp.o.d"
+  "/root/repo/src/heuristics/bin_packing.cpp" "CMakeFiles/dts_core.dir/src/heuristics/bin_packing.cpp.o" "gcc" "CMakeFiles/dts_core.dir/src/heuristics/bin_packing.cpp.o.d"
+  "/root/repo/src/heuristics/corrections.cpp" "CMakeFiles/dts_core.dir/src/heuristics/corrections.cpp.o" "gcc" "CMakeFiles/dts_core.dir/src/heuristics/corrections.cpp.o.d"
+  "/root/repo/src/heuristics/dynamic.cpp" "CMakeFiles/dts_core.dir/src/heuristics/dynamic.cpp.o" "gcc" "CMakeFiles/dts_core.dir/src/heuristics/dynamic.cpp.o.d"
+  "/root/repo/src/heuristics/gilmore_gomory.cpp" "CMakeFiles/dts_core.dir/src/heuristics/gilmore_gomory.cpp.o" "gcc" "CMakeFiles/dts_core.dir/src/heuristics/gilmore_gomory.cpp.o.d"
+  "/root/repo/src/heuristics/local_search.cpp" "CMakeFiles/dts_core.dir/src/heuristics/local_search.cpp.o" "gcc" "CMakeFiles/dts_core.dir/src/heuristics/local_search.cpp.o.d"
+  "/root/repo/src/heuristics/static_orders.cpp" "CMakeFiles/dts_core.dir/src/heuristics/static_orders.cpp.o" "gcc" "CMakeFiles/dts_core.dir/src/heuristics/static_orders.cpp.o.d"
+  "/root/repo/src/reduction/three_partition.cpp" "CMakeFiles/dts_core.dir/src/reduction/three_partition.cpp.o" "gcc" "CMakeFiles/dts_core.dir/src/reduction/three_partition.cpp.o.d"
+  "/root/repo/src/report/csv.cpp" "CMakeFiles/dts_core.dir/src/report/csv.cpp.o" "gcc" "CMakeFiles/dts_core.dir/src/report/csv.cpp.o.d"
+  "/root/repo/src/report/gantt.cpp" "CMakeFiles/dts_core.dir/src/report/gantt.cpp.o" "gcc" "CMakeFiles/dts_core.dir/src/report/gantt.cpp.o.d"
+  "/root/repo/src/report/schedule_stats.cpp" "CMakeFiles/dts_core.dir/src/report/schedule_stats.cpp.o" "gcc" "CMakeFiles/dts_core.dir/src/report/schedule_stats.cpp.o.d"
+  "/root/repo/src/report/stats.cpp" "CMakeFiles/dts_core.dir/src/report/stats.cpp.o" "gcc" "CMakeFiles/dts_core.dir/src/report/stats.cpp.o.d"
+  "/root/repo/src/report/table.cpp" "CMakeFiles/dts_core.dir/src/report/table.cpp.o" "gcc" "CMakeFiles/dts_core.dir/src/report/table.cpp.o.d"
+  "/root/repo/src/support/parallel_for.cpp" "CMakeFiles/dts_core.dir/src/support/parallel_for.cpp.o" "gcc" "CMakeFiles/dts_core.dir/src/support/parallel_for.cpp.o.d"
+  "/root/repo/src/support/rng.cpp" "CMakeFiles/dts_core.dir/src/support/rng.cpp.o" "gcc" "CMakeFiles/dts_core.dir/src/support/rng.cpp.o.d"
+  "/root/repo/src/threestage/three_stage.cpp" "CMakeFiles/dts_core.dir/src/threestage/three_stage.cpp.o" "gcc" "CMakeFiles/dts_core.dir/src/threestage/three_stage.cpp.o.d"
+  "/root/repo/src/trace/ccsd_generator.cpp" "CMakeFiles/dts_core.dir/src/trace/ccsd_generator.cpp.o" "gcc" "CMakeFiles/dts_core.dir/src/trace/ccsd_generator.cpp.o.d"
+  "/root/repo/src/trace/hf_generator.cpp" "CMakeFiles/dts_core.dir/src/trace/hf_generator.cpp.o" "gcc" "CMakeFiles/dts_core.dir/src/trace/hf_generator.cpp.o.d"
+  "/root/repo/src/trace/machine.cpp" "CMakeFiles/dts_core.dir/src/trace/machine.cpp.o" "gcc" "CMakeFiles/dts_core.dir/src/trace/machine.cpp.o.d"
+  "/root/repo/src/trace/tensor_tasks.cpp" "CMakeFiles/dts_core.dir/src/trace/tensor_tasks.cpp.o" "gcc" "CMakeFiles/dts_core.dir/src/trace/tensor_tasks.cpp.o.d"
+  "/root/repo/src/trace/trace_io.cpp" "CMakeFiles/dts_core.dir/src/trace/trace_io.cpp.o" "gcc" "CMakeFiles/dts_core.dir/src/trace/trace_io.cpp.o.d"
+  "/root/repo/src/trace/transforms.cpp" "CMakeFiles/dts_core.dir/src/trace/transforms.cpp.o" "gcc" "CMakeFiles/dts_core.dir/src/trace/transforms.cpp.o.d"
+  "/root/repo/src/trace/workload_stats.cpp" "CMakeFiles/dts_core.dir/src/trace/workload_stats.cpp.o" "gcc" "CMakeFiles/dts_core.dir/src/trace/workload_stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,47 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/auto_recommend_test.cpp" "CMakeFiles/dts_tests.dir/tests/auto_recommend_test.cpp.o" "gcc" "CMakeFiles/dts_tests.dir/tests/auto_recommend_test.cpp.o.d"
+  "/root/repo/tests/batch_test.cpp" "CMakeFiles/dts_tests.dir/tests/batch_test.cpp.o" "gcc" "CMakeFiles/dts_tests.dir/tests/batch_test.cpp.o.d"
+  "/root/repo/tests/bin_packing_test.cpp" "CMakeFiles/dts_tests.dir/tests/bin_packing_test.cpp.o" "gcc" "CMakeFiles/dts_tests.dir/tests/bin_packing_test.cpp.o.d"
+  "/root/repo/tests/cli_test.cpp" "CMakeFiles/dts_tests.dir/tests/cli_test.cpp.o" "gcc" "CMakeFiles/dts_tests.dir/tests/cli_test.cpp.o.d"
+  "/root/repo/tests/corrections_test.cpp" "CMakeFiles/dts_tests.dir/tests/corrections_test.cpp.o" "gcc" "CMakeFiles/dts_tests.dir/tests/corrections_test.cpp.o.d"
+  "/root/repo/tests/dynamic_test.cpp" "CMakeFiles/dts_tests.dir/tests/dynamic_test.cpp.o" "gcc" "CMakeFiles/dts_tests.dir/tests/dynamic_test.cpp.o.d"
+  "/root/repo/tests/exact_test.cpp" "CMakeFiles/dts_tests.dir/tests/exact_test.cpp.o" "gcc" "CMakeFiles/dts_tests.dir/tests/exact_test.cpp.o.d"
+  "/root/repo/tests/gilmore_gomory_test.cpp" "CMakeFiles/dts_tests.dir/tests/gilmore_gomory_test.cpp.o" "gcc" "CMakeFiles/dts_tests.dir/tests/gilmore_gomory_test.cpp.o.d"
+  "/root/repo/tests/johnson_test.cpp" "CMakeFiles/dts_tests.dir/tests/johnson_test.cpp.o" "gcc" "CMakeFiles/dts_tests.dir/tests/johnson_test.cpp.o.d"
+  "/root/repo/tests/local_search_test.cpp" "CMakeFiles/dts_tests.dir/tests/local_search_test.cpp.o" "gcc" "CMakeFiles/dts_tests.dir/tests/local_search_test.cpp.o.d"
+  "/root/repo/tests/lower_bounds_test.cpp" "CMakeFiles/dts_tests.dir/tests/lower_bounds_test.cpp.o" "gcc" "CMakeFiles/dts_tests.dir/tests/lower_bounds_test.cpp.o.d"
+  "/root/repo/tests/paper_examples_test.cpp" "CMakeFiles/dts_tests.dir/tests/paper_examples_test.cpp.o" "gcc" "CMakeFiles/dts_tests.dir/tests/paper_examples_test.cpp.o.d"
+  "/root/repo/tests/property_test.cpp" "CMakeFiles/dts_tests.dir/tests/property_test.cpp.o" "gcc" "CMakeFiles/dts_tests.dir/tests/property_test.cpp.o.d"
+  "/root/repo/tests/reduction_test.cpp" "CMakeFiles/dts_tests.dir/tests/reduction_test.cpp.o" "gcc" "CMakeFiles/dts_tests.dir/tests/reduction_test.cpp.o.d"
+  "/root/repo/tests/registry_test.cpp" "CMakeFiles/dts_tests.dir/tests/registry_test.cpp.o" "gcc" "CMakeFiles/dts_tests.dir/tests/registry_test.cpp.o.d"
+  "/root/repo/tests/report_test.cpp" "CMakeFiles/dts_tests.dir/tests/report_test.cpp.o" "gcc" "CMakeFiles/dts_tests.dir/tests/report_test.cpp.o.d"
+  "/root/repo/tests/rng_test.cpp" "CMakeFiles/dts_tests.dir/tests/rng_test.cpp.o" "gcc" "CMakeFiles/dts_tests.dir/tests/rng_test.cpp.o.d"
+  "/root/repo/tests/schedule_stats_test.cpp" "CMakeFiles/dts_tests.dir/tests/schedule_stats_test.cpp.o" "gcc" "CMakeFiles/dts_tests.dir/tests/schedule_stats_test.cpp.o.d"
+  "/root/repo/tests/schedule_test.cpp" "CMakeFiles/dts_tests.dir/tests/schedule_test.cpp.o" "gcc" "CMakeFiles/dts_tests.dir/tests/schedule_test.cpp.o.d"
+  "/root/repo/tests/simulate_test.cpp" "CMakeFiles/dts_tests.dir/tests/simulate_test.cpp.o" "gcc" "CMakeFiles/dts_tests.dir/tests/simulate_test.cpp.o.d"
+  "/root/repo/tests/solver_test.cpp" "CMakeFiles/dts_tests.dir/tests/solver_test.cpp.o" "gcc" "CMakeFiles/dts_tests.dir/tests/solver_test.cpp.o.d"
+  "/root/repo/tests/static_orders_test.cpp" "CMakeFiles/dts_tests.dir/tests/static_orders_test.cpp.o" "gcc" "CMakeFiles/dts_tests.dir/tests/static_orders_test.cpp.o.d"
+  "/root/repo/tests/task_instance_test.cpp" "CMakeFiles/dts_tests.dir/tests/task_instance_test.cpp.o" "gcc" "CMakeFiles/dts_tests.dir/tests/task_instance_test.cpp.o.d"
+  "/root/repo/tests/three_stage_test.cpp" "CMakeFiles/dts_tests.dir/tests/three_stage_test.cpp.o" "gcc" "CMakeFiles/dts_tests.dir/tests/three_stage_test.cpp.o.d"
+  "/root/repo/tests/trace_test.cpp" "CMakeFiles/dts_tests.dir/tests/trace_test.cpp.o" "gcc" "CMakeFiles/dts_tests.dir/tests/trace_test.cpp.o.d"
+  "/root/repo/tests/transforms_test.cpp" "CMakeFiles/dts_tests.dir/tests/transforms_test.cpp.o" "gcc" "CMakeFiles/dts_tests.dir/tests/transforms_test.cpp.o.d"
+  "/root/repo/tests/validate_test.cpp" "CMakeFiles/dts_tests.dir/tests/validate_test.cpp.o" "gcc" "CMakeFiles/dts_tests.dir/tests/validate_test.cpp.o.d"
+  "/root/repo/tests/window_solver_test.cpp" "CMakeFiles/dts_tests.dir/tests/window_solver_test.cpp.o" "gcc" "CMakeFiles/dts_tests.dir/tests/window_solver_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/CMakeFiles/dts_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

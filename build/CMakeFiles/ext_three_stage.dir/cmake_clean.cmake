@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_three_stage.dir/bench/ext_three_stage.cpp.o"
+  "CMakeFiles/ext_three_stage.dir/bench/ext_three_stage.cpp.o.d"
+  "ext_three_stage"
+  "ext_three_stage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_three_stage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

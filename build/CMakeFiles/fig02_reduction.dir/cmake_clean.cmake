@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_reduction.dir/bench/fig02_reduction.cpp.o"
+  "CMakeFiles/fig02_reduction.dir/bench/fig02_reduction.cpp.o.d"
+  "fig02_reduction"
+  "fig02_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

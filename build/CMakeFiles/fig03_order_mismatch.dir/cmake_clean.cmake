@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_order_mismatch.dir/bench/fig03_order_mismatch.cpp.o"
+  "CMakeFiles/fig03_order_mismatch.dir/bench/fig03_order_mismatch.cpp.o.d"
+  "fig03_order_mismatch"
+  "fig03_order_mismatch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_order_mismatch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

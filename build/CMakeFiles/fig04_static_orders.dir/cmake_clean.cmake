@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_static_orders.dir/bench/fig04_static_orders.cpp.o"
+  "CMakeFiles/fig04_static_orders.dir/bench/fig04_static_orders.cpp.o.d"
+  "fig04_static_orders"
+  "fig04_static_orders.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_static_orders.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

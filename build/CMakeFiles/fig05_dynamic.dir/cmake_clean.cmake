@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_dynamic.dir/bench/fig05_dynamic.cpp.o"
+  "CMakeFiles/fig05_dynamic.dir/bench/fig05_dynamic.cpp.o.d"
+  "fig05_dynamic"
+  "fig05_dynamic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_dynamic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_corrections.dir/bench/fig06_corrections.cpp.o"
+  "CMakeFiles/fig06_corrections.dir/bench/fig06_corrections.cpp.o.d"
+  "fig06_corrections"
+  "fig06_corrections.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_corrections.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_milp_comparison.dir/bench/fig07_milp_comparison.cpp.o"
+  "CMakeFiles/fig07_milp_comparison.dir/bench/fig07_milp_comparison.cpp.o.d"
+  "fig07_milp_comparison"
+  "fig07_milp_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_milp_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_workload.dir/bench/fig08_workload.cpp.o"
+  "CMakeFiles/fig08_workload.dir/bench/fig08_workload.cpp.o.d"
+  "fig08_workload"
+  "fig08_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_hf_heuristics.dir/bench/fig09_hf_heuristics.cpp.o"
+  "CMakeFiles/fig09_hf_heuristics.dir/bench/fig09_hf_heuristics.cpp.o.d"
+  "fig09_hf_heuristics"
+  "fig09_hf_heuristics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_hf_heuristics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

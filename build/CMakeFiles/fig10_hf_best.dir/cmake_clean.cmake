@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_hf_best.dir/bench/fig10_hf_best.cpp.o"
+  "CMakeFiles/fig10_hf_best.dir/bench/fig10_hf_best.cpp.o.d"
+  "fig10_hf_best"
+  "fig10_hf_best.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_hf_best.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

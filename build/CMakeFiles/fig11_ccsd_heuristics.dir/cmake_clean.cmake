@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_ccsd_heuristics.dir/bench/fig11_ccsd_heuristics.cpp.o"
+  "CMakeFiles/fig11_ccsd_heuristics.dir/bench/fig11_ccsd_heuristics.cpp.o.d"
+  "fig11_ccsd_heuristics"
+  "fig11_ccsd_heuristics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_ccsd_heuristics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_ccsd_best.dir/bench/fig12_ccsd_best.cpp.o"
+  "CMakeFiles/fig12_ccsd_best.dir/bench/fig12_ccsd_best.cpp.o.d"
+  "fig12_ccsd_best"
+  "fig12_ccsd_best.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_ccsd_best.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_batches.dir/bench/fig13_batches.cpp.o"
+  "CMakeFiles/fig13_batches.dir/bench/fig13_batches.cpp.o.d"
+  "fig13_batches"
+  "fig13_batches.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_batches.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpu_offload.dir/examples/gpu_offload.cpp.o"
+  "CMakeFiles/gpu_offload.dir/examples/gpu_offload.cpp.o.d"
+  "gpu_offload"
+  "gpu_offload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpu_offload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/np_hardness.dir/examples/np_hardness.cpp.o"
+  "CMakeFiles/np_hardness.dir/examples/np_hardness.cpp.o.d"
+  "np_hardness"
+  "np_hardness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/np_hardness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

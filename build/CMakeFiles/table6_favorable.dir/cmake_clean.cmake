@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_favorable.dir/bench/table6_favorable.cpp.o"
+  "CMakeFiles/table6_favorable.dir/bench/table6_favorable.cpp.o.d"
+  "table6_favorable"
+  "table6_favorable.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_favorable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for table6_favorable.
+# This may be replaced when dependencies are built.
