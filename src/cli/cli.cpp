@@ -24,11 +24,16 @@ constexpr std::string_view kUsage =
     "usage: dts <command> [args]\n"
     "commands:\n"
     "  generate  --kernel=HF|CCSD [--seed=N] [--min-tasks=N] [--max-tasks=N]\n"
-    "            --out=FILE          synthesize a process trace\n"
-    "  info      FILE                bounds and workload characteristics\n"
+    "            [--machine=cascade|pcie-gpu|duplex-pcie]\n"
+    "            [--writeback-fraction=F]\n"
+    "            --out=FILE          synthesize a process trace; a duplex\n"
+    "                                machine emits bidirectional traces with\n"
+    "                                D2H result write-back tasks\n"
+    "  info      FILE [--channels]   bounds and workload characteristics\n"
+    "                                (--channels adds the per-engine loads)\n"
     "  solve     FILE [--solver=NAME] (--capacity=B | --capacity-factor=F)\n"
     "            [--batch=N] [--iterations=N] [--seed=N] [--time-limit=S]\n"
-    "            [--gantt]           run any registered solver\n"
+    "            [--machine=NAME] [--gantt]  run any registered solver\n"
     "  schedule  FILE --heuristic=NAME (--capacity=B | --capacity-factor=F)\n"
     "            [--batch=N] [--gantt]  run one heuristic, print the analysis\n"
     "  compare   FILE (--capacity=B | --capacity-factor=F)\n"
@@ -94,6 +99,15 @@ Instance load(const CommandLine& cmd) {
   return read_trace_file(cmd.positional.front());
 }
 
+/// Resolves --machine against the named presets.
+MachineModel resolve_machine(const std::string& name) {
+  if (name == "cascade") return MachineModel::cascade();
+  if (name == "pcie-gpu") return MachineModel::pcie_gpu();
+  if (name == "duplex-pcie") return MachineModel::duplex_pcie();
+  throw std::invalid_argument("unknown machine '" + name +
+                              "' (use cascade, pcie-gpu or duplex-pcie)");
+}
+
 /// Builds the SolveRequest shared by every scheduling command.
 SolveRequest make_request(const CommandLine& cmd) {
   SolveRequest request;
@@ -105,6 +119,9 @@ SolveRequest make_request(const CommandLine& cmd) {
       throw std::invalid_argument("--batch must be a positive integer");
     }
     request.batch_size = batch;
+  }
+  if (const auto machine = cmd.flag("machine")) {
+    request.channels = resolve_machine(*machine).channel_set();
   }
   return request;
 }
@@ -143,11 +160,30 @@ int cmd_generate(const CommandLine& cmd, std::ostream& out) {
   if (config.min_tasks == 0 || config.min_tasks > config.max_tasks) {
     throw std::invalid_argument("need 0 < min-tasks <= max-tasks");
   }
+  if (const auto machine = cmd.flag("machine")) {
+    config.machine = resolve_machine(*machine);
+  }
+  if (const auto fraction = cmd.flag("writeback-fraction")) {
+    if (!config.machine.duplex()) {
+      throw std::invalid_argument(
+          "--writeback-fraction only applies to a duplex machine "
+          "(--machine=duplex-pcie)");
+    }
+    config.writeback_fraction =
+        parse_double_flag("writeback-fraction", *fraction);
+    if (!(config.writeback_fraction > 0.0) ||
+        config.writeback_fraction > 1.0) {
+      throw std::invalid_argument("--writeback-fraction must be in (0, 1]");
+    }
+  }
   const Instance inst = generate_trace(kernel, config);
   write_trace_file(*out_file, inst);
   out << "wrote " << inst.size() << " " << to_string(kernel) << " tasks to "
-      << *out_file << " (mc = " << format_si_bytes(inst.min_capacity())
-      << ")\n";
+      << *out_file << " (mc = " << format_si_bytes(inst.min_capacity());
+  if (!inst.single_channel()) {
+    out << ", " << inst.num_channels() << " channels";
+  }
+  out << ")\n";
   return 0;
 }
 
@@ -157,7 +193,15 @@ int cmd_info(const CommandLine& cmd, std::ostream& out) {
   const InstanceStats stats = inst.stats();
   TextTable table({"quantity", "value"});
   table.add_row({"tasks", std::to_string(stats.n_tasks)});
+  table.add_row({"channels", std::to_string(inst.num_channels())});
   table.add_row({"sum comm", format_seconds(wc.bounds.sum_comm)});
+  if (cmd.flag("channels") && !inst.single_channel()) {
+    for (std::size_t ch = 0; ch < wc.bounds.sum_comm_per_channel.size();
+         ++ch) {
+      table.add_row({"  channel " + std::to_string(ch) + " comm",
+                     format_seconds(wc.bounds.sum_comm_per_channel[ch])});
+    }
+  }
   table.add_row({"sum comp", format_seconds(wc.bounds.sum_comp)});
   table.add_row({"OMIM lower bound", format_seconds(wc.bounds.omim_lower)});
   table.add_row({"sequential upper bound",

@@ -100,7 +100,7 @@ Schedule schedule_in_batches(HeuristicId id, const Instance& inst, Mem capacity,
     throw std::invalid_argument("schedule_in_batches: batch_size must be > 0");
   }
   const std::vector<TaskId> submission = inst.submission_order();
-  ExecutionState state(capacity);
+  ExecutionState state(capacity, inst.num_channels());
   Schedule sched(inst.size());
 
   for (std::size_t lo = 0; lo < submission.size(); lo += batch_size) {
@@ -126,6 +126,7 @@ BatchAutoResult schedule_in_batches_auto(
   BatchAutoResult result;
   result.schedule = Schedule(inst.size());
   ExecutionState::Snapshot carried;
+  carried.comm_available.assign(inst.num_channels(), 0.0);
 
   for (std::size_t lo = 0; lo < submission.size(); lo += batch_size) {
     const std::size_t hi = std::min(lo + batch_size, submission.size());

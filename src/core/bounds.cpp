@@ -8,13 +8,29 @@ namespace dts {
 
 Bounds compute_bounds(const Instance& inst) {
   Bounds b;
+  b.sum_comm_per_channel.assign(inst.num_channels(), 0.0);
   for (const Task& t : inst) {
     b.sum_comm += t.comm;
     b.sum_comp += t.comp;
+    b.sum_comm_per_channel[t.channel] += t.comm;
   }
-  b.area_lower = std::max(b.sum_comm, b.sum_comp);
+  const Time max_channel_load = *std::max_element(
+      b.sum_comm_per_channel.begin(), b.sum_comm_per_channel.end());
+  b.area_lower = std::max(max_channel_load, b.sum_comp);
   b.sequential_upper = b.sum_comm + b.sum_comp;
-  b.omim_lower = omim(inst);
+  if (inst.single_channel()) {
+    b.omim_lower = omim(inst);
+  } else {
+    // Johnson's optimality argument needs one link; per channel, the
+    // induced sub-schedule is an unconstrained flowshop schedule of that
+    // channel's tasks, so each sub-instance optimum is a valid bound.
+    b.omim_lower = b.area_lower;
+    for (ChannelId ch = 0; ch < inst.num_channels(); ++ch) {
+      const std::vector<TaskId> ids = inst.tasks_on_channel(ch);
+      if (ids.empty()) continue;
+      b.omim_lower = std::max(b.omim_lower, omim(inst.subset(ids)));
+    }
+  }
   return b;
 }
 

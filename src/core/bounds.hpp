@@ -8,16 +8,31 @@
 ///                        relaxing the memory constraint only helps;
 ///   sequential upper bd  sum comm + sum comp — zero overlap.
 /// Every feasible memory-constrained makespan lies in [omim, sequential].
+///
+/// Multi-channel instances generalize each lower bound per copy engine:
+/// the area bound takes the *largest* single-channel transfer load (each
+/// engine must carry its own load sequentially, but engines overlap), and
+/// the OMIM bound is the max over channels of the Johnson optimum of that
+/// channel's tasks — the schedule induced on one channel's tasks is a
+/// feasible unconstrained flowshop schedule for them, so each per-channel
+/// optimum lower-bounds the full makespan. With one channel both reduce
+/// exactly to the paper's definitions. The sequential upper bound stays
+/// valid for any channel count (full serialization never uses a second
+/// engine concurrently).
+
+#include <vector>
 
 #include "core/instance.hpp"
 
 namespace dts {
 
 struct Bounds {
-  Time sum_comm = 0.0;
+  Time sum_comm = 0.0;        ///< all channels combined
   Time sum_comp = 0.0;
-  Time area_lower = 0.0;      ///< max(sum_comm, sum_comp)
-  Time omim_lower = 0.0;      ///< Johnson optimum, >= area_lower
+  /// Per-channel transfer load; size = the instance's channel count.
+  std::vector<Time> sum_comm_per_channel;
+  Time area_lower = 0.0;      ///< max(largest channel load, sum_comp)
+  Time omim_lower = 0.0;      ///< per-channel Johnson max, >= area_lower
   Time sequential_upper = 0.0;///< sum_comm + sum_comp
 
   /// Fraction of the sequential time that perfect scheduling could hide:

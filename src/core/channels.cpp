@@ -1,0 +1,35 @@
+#include "core/channels.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dts {
+
+ChannelSet::ChannelSet(std::vector<ChannelSpec> channels)
+    : channels_(std::move(channels)) {
+  if (channels_.empty()) {
+    throw std::invalid_argument("ChannelSet: need at least one channel");
+  }
+  for (const ChannelSpec& c : channels_) {
+    if (!(std::isfinite(c.bandwidth) && c.bandwidth > 0.0)) {
+      throw std::invalid_argument("ChannelSet: channel '" + c.name +
+                                  "' has a non-positive bandwidth");
+    }
+    if (!(std::isfinite(c.latency) && c.latency >= 0.0)) {
+      throw std::invalid_argument("ChannelSet: channel '" + c.name +
+                                  "' has a negative latency");
+    }
+  }
+}
+
+ChannelSet ChannelSet::single_link(double bandwidth, double latency) {
+  return ChannelSet{ChannelSpec{"link", bandwidth, latency}};
+}
+
+ChannelSet ChannelSet::duplex(double h2d_bandwidth, double d2h_bandwidth,
+                              double latency) {
+  return ChannelSet{ChannelSpec{"H2D", h2d_bandwidth, latency},
+                    ChannelSpec{"D2H", d2h_bandwidth, latency}};
+}
+
+}  // namespace dts

@@ -1,0 +1,81 @@
+#pragma once
+
+/// \file channels.hpp
+/// The channel model of the execution core: a ChannelSet is the ordered
+/// collection of copy engines a machine exposes for data transfers. The
+/// paper's testbed is the degenerate one-element set (a single half-duplex
+/// link shared by every transfer); its conclusion singles out CPU<->GPU
+/// offload — one DMA engine per direction — as the natural next target,
+/// which is the two-element duplex set. Arbitrary named links (NVLink
+/// peers, NICs, ...) are additional elements.
+///
+/// Each task of an Instance names the channel its transfer occupies
+/// (Task::channel); the engine keeps one availability clock per channel,
+/// so transfers on distinct channels overlap while transfers sharing a
+/// channel serialize. The compute resource and the memory capacity stay
+/// global. A single-channel set reproduces the paper's semantics exactly.
+
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace dts {
+
+/// One copy engine: a name for reports plus the affine transfer cost model
+/// the trace generators use to convert bytes into channel occupancy time.
+/// The scheduling core itself only consumes per-task transfer *times*; the
+/// bandwidth/latency pair matters when synthesizing or calibrating traces.
+struct ChannelSpec {
+  std::string name = "link";
+  double bandwidth = 1.2e9;  ///< bytes/s moved once the transfer started
+  double latency = 2.0e-6;   ///< per-transfer startup cost (s)
+
+  /// Time this engine needs to move `bytes`.
+  [[nodiscard]] Time transfer_time(double bytes) const noexcept {
+    return latency + bytes / bandwidth;
+  }
+};
+
+/// Immutable ordered set of copy engines; ChannelId indexes into it.
+/// Always holds at least one channel (a default-constructed set is the
+/// paper's single link).
+class ChannelSet {
+ public:
+  /// The paper's machine: one link.
+  ChannelSet() : channels_{ChannelSpec{}} {}
+
+  /// Throws std::invalid_argument for an empty list or non-positive /
+  /// non-finite bandwidths and latencies.
+  explicit ChannelSet(std::vector<ChannelSpec> channels);
+  ChannelSet(std::initializer_list<ChannelSpec> channels)
+      : ChannelSet(std::vector<ChannelSpec>(channels)) {}
+
+  /// One channel with the given cost model.
+  [[nodiscard]] static ChannelSet single_link(double bandwidth,
+                                              double latency);
+
+  /// Two independent engines, one per direction ("H2D"/"D2H"), as in a
+  /// full-duplex PCIe or NVLink attachment.
+  [[nodiscard]] static ChannelSet duplex(double h2d_bandwidth,
+                                         double d2h_bandwidth,
+                                         double latency);
+
+  [[nodiscard]] std::size_t size() const noexcept { return channels_.size(); }
+  [[nodiscard]] const ChannelSpec& operator[](ChannelId id) const {
+    return channels_.at(id);
+  }
+  [[nodiscard]] auto begin() const noexcept { return channels_.begin(); }
+  [[nodiscard]] auto end() const noexcept { return channels_.end(); }
+
+  /// True for the one-element set — the configuration whose semantics (and
+  /// solver support) match the original paper exactly.
+  [[nodiscard]] bool single() const noexcept { return channels_.size() == 1; }
+
+ private:
+  std::vector<ChannelSpec> channels_;
+};
+
+}  // namespace dts

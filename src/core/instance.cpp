@@ -12,6 +12,10 @@ Instance::Instance(std::vector<Task> tasks) : tasks_(std::move(tasks)) {
                                   std::to_string(i) + ": " + to_string(tasks_[i]));
     }
     tasks_[i].id = static_cast<TaskId>(i);
+    // is_valid caps channel below kMaxChannels; widen anyway so no input
+    // could ever wrap the +1.
+    num_channels_ = std::max(
+        num_channels_, static_cast<std::size_t>(tasks_[i].channel) + 1);
   }
 }
 
@@ -39,17 +43,27 @@ Mem Instance::min_capacity() const noexcept {
   return mc;
 }
 
-InstanceStats Instance::stats() const noexcept {
+InstanceStats Instance::stats() const {
   InstanceStats s;
   s.n_tasks = tasks_.size();
+  s.sum_comm_per_channel.assign(num_channels_, 0.0);
   for (const Task& t : tasks_) {
     s.sum_comm += t.comm;
     s.sum_comp += t.comp;
+    s.sum_comm_per_channel[t.channel] += t.comm;
     s.total_mem += t.mem;
     s.max_mem = std::max(s.max_mem, t.mem);
     if (t.compute_intensive()) ++s.n_compute_intensive;
   }
   return s;
+}
+
+std::vector<TaskId> Instance::tasks_on_channel(ChannelId ch) const {
+  std::vector<TaskId> ids;
+  for (const Task& t : tasks_) {
+    if (t.channel == ch) ids.push_back(t.id);
+  }
+  return ids;
 }
 
 Instance Instance::subset(std::span<const TaskId> ids) const {

@@ -15,8 +15,11 @@ namespace dts {
 
 /// Aggregate workload characteristics (Figure 8 of the paper).
 struct InstanceStats {
-  Time sum_comm = 0.0;           ///< Total link occupancy.
+  Time sum_comm = 0.0;           ///< Total transfer occupancy, all channels.
   Time sum_comp = 0.0;           ///< Total compute occupancy.
+  /// Transfer occupancy per copy engine; size = the instance's channel
+  /// count (a single-link instance has one entry equal to sum_comm).
+  std::vector<Time> sum_comm_per_channel;
   Mem max_mem = 0.0;             ///< mc: minimum feasible memory capacity.
   Mem total_mem = 0.0;           ///< Sum of all memory requirements.
   std::size_t n_compute_intensive = 0;  ///< Tasks with CP >= CM.
@@ -71,8 +74,25 @@ class Instance {
   /// [mc, 2mc].
   [[nodiscard]] Mem min_capacity() const noexcept;
 
+  /// Number of copy engines the instance's tasks reference: 1 + the
+  /// largest Task::channel (1 for an empty instance). The execution engine
+  /// keeps one availability clock per channel; a value of 1 is exactly the
+  /// paper's single-link model.
+  [[nodiscard]] std::size_t num_channels() const noexcept {
+    return num_channels_;
+  }
+
+  /// True when every transfer shares one link — the configuration all
+  /// original paper results (and the exact pair-order solvers) assume.
+  [[nodiscard]] bool single_channel() const noexcept {
+    return num_channels_ == 1;
+  }
+
+  /// Ids of the tasks whose transfer runs on `ch`, in submission order.
+  [[nodiscard]] std::vector<TaskId> tasks_on_channel(ChannelId ch) const;
+
   /// Aggregate characteristics; O(n), not cached (instances are small).
-  [[nodiscard]] InstanceStats stats() const noexcept;
+  [[nodiscard]] InstanceStats stats() const;
 
   /// New instance containing only `ids`, in the given order, with ids
   /// renumbered to positions. Used by the batch scheduler and the window
@@ -84,6 +104,7 @@ class Instance {
 
  private:
   std::vector<Task> tasks_;
+  std::size_t num_channels_ = 1;
 };
 
 }  // namespace dts

@@ -6,9 +6,13 @@
 
 namespace dts {
 
-ExecutionState::ExecutionState(Mem capacity) : capacity_(capacity) {
+ExecutionState::ExecutionState(Mem capacity, std::size_t n_channels)
+    : capacity_(capacity), comm_avail_(n_channels, 0.0) {
   if (!(capacity >= 0.0)) {  // also rejects NaN
     throw std::invalid_argument("ExecutionState: capacity must be >= 0");
+  }
+  if (n_channels == 0) {
+    throw std::invalid_argument("ExecutionState: need at least one channel");
   }
 }
 
@@ -18,8 +22,22 @@ ExecutionState::ExecutionState(Mem capacity, Time comm_available,
   if (comm_available < 0.0 || comp_available < 0.0) {
     throw std::invalid_argument("ExecutionState: negative availability");
   }
-  now_ = comm_avail_ = comm_available;
+  now_ = comm_avail_[0] = comm_available;
   comp_avail_ = comp_available;
+}
+
+Time ExecutionState::comm_available() const noexcept {
+  return *std::max_element(comm_avail_.begin(), comm_avail_.end());
+}
+
+Time ExecutionState::Snapshot::single_link_available() const {
+  if (comm_available.size() != 1) {
+    throw std::logic_error(
+        "Snapshot::single_link_available: snapshot carries " +
+        std::to_string(comm_available.size()) +
+        " channels; caller assumes the paper's one-link model");
+  }
+  return comm_available.front();
 }
 
 ExecutionState::Snapshot ExecutionState::snapshot() const {
@@ -32,7 +50,21 @@ ExecutionState::Snapshot ExecutionState::snapshot() const {
 }
 
 ExecutionState::ExecutionState(Mem capacity, const Snapshot& snap)
-    : ExecutionState(capacity, snap.comm_available, snap.comp_available) {
+    : ExecutionState(capacity, snap.comm_available.size()) {
+  for (Time avail : snap.comm_available) {
+    if (avail < 0.0) {
+      throw std::invalid_argument("ExecutionState: negative availability");
+    }
+  }
+  if (snap.comp_available < 0.0) {
+    throw std::invalid_argument("ExecutionState: negative availability");
+  }
+  comm_avail_ = snap.comm_available;
+  comp_avail_ = snap.comp_available;
+  // The decision instant resumes at the earliest instant a new transfer
+  // could be issued: the first free channel. Single-channel snapshots make
+  // this the link clock, exactly the original model.
+  now_ = *std::min_element(comm_avail_.begin(), comm_avail_.end());
   for (const auto& [comp_end, mem] : snap.active) {
     // Entries already finished relative to the snapshot's clock carry no
     // memory; keep the rest in flight.
@@ -47,10 +79,6 @@ bool ExecutionState::fits(const Task& t) const noexcept {
   return approx_leq(used_ + t.mem, capacity_);
 }
 
-Time ExecutionState::induced_comp_idle(const Task& t) const noexcept {
-  return std::max(0.0, now_ + t.comm - comp_avail_);
-}
-
 void ExecutionState::release_until(Time t) {
   while (!active_.empty() && approx_leq(active_.front().comp_end, t)) {
     used_ -= active_.front().mem;
@@ -60,14 +88,27 @@ void ExecutionState::release_until(Time t) {
   if (active_.empty()) used_ = 0.0;  // snap away accumulated rounding
 }
 
+void ExecutionState::advance_decision_instant() {
+  now_ = std::max(now_, *std::min_element(comm_avail_.begin(),
+                                          comm_avail_.end()));
+  release_until(now_);
+}
+
 TaskTimes ExecutionState::start(const Task& t) {
+  const Time comm_start = earliest_comm_start(t);  // checks the channel id
+  if (comm_start > now_) {
+    // The task's engine is busy past the decision instant (only possible
+    // with several channels); memory finishing in the gap is released
+    // before the footprint check.
+    now_ = comm_start;
+    release_until(now_);
+  }
   if (!fits(t)) {
     throw std::logic_error("ExecutionState::start: task " + std::to_string(t.id) +
                            " does not fit (used " + std::to_string(used_) +
                            " + " + std::to_string(t.mem) + " > capacity " +
                            std::to_string(capacity_) + ")");
   }
-  const Time comm_start = now_;
   const Time comm_end = comm_start + t.comm;
   const Time comp_start = std::max(comm_end, comp_avail_);
   const Time comp_end = comp_start + t.comp;
@@ -76,10 +117,9 @@ TaskTimes ExecutionState::start(const Task& t) {
   active_.push_back(ActiveTask{comp_end, t.mem});
   std::push_heap(active_.begin(), active_.end(), std::greater<>{});
 
-  comm_avail_ = comm_end;
+  comm_avail_[t.channel] = comm_end;
   comp_avail_ = comp_end;
-  now_ = comm_end;
-  release_until(now_);
+  advance_decision_instant();
   return TaskTimes{comm_start, comp_start};
 }
 
@@ -94,7 +134,7 @@ bool ExecutionState::advance_to_next_release() {
 
 void ExecutionState::advance_to(Time t) {
   now_ = std::max(now_, t);
-  comm_avail_ = std::max(comm_avail_, now_);
+  for (Time& avail : comm_avail_) avail = std::max(avail, now_);
   release_until(now_);
 }
 
@@ -120,7 +160,7 @@ Schedule simulate_order(const Instance& inst, std::span<const TaskId> order,
   if (order.size() != inst.size()) {
     throw std::invalid_argument("simulate_order: order must cover all tasks");
   }
-  ExecutionState state(capacity);
+  ExecutionState state(capacity, inst.num_channels());
   Schedule sched(inst.size());
   execute_order(inst, order, state, sched);
   return sched;

@@ -1,24 +1,31 @@
 #pragma once
 
 /// \file simulate.hpp
-/// Earliest-start execution engine for problem DT.
+/// Earliest-start execution engine for problem DT and its multi-channel
+/// generalization.
 ///
-/// The engine models the two resources of the paper's system (one transfer
-/// link, one processing unit) plus the bounded memory of the target node.
-/// All schedulers in the library drive the same engine, which guarantees
-/// they share identical timing semantics:
+/// The engine models the machine's copy engines (one availability clock
+/// per channel — the paper's system is the one-channel case), one
+/// processing unit, and the bounded memory of the target node. All
+/// schedulers in the library drive the same engine, which guarantees they
+/// share identical timing semantics:
 ///
 ///  * a transfer may start at time t only if the memory still held by
 ///    tasks whose transfer started and whose computation has not finished
 ///    (half-open intervals) leaves room for the new task;
+///  * a transfer starts at the earliest instant >= the current decision
+///    instant at which its own channel is free; transfers on distinct
+///    channels overlap, transfers sharing a channel serialize;
 ///  * SCOMP(i) = max(SCOMM(i) + CM_i, processor-free time) — computations
 ///    are served in the order they are issued to the engine;
 ///  * when nothing fits, time advances to the next computation-finish
 ///    event (the only instants at which memory is released).
 ///
-/// These rules reproduce the paper's worked schedules (Figs. 4-6) exactly;
-/// see tests/paper_examples_test.cpp.
+/// With a single channel these rules reproduce the paper's worked
+/// schedules (Figs. 4-6) exactly; see tests/paper_examples_test.cpp and
+/// the parity suite in tests/channels_test.cpp.
 
+#include <algorithm>
 #include <span>
 #include <utility>
 #include <vector>
@@ -28,24 +35,42 @@
 
 namespace dts {
 
-/// Mutable execution state of the two resources and the memory node.
-/// Decision instants only move forward. A fresh state starts at time 0
-/// with both resources idle and no memory in use; batch schedulers reuse
-/// one state across batches to model a runtime that keeps issuing work.
+/// Mutable execution state of the copy engines, the processor and the
+/// memory node. Decision instants only move forward. A fresh state starts
+/// at time 0 with every resource idle and no memory in use; batch
+/// schedulers reuse one state across batches to model a runtime that
+/// keeps issuing work.
 class ExecutionState {
  public:
   /// Capacity may be kInfiniteMem for the unconstrained (OMIM) case.
-  explicit ExecutionState(Mem capacity);
+  /// `n_channels` is the number of copy engines (>= 1); tasks name their
+  /// engine via Task::channel.
+  explicit ExecutionState(Mem capacity, std::size_t n_channels = 1);
 
-  /// State carried over from a previous scheduling round: the resources
-  /// become free at the given instants (memory starts empty; callers that
-  /// carry in-flight tasks use start() replay instead).
+  /// State carried over from a previous scheduling round: the single link
+  /// and the processor become free at the given instants (memory starts
+  /// empty; callers that carry in-flight tasks use start() replay
+  /// instead). One-channel only — snapshots carry multi-channel clocks.
   ExecutionState(Mem capacity, Time comm_available, Time comp_available);
 
-  /// The current decision instant for the link (never decreases).
+  /// The current decision instant (never decreases): the earliest instant
+  /// at which a new transfer could still be issued.
   [[nodiscard]] Time now() const noexcept { return now_; }
 
-  [[nodiscard]] Time comm_available() const noexcept { return comm_avail_; }
+  [[nodiscard]] std::size_t num_channels() const noexcept {
+    return comm_avail_.size();
+  }
+
+  /// Instant at which channel `ch` is free for the next transfer.
+  [[nodiscard]] Time comm_available(ChannelId ch) const {
+    return comm_avail_.at(ch);
+  }
+
+  /// Instant at which *every* channel is free — for a single-channel state
+  /// this is the link clock of the original model (the value batch
+  /// schedulers carry across rounds and exact solvers tie-break on).
+  [[nodiscard]] Time comm_available() const noexcept;
+
   [[nodiscard]] Time comp_available() const noexcept { return comp_avail_; }
   [[nodiscard]] Mem capacity() const noexcept { return capacity_; }
 
@@ -59,14 +84,27 @@ class ExecutionState {
   /// Would `t` fit in memory if its transfer started right now?
   [[nodiscard]] bool fits(const Task& t) const noexcept;
 
-  /// Idle time this task would inject on the processor if its transfer
-  /// started now: max(0, now + CM - processor-free). The dynamic and
-  /// correction heuristics minimize this quantity over candidates (§4.2).
-  [[nodiscard]] Time induced_comp_idle(const Task& t) const noexcept;
+  /// Earliest instant the transfer of `t` could start if issued now:
+  /// max(now, its channel's free time). Throws std::out_of_range when the
+  /// task names a channel this state does not have.
+  [[nodiscard]] Time earliest_comm_start(const Task& t) const {
+    return std::max(now_, comm_avail_.at(t.channel));
+  }
 
-  /// Starts the transfer of `t` at the current instant and queues its
-  /// computation. Advances the decision instant to the end of the
-  /// transfer. Requires fits(t); throws std::logic_error otherwise.
+  /// Idle time this task would inject on the processor if issued now:
+  /// max(0, start + CM - processor-free). The dynamic and correction
+  /// heuristics minimize this quantity over candidates (§4.2); with
+  /// multiple channels it naturally interleaves directions, preferring a
+  /// task whose engine is free over one whose engine is busy.
+  [[nodiscard]] Time induced_comp_idle(const Task& t) const {
+    return std::max(0.0, earliest_comm_start(t) + t.comm - comp_avail_);
+  }
+
+  /// Starts the transfer of `t` at the earliest feasible instant on its
+  /// channel and queues its computation. Advances the decision instant to
+  /// the earliest instant any channel is free again. Requires fits(t);
+  /// throws std::logic_error otherwise, std::out_of_range for an unknown
+  /// channel.
   TaskTimes start(const Task& t);
 
   /// Advances the decision instant to the next computation-finish event,
@@ -75,21 +113,29 @@ class ExecutionState {
   bool advance_to_next_release();
 
   /// Advances the decision instant to max(now, t), releasing memory of
-  /// every computation finishing up to that instant.
+  /// every computation finishing up to that instant and raising every
+  /// channel clock to it.
   void advance_to(Time t);
 
-  /// Value snapshot of the engine: resource availability plus the
+  /// Value snapshot of the engine: per-channel availability plus the
   /// (comp-end, memory) pairs of in-flight tasks. Used by the window
   /// solver to explore candidate continuations and by the pair-order
   /// branch & bound to start mid-stream.
   struct Snapshot {
-    Time comm_available = 0.0;
+    /// One clock per channel; a default snapshot is a fresh single link.
+    std::vector<Time> comm_available = {0.0};
     Time comp_available = 0.0;
     std::vector<std::pair<Time, Mem>> active;  ///< comp end, held memory
+
+    /// The single link's clock; throws std::logic_error when the snapshot
+    /// actually carries several channels (callers that assume the paper's
+    /// one-link model use this accessor so the assumption is checked).
+    [[nodiscard]] Time single_link_available() const;
   };
   [[nodiscard]] Snapshot snapshot() const;
 
-  /// Rebuilds an engine from a snapshot (same capacity semantics).
+  /// Rebuilds an engine from a snapshot (same capacity semantics); the
+  /// channel count is the snapshot's clock count.
   ExecutionState(Mem capacity, const Snapshot& snap);
 
  private:
@@ -103,10 +149,12 @@ class ExecutionState {
   };
 
   void release_until(Time t);
+  /// now_ := max(now_, earliest channel-free instant), releasing memory.
+  void advance_decision_instant();
 
   Mem capacity_;
   Time now_ = 0.0;
-  Time comm_avail_ = 0.0;
+  std::vector<Time> comm_avail_;  // one availability clock per channel
   Time comp_avail_ = 0.0;
   Mem used_ = 0.0;
   std::vector<ActiveTask> active_;  // binary min-heap via std::*_heap
@@ -114,12 +162,13 @@ class ExecutionState {
 
 /// Executes `order` (task ids of `inst`) as a permutation schedule on an
 /// existing state, writing start times into `out`. Each transfer starts at
-/// the earliest feasible instant. Throws std::invalid_argument when a task
-/// can never fit (mem > capacity).
+/// the earliest feasible instant on its task's channel. Throws
+/// std::invalid_argument when a task can never fit (mem > capacity).
 void execute_order(const Instance& inst, std::span<const TaskId> order,
                    ExecutionState& state, Schedule& out);
 
-/// Convenience: run `order` on a fresh state; returns the schedule.
+/// Convenience: run `order` on a fresh state with one clock per channel of
+/// `inst`; returns the schedule.
 [[nodiscard]] Schedule simulate_order(const Instance& inst,
                                       std::span<const TaskId> order,
                                       Mem capacity);

@@ -143,6 +143,14 @@ SolveResult solve(const SolveRequest& request, std::string_view solver,
   if (request.batch_size && *request.batch_size == 0) {
     throw std::invalid_argument("solve: batch_size must be > 0");
   }
+  if (request.channels &&
+      request.instance.num_channels() > request.channels->size()) {
+    throw std::invalid_argument(
+        "solve: the instance references channel " +
+        std::to_string(request.instance.num_channels() - 1) +
+        " but the request's channel set has only " +
+        std::to_string(request.channels->size()) + " engine(s)");
+  }
   const std::unique_ptr<Solver> impl = SolverRegistry::global().make(solver);
   const auto start = std::chrono::steady_clock::now();
   SolveResult result = impl->run(request, options);

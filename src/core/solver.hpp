@@ -35,6 +35,7 @@
 #include <string_view>
 #include <vector>
 
+#include "core/channels.hpp"
 #include "core/instance.hpp"
 #include "core/schedule.hpp"
 #include "exact/lower_bounds.hpp"
@@ -45,10 +46,18 @@ namespace dts {
 /// the batched runtime (the solver only sees `batch_size` tasks at a time,
 /// paper §6.3). Solvers that cannot honor a batch window reject requests
 /// that set one.
+///
+/// `channels` describes the machine's copy engines. When unset, the
+/// channel set is implied by the instance (tasks' highest channel id);
+/// single-channel requests follow the exact legacy semantics of the
+/// paper's model. When set, it must cover every channel the instance's
+/// tasks reference — solve() rejects a request whose tasks name engines
+/// the machine does not have — and its names label per-channel reporting.
 struct SolveRequest {
   Instance instance;
   Mem capacity = 0.0;
   std::optional<std::size_t> batch_size;
+  std::optional<ChannelSet> channels;
 };
 
 /// Cooperative cancellation. A default-constructed token can never fire;

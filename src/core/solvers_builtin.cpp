@@ -207,10 +207,15 @@ class LocalSearchSolver final : public Solver {
     LocalSearchOptions search;
     search.max_iterations = options.max_iterations;
     search.seed = options.seed;
+    const StopCondition stop(options);
+    if (stop.armed()) {
+      search.should_stop = [&stop] { return stop.stop_requested(); };
+    }
     LocalSearchResult res =
         schedule_local_search(request.instance, request.capacity, search);
     SolveResult result;
     result.winner = "local-search";
+    result.cancelled = res.stopped;
     result.schedule = std::move(res.schedule);
     result.makespan = res.makespan;
     result.evaluations = res.iterations;
@@ -309,13 +314,27 @@ class WindowedSolver final : public Solver {
   }
 
   [[nodiscard]] SolveResult run(const SolveRequest& request,
-                                const SolveOptions& /*options*/) const override {
+                                const SolveOptions& options) const override {
     reject_batch(request, name());
+    WindowOptions window = options_;
+    const StopCondition stop(options);
+    if (stop.armed()) {
+      window.should_stop = [&stop] { return stop.stop_requested(); };
+    }
+    WindowedResult res =
+        solve_windowed(request.instance, request.capacity, window);
     SolveResult result;
-    result.schedule =
-        schedule_windowed(request.instance, request.capacity, options_);
+    result.schedule = std::move(res.schedule);
     result.makespan = makespan_of(request, result.schedule);
     result.winner = window_heuristic_name(options_);
+    result.cancelled = res.stopped;
+    result.evaluations = res.windows_optimized;
+    if (res.stopped) {
+      result.detail = "deadline/cancellation: tail scheduled in submission "
+                      "order after " +
+                      std::to_string(res.windows_optimized) +
+                      " optimized windows";
+    }
     return result;
   }
 

@@ -13,13 +13,16 @@ Time Task::acceleration() const noexcept {
 bool is_valid(const Task& t) noexcept {
   return std::isfinite(t.comm) && t.comm >= 0.0 &&  //
          std::isfinite(t.comp) && t.comp >= 0.0 &&  //
-         std::isfinite(t.mem) && t.mem >= 0.0;
+         std::isfinite(t.mem) && t.mem >= 0.0 &&    //
+         t.channel < kMaxChannels;
 }
 
 std::string to_string(const Task& t) {
   std::ostringstream os;
   os << (t.name.empty() ? "T" + std::to_string(t.id) : t.name)  //
-     << "[comm=" << t.comm << " comp=" << t.comp << " mem=" << t.mem << "]";
+     << "[comm=" << t.comm << " comp=" << t.comp << " mem=" << t.mem;
+  if (t.channel != 0) os << " ch=" << t.channel;
+  os << "]";
   return os.str();
 }
 

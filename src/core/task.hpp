@@ -13,16 +13,20 @@ namespace dts {
 
 /// One independent task.
 ///
-/// Following the paper, output data is not modelled: outputs are assumed
-/// negligible or stored in a preallocated separate buffer (Section 3), so a
-/// task is fully described by its input-transfer time `comm` (CM_i), its
-/// computation time `comp` (CP_i) and the memory `mem` (MC_i) its input
-/// occupies on the target node.
+/// Following the paper, a task is described by its transfer time `comm`
+/// (CM_i), its computation time `comp` (CP_i) and the memory `mem` (MC_i)
+/// held from the start of the transfer to the end of the computation. The
+/// multi-channel extension adds `channel`: the copy engine the transfer
+/// occupies. The paper's single-link model is channel 0 everywhere; a
+/// duplex CPU<->GPU setup routes input fetches over kChannelH2D and result
+/// write-back tasks (comp = 0, memory = the output buffer) over
+/// kChannelD2H, so opposite directions overlap.
 struct Task {
   TaskId id = kInvalidTask;  ///< Index within the owning Instance.
-  Time comm = 0.0;           ///< CM_i: input transfer time on the link.
+  Time comm = 0.0;           ///< CM_i: transfer time on its channel.
   Time comp = 0.0;           ///< CP_i: processing time on the compute unit.
   Mem mem = 0.0;             ///< MC_i: bytes held from comm start to comp end.
+  ChannelId channel = 0;     ///< Copy engine serving the transfer.
   std::string name;          ///< Optional label (used by traces & reports).
 
   /// Paper terminology: a task is compute intensive iff CP_i >= CM_i,
@@ -40,8 +44,9 @@ struct Task {
   [[nodiscard]] Time acceleration() const noexcept;
 };
 
-/// Validity: finite, non-negative fields. Tasks with comm == 0 and mem == 0
-/// are legal (Table 2's task A); negative or NaN durations are not.
+/// Validity: finite, non-negative fields and a channel below kMaxChannels.
+/// Tasks with comm == 0 and mem == 0 are legal (Table 2's task A);
+/// negative or NaN durations are not.
 [[nodiscard]] bool is_valid(const Task& t) noexcept;
 
 /// Human-readable one-liner, e.g. "T3[comm=2.5 comp=4 mem=176128]".

@@ -29,6 +29,25 @@ using TaskId = std::uint32_t;
 /// Sentinel for "no task".
 inline constexpr TaskId kInvalidTask = std::numeric_limits<TaskId>::max();
 
+/// Index of a copy engine (transfer channel) within a ChannelSet. The
+/// paper's testbed has a single half-duplex link (channel 0); CPU<->GPU
+/// offload adds one engine per direction.
+using ChannelId = std::uint32_t;
+
+/// The single link of the paper's model, and the host-to-device engine of
+/// a duplex channel set.
+inline constexpr ChannelId kChannelH2D = 0;
+
+/// The device-to-host copy engine of a duplex channel set (result
+/// write-back traffic).
+inline constexpr ChannelId kChannelD2H = 1;
+
+/// Upper bound (exclusive) on channel ids a valid Task may name —
+/// generous for any realistic machine, and small enough that the
+/// per-channel vectors sized from `max channel + 1` stay cheap even for
+/// adversarial inputs.
+inline constexpr ChannelId kMaxChannels = 256;
+
 /// Positive infinity, used for unbounded memory capacities and as the
 /// identity of min-reductions over makespans.
 inline constexpr Time kInfiniteTime = std::numeric_limits<Time>::infinity();

@@ -110,10 +110,21 @@ ValidationReport validate_schedule(const Instance& inst, const Schedule& sched,
   }
   if (!out.empty()) return report;  // start-time checks below need complete data
 
-  check_resource_exclusive(
-      sched.comm_order(), [&](TaskId i) { return sched[i].comm_start; },
-      [&](TaskId i) { return inst[i].comm; }, Violation::Kind::kCommOverlap,
-      "link", out);
+  // Transfers serialize per copy engine: check each channel's intervals
+  // independently so opposite-direction (H2D/D2H) transfers may overlap.
+  const std::vector<TaskId> comm_order = sched.comm_order();
+  for (ChannelId ch = 0; ch < inst.num_channels(); ++ch) {
+    std::vector<TaskId> on_channel;
+    for (TaskId i : comm_order) {
+      if (inst[i].channel == ch) on_channel.push_back(i);
+    }
+    const std::string label =
+        inst.single_channel() ? "link" : "channel " + std::to_string(ch);
+    check_resource_exclusive(
+        std::move(on_channel), [&](TaskId i) { return sched[i].comm_start; },
+        [&](TaskId i) { return inst[i].comm; }, Violation::Kind::kCommOverlap,
+        label.c_str(), out);
+  }
   check_resource_exclusive(
       sched.comp_order(), [&](TaskId i) { return sched[i].comp_start; },
       [&](TaskId i) { return inst[i].comp; }, Violation::Kind::kCompOverlap,

@@ -4,7 +4,10 @@
 /// Feasibility checker for schedules of problem DT. This is the ground
 /// truth every heuristic, exact solver and property test is held against:
 /// a schedule is feasible iff
-///   (1) communication intervals are pairwise disjoint (one link),
+///   (1) communication intervals are pairwise disjoint *per channel* —
+///       transfers sharing a copy engine serialize, transfers on distinct
+///       engines (e.g. H2D vs D2H) may overlap; the paper's model is the
+///       one-channel case,
 ///   (2) computation intervals are pairwise disjoint (one processor),
 ///   (3) each task computes only after its transfer completed,
 ///   (4) at every instant, the memory held by tasks whose transfer has
@@ -26,7 +29,7 @@ namespace dts {
 struct Violation {
   enum class Kind {
     kUnscheduledTask,
-    kCommOverlap,       ///< two transfers overlap on the link
+    kCommOverlap,       ///< two transfers overlap on the same channel
     kCompOverlap,       ///< two computations overlap on the processor
     kComputeBeforeData, ///< SCOMP(i) < SCOMM(i) + CM(i)
     kMemoryExceeded,    ///< active memory above capacity

@@ -24,8 +24,13 @@ std::optional<Time> simulate_pair_order(const Instance& inst,
   if (comm_order.size() != n || comp_order.size() != n || out.size() != n) {
     throw std::invalid_argument("simulate_pair_order: size mismatch");
   }
+  if (!inst.single_channel()) {
+    throw std::invalid_argument(
+        "simulate_pair_order: the pair-order model assumes one link; "
+        "multi-channel instances use the simulation-based solvers");
+  }
 
-  Time link_free = initial.comm_available;
+  Time link_free = initial.single_link_available();
   Time proc_free = initial.comp_available;
 
   // Memory bookkeeping. A task holds memory from its transfer start; its
@@ -125,6 +130,12 @@ PairOrderResult best_pair_order(const Instance& inst, Mem capacity,
         "best_pair_order: instance too large (n=" + std::to_string(inst.size()) +
         ", max=" + std::to_string(options.max_n) + ")");
   }
+  if (!inst.single_channel()) {
+    throw std::invalid_argument(
+        "best_pair_order: the pair-order branch & bound models a single "
+        "link; use exhaustive/window:K (common order) or the heuristics "
+        "for multi-channel instances");
+  }
   for (const Task& t : inst) {
     if (definitely_less(capacity, t.mem)) {
       throw std::invalid_argument("best_pair_order: task " +
@@ -201,7 +212,7 @@ PairOrderResult best_pair_order(const Instance& inst, Mem capacity,
   // Reconstruct the final engine state of the winning pair.
   {
     ExecutionState::Snapshot snap;
-    Time link_free = initial.comm_available;
+    Time link_free = initial.single_link_available();
     Time proc_free = initial.comp_available;
     for (TaskId id = 0; id < inst.size(); ++id) {
       link_free =
@@ -209,7 +220,7 @@ PairOrderResult best_pair_order(const Instance& inst, Mem capacity,
       proc_free =
           std::max(proc_free, result.schedule[id].comp_start + inst[id].comp);
     }
-    snap.comm_available = link_free;
+    snap.comm_available = {link_free};
     snap.comp_available = proc_free;
     snap.active = initial.active;
     for (TaskId id = 0; id < inst.size(); ++id) {
@@ -217,7 +228,7 @@ PairOrderResult best_pair_order(const Instance& inst, Mem capacity,
                                inst[id].mem);
     }
     std::erase_if(snap.active, [&](const std::pair<Time, Mem>& a) {
-      return approx_leq(a.first, snap.comm_available);
+      return approx_leq(a.first, link_free);
     });
     result.final_state = std::move(snap);
   }

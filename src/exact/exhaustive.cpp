@@ -40,9 +40,10 @@ ExhaustiveResult best_common_order(const Instance& inst, Mem capacity,
   Time best_link_free = kInfiniteTime;
   do {
     ++result.permutations_tried;
-    ExecutionState state = options.initial_state
-                               ? ExecutionState(capacity, *options.initial_state)
-                               : ExecutionState(capacity);
+    ExecutionState state =
+        options.initial_state
+            ? ExecutionState(capacity, *options.initial_state)
+            : ExecutionState(capacity, inst.num_channels());
     Schedule sched(inst.size());
     execute_order(inst, order, state, sched);
     const Time ms = sched.makespan(inst);

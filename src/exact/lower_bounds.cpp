@@ -6,7 +6,12 @@
 
 namespace dts {
 
-CapacityAwareBounds capacity_aware_bounds(const Instance& inst, Mem capacity) {
+namespace {
+
+/// The single-link bounds of the original model, applied to `inst` as if
+/// its tasks shared one engine. Valid whenever they actually do (the whole
+/// instance, or one channel's sub-instance).
+CapacityAwareBounds one_link_bounds(const Instance& inst, Mem capacity) {
   CapacityAwareBounds b;
   b.omim = omim(inst);
   if (inst.empty()) return b;
@@ -31,6 +36,38 @@ CapacityAwareBounds capacity_aware_bounds(const Instance& inst, Mem capacity) {
   b.head_plus_comp = min_comm + sum_comp;
   b.combined = std::max({b.omim, b.big_task_serial, b.link_plus_tail,
                          b.head_plus_comp});
+  return b;
+}
+
+}  // namespace
+
+CapacityAwareBounds capacity_aware_bounds(const Instance& inst, Mem capacity) {
+  if (inst.single_channel()) return one_link_bounds(inst, capacity);
+
+  // Multi-channel: each channel's induced sub-schedule is feasible for the
+  // sub-instance under the same capacity, so every single-link bound of a
+  // sub-instance bounds the full makespan. The memory-serialization and
+  // processor-load arguments are channel-oblivious and stay global.
+  CapacityAwareBounds b;
+  Time sum_comp = 0.0;
+  Time min_comm = kInfiniteTime;
+  for (const Task& t : inst) {
+    sum_comp += t.comp;
+    min_comm = std::min(min_comm, t.comm);
+    if (definitely_less(capacity, 2.0 * t.mem)) {
+      b.big_task_serial += t.comm + t.comp;
+    }
+  }
+  if (!inst.empty()) b.head_plus_comp = min_comm + sum_comp;
+  for (ChannelId ch = 0; ch < inst.num_channels(); ++ch) {
+    const std::vector<TaskId> ids = inst.tasks_on_channel(ch);
+    if (ids.empty()) continue;
+    const CapacityAwareBounds sub = one_link_bounds(inst.subset(ids), capacity);
+    b.omim = std::max(b.omim, sub.omim);
+    b.link_plus_tail = std::max(b.link_plus_tail, sub.link_plus_tail);
+  }
+  b.combined = std::max(
+      {b.omim, b.big_task_serial, b.link_plus_tail, b.head_plus_comp});
   return b;
 }
 

@@ -19,6 +19,12 @@
 /// The combined bound is the max of all of these and OMIM. Benches report
 /// it next to achieved makespans to show how much of the remaining gap is
 /// provably unavoidable.
+///
+/// Multi-channel instances apply the link-local arguments (OMIM, link
+/// load + tail) per copy engine — the schedule induced on one channel's
+/// tasks is feasible for that sub-instance, so its bounds transfer — and
+/// keep the memory-serialization and processor-side arguments global.
+/// With one channel the result is bit-identical to the original bounds.
 
 #include "core/instance.hpp"
 

@@ -15,45 +15,91 @@ std::string window_heuristic_name(const WindowOptions& options) {
   return name;
 }
 
-Schedule schedule_windowed(const Instance& inst, Mem capacity,
-                           const WindowOptions& options) {
+WindowedResult solve_windowed(const Instance& inst, Mem capacity,
+                              const WindowOptions& options) {
   if (options.window == 0 || options.window > 8) {
     throw std::invalid_argument(
-        "schedule_windowed: window size must be in [1, 8]");
+        "solve_windowed: window size must be in [1, 8]");
+  }
+  if (options.mode == WindowMode::kPairOrder && !inst.single_channel()) {
+    // Rejected here rather than deep in best_pair_order: a window whose
+    // tasks all share channel 0 would pass the per-window guard and then
+    // trip over the carried multi-channel snapshot with an internal-bug
+    // style error.
+    throw std::invalid_argument(
+        "solve_windowed: the pair-order window mode models a single link; "
+        "use the common-order mode (window:K) for multi-channel instances");
   }
   const std::vector<TaskId> submission = inst.submission_order();
-  Schedule out(inst.size());
+  WindowedResult result;
+  result.schedule = Schedule(inst.size());
   ExecutionState::Snapshot carried;  // fresh start
+  carried.comm_available.assign(inst.num_channels(), 0.0);
+
+  const auto stop_requested = [&options] {
+    return options.should_stop && options.should_stop();
+  };
 
   for (std::size_t lo = 0; lo < submission.size(); lo += options.window) {
     const std::size_t hi =
         std::min(lo + options.window, submission.size());
     const std::span<const TaskId> ids(&submission[lo], hi - lo);
-    const Instance sub = inst.subset(ids);
 
+    if (!result.stopped && stop_requested()) result.stopped = true;
+    if (result.stopped) {
+      // Deadline or cancellation: drain the remaining tasks in submission
+      // order so the caller still receives a complete feasible schedule.
+      const std::span<const TaskId> rest(&submission[lo],
+                                         submission.size() - lo);
+      ExecutionState state(capacity, carried);
+      execute_order(inst, rest, state, result.schedule);
+      return result;
+    }
+
+    const Instance sub = inst.subset(ids);
     if (options.mode == WindowMode::kCommonOrder) {
       ExhaustiveOptions ex;
       ex.max_n = options.window;
       ex.initial_state = carried;
       const ExhaustiveResult res = best_common_order(sub, capacity, ex);
       for (TaskId local = 0; local < sub.size(); ++local) {
-        out.set(ids[local], res.schedule[local].comm_start,
-                res.schedule[local].comp_start);
+        result.schedule.set(ids[local], res.schedule[local].comm_start,
+                            res.schedule[local].comp_start);
       }
       carried = res.final_state;
     } else {
       PairOrderOptions po;
       po.max_n = options.window;
       po.initial_state = carried;
+      po.should_stop = options.should_stop;
       const PairOrderResult res = best_pair_order(sub, capacity, po);
+      if (res.stopped && res.makespan == kInfiniteTime) {
+        // Stopped before this window produced an incumbent: fall back to
+        // submission order for it (and, via the check above, the rest).
+        result.stopped = true;
+        ExecutionState state(capacity, carried);
+        execute_order(inst, ids, state, result.schedule);
+        carried = state.snapshot();
+        continue;
+      }
       for (TaskId local = 0; local < sub.size(); ++local) {
-        out.set(ids[local], res.schedule[local].comm_start,
-                res.schedule[local].comp_start);
+        result.schedule.set(ids[local], res.schedule[local].comm_start,
+                            res.schedule[local].comp_start);
       }
       carried = res.final_state;
+      if (res.stopped) {
+        result.stopped = true;
+        continue;  // incumbent kept; remaining windows drain above
+      }
     }
+    ++result.windows_optimized;
   }
-  return out;
+  return result;
+}
+
+Schedule schedule_windowed(const Instance& inst, Mem capacity,
+                           const WindowOptions& options) {
+  return solve_windowed(inst, capacity, options).schedule;
 }
 
 }  // namespace dts

@@ -15,6 +15,7 @@
 ///  * kPairOrder — the branch & bound over independent comm/comp orders,
 ///    exactly the MILP's solution space (k!^2 candidates, still exact).
 
+#include <functional>
 #include <string>
 
 #include "core/instance.hpp"
@@ -30,6 +31,21 @@ enum class WindowMode {
 struct WindowOptions {
   std::size_t window = 4;                       ///< the k in lp.k
   WindowMode mode = WindowMode::kCommonOrder;
+  /// Polled at every window boundary (and inside the pair-order search).
+  /// When it returns true, the remaining tasks are drained in submission
+  /// order from the carried engine state, so the result is always a
+  /// complete feasible schedule.
+  std::function<bool()> should_stop;
+};
+
+/// schedule_windowed plus how the run ended.
+struct WindowedResult {
+  Schedule schedule;
+  /// should_stop fired; the tail of the schedule is the submission-order
+  /// fallback rather than window-optimized.
+  bool stopped = false;
+  /// Windows that were actually optimized before any stop.
+  std::size_t windows_optimized = 0;
 };
 
 /// Display name used in the figures, e.g. "lp.4".
@@ -37,8 +53,13 @@ struct WindowOptions {
 
 /// Schedules the instance window-by-window, optimally within each window
 /// given the state carried from the previous ones. Throws
-/// std::invalid_argument for window == 0, window > 8 (search explosion) or
-/// a task that exceeds `capacity`.
+/// std::invalid_argument for window == 0, window > 8 (search explosion), a
+/// task that exceeds `capacity`, or a multi-channel instance in pair-order
+/// mode (the pair-order model assumes one link).
+[[nodiscard]] WindowedResult solve_windowed(const Instance& inst, Mem capacity,
+                                            const WindowOptions& options);
+
+/// Convenience: the schedule of solve_windowed.
 [[nodiscard]] Schedule schedule_windowed(const Instance& inst, Mem capacity,
                                          const WindowOptions& options);
 

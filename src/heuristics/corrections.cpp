@@ -60,7 +60,7 @@ Schedule schedule_corrected_with_order(const Instance& inst,
     throw std::invalid_argument(
         "schedule_corrected_with_order: base order must cover all tasks");
   }
-  ExecutionState state(capacity);
+  ExecutionState state(capacity, inst.num_channels());
   Schedule sched(inst.size());
   execute_corrected(inst, base_order, criterion, state, sched);
   return sched;

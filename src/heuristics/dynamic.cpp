@@ -78,7 +78,7 @@ void execute_dynamic(const Instance& inst, std::span<const TaskId> ids,
 
 Schedule schedule_dynamic(const Instance& inst, DynamicCriterion criterion,
                           Mem capacity) {
-  ExecutionState state(capacity);
+  ExecutionState state(capacity, inst.num_channels());
   Schedule sched(inst.size());
   const std::vector<TaskId> ids = inst.submission_order();
   execute_dynamic(inst, ids, criterion, state, sched);

@@ -64,8 +64,15 @@ LocalSearchResult improve_order(const Instance& inst, Mem capacity,
   std::vector<TaskId> candidate;
   std::size_t since_improve = 0;
   std::size_t degenerate_draws = 0;
+  const auto stop_requested = [&options] {
+    return options.should_stop && options.should_stop();
+  };
   while (result.iterations < options.max_iterations &&
          since_improve < options.max_no_improve) {
+    if (stop_requested()) {
+      result.stopped = true;
+      break;
+    }
     candidate = result.order;
     if (!random_move(rng, candidate)) {
       // Degenerate draw (i == j); bounded retries keep the loop finite.
@@ -89,6 +96,15 @@ LocalSearchResult improve_order(const Instance& inst, Mem capacity,
 
 LocalSearchResult schedule_local_search(const Instance& inst, Mem capacity,
                                         const LocalSearchOptions& options) {
+  if (options.should_stop && options.should_stop()) {
+    // Already past the deadline: skip the auto-scheduler seed pass too
+    // (it simulates every registered heuristic) and return the cheapest
+    // complete feasible schedule, the submission order.
+    LocalSearchResult result =
+        improve_order(inst, capacity, inst.submission_order(), options);
+    result.stopped = true;
+    return result;
+  }
   const AutoScheduleResult seed = auto_schedule(inst, capacity);
   const std::vector<TaskId> initial = seed.schedule.comm_order();
   return improve_order(inst, capacity, initial, options);

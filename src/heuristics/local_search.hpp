@@ -12,6 +12,7 @@
 /// The ablation bench (bench/ablation_candidate_rule) quantifies how much
 /// headroom the paper's one-shot heuristics leave on the table.
 
+#include <functional>
 #include <span>
 #include <vector>
 
@@ -24,6 +25,12 @@ struct LocalSearchOptions {
   std::size_t max_iterations = 20000;  ///< candidate evaluations
   std::size_t max_no_improve = 2000;   ///< stop after this many rejections
   std::uint64_t seed = 1;
+  /// Polled between candidate evaluations (and once on entry — an
+  /// already-fired token makes schedule_local_search skip even the
+  /// auto-scheduler seed pass and return the submission-order schedule).
+  /// When it returns true the search stops and the best-so-far order is
+  /// returned.
+  std::function<bool()> should_stop;
 };
 
 struct LocalSearchResult {
@@ -33,6 +40,7 @@ struct LocalSearchResult {
   Time makespan = 0.0;
   std::size_t iterations = 0;    ///< candidates evaluated
   std::size_t improvements = 0;  ///< accepted moves
+  bool stopped = false;          ///< should_stop cut the search short
 
   /// Relative gain over the seed order.
   [[nodiscard]] double improvement() const noexcept {

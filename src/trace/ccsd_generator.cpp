@@ -5,6 +5,7 @@
 #include "support/rng.hpp"
 #include "trace/generators.hpp"
 #include "trace/tensor_tasks.hpp"
+#include "trace/transforms.hpp"
 
 namespace dts {
 
@@ -76,11 +77,21 @@ Instance generate_ccsd_trace(const TraceConfig& config) {
 }
 
 Instance generate_trace(ChemistryKernel kernel, const TraceConfig& config) {
+  Instance inst;
   switch (kernel) {
-    case ChemistryKernel::kHartreeFock: return generate_hf_trace(config);
-    case ChemistryKernel::kCoupledClusterSD: return generate_ccsd_trace(config);
+    case ChemistryKernel::kHartreeFock:
+      inst = generate_hf_trace(config);
+      break;
+    case ChemistryKernel::kCoupledClusterSD:
+      inst = generate_ccsd_trace(config);
+      break;
   }
-  return Instance{};
+  if (config.machine.duplex()) {
+    const ChannelSet channels = config.machine.channel_set();
+    inst = with_writeback(inst, channels[kChannelD2H],
+                          config.writeback_fraction);
+  }
+  return inst;
 }
 
 std::vector<Instance> generate_process_traces(ChemistryKernel kernel,

@@ -40,6 +40,11 @@ struct TraceConfig {
   std::size_t min_tasks = 300;
   std::size_t max_tasks = 800;
   MachineModel machine = MachineModel::cascade();
+  /// Fraction of each task's input footprint written back to the host
+  /// when the machine is duplex (see below). HF accumulates one result
+  /// tile against two fetched ones; CCSD amplitude slabs return near
+  /// full-size — 0.4 is a serviceable middle ground for both.
+  double writeback_fraction = 0.4;
 };
 
 /// One HF process trace (Fock-build fetches + small resident contractions).
@@ -49,7 +54,12 @@ struct TraceConfig {
 /// compute-rich amplitude contractions).
 [[nodiscard]] Instance generate_ccsd_trace(const TraceConfig& config);
 
-/// Dispatch on the kernel.
+/// Dispatch on the kernel. A duplex machine (MachineModel::duplex() —
+/// e.g. MachineModel::duplex_pcie()) makes the trace bidirectional: each
+/// fetched task is followed by a result write-back task on kChannelD2H
+/// sized by TraceConfig::writeback_fraction, so input and output traffic
+/// can overlap on the two engines. Half-duplex machines reproduce the
+/// original single-channel traces bit-for-bit.
 [[nodiscard]] Instance generate_trace(ChemistryKernel kernel,
                                       const TraceConfig& config);
 

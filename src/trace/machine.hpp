@@ -9,6 +9,7 @@
 /// decisions; the absolute magnitudes simply keep reported times in a
 /// realistic microsecond-to-second range.
 
+#include "core/channels.hpp"
 #include "core/types.hpp"
 
 namespace dts {
@@ -25,10 +26,32 @@ struct MachineModel {
   /// Per-core streaming bandwidth for memory-bound kernels such as tensor
   /// transposes (bytes/s, counting read+write traffic once each).
   double memory_bandwidth = 4.0e9;
+  /// Device-to-host copy engine bandwidth (bytes/s). Zero means the
+  /// machine is half duplex — every transfer shares the one link above,
+  /// the paper's model. A positive value adds a second, independent
+  /// channel for result write-back (the conclusion's CPU->GPU case: one
+  /// DMA engine per direction).
+  double d2h_bandwidth = 0.0;
 
-  /// Time to move `bytes` across the link.
+  /// True when the machine exposes a dedicated D2H engine.
+  [[nodiscard]] bool duplex() const noexcept { return d2h_bandwidth > 0.0; }
+
+  /// The copy engines of this machine: the link alone, or H2D + D2H.
+  [[nodiscard]] ChannelSet channel_set() const {
+    if (!duplex()) return ChannelSet::single_link(link_bandwidth, link_latency);
+    return ChannelSet::duplex(link_bandwidth, d2h_bandwidth, link_latency);
+  }
+
+  /// Time to move `bytes` across the (H2D) link.
   [[nodiscard]] Time transfer_time(double bytes) const noexcept {
     return link_latency + bytes / link_bandwidth;
+  }
+
+  /// Time to move `bytes` back over the D2H engine (the H2D link when the
+  /// machine is half duplex).
+  [[nodiscard]] Time d2h_transfer_time(double bytes) const noexcept {
+    return link_latency +
+           bytes / (duplex() ? d2h_bandwidth : link_bandwidth);
   }
 
   /// Time to execute `flops` of dense compute.
@@ -54,6 +77,16 @@ struct MachineModel {
     m.link_latency = 8.0e-6;
     m.flop_rate = 7.0e12;
     m.memory_bandwidth = 4.0e11;
+    return m;
+  }
+
+  /// The same accelerator with both PCIe 3.0 x16 DMA engines engaged: one
+  /// copy engine per direction, so input fetches (H2D) and result
+  /// write-back (D2H) overlap. D2H runs marginally slower than H2D on
+  /// real parts (posted- vs non-posted transaction overhead).
+  [[nodiscard]] static MachineModel duplex_pcie() noexcept {
+    MachineModel m = pcie_gpu();
+    m.d2h_bandwidth = 1.1e10;
     return m;
   }
 };

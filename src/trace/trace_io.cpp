@@ -1,5 +1,6 @@
 #include "trace/trace_io.hpp"
 
+#include <charconv>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -7,19 +8,24 @@
 namespace dts {
 
 namespace {
-constexpr std::string_view kMagic = "# dts-trace v1";
+constexpr std::string_view kMagicV1 = "# dts-trace v1";
+constexpr std::string_view kMagicV2 = "# dts-trace v2";
 }
 
 void write_trace(std::ostream& out, const Instance& inst) {
   const InstanceStats stats = inst.stats();
-  out << kMagic << '\n';
+  const bool multi = !inst.single_channel();
+  out << (multi ? kMagicV2 : kMagicV1) << '\n';
   out << "# tasks=" << stats.n_tasks << " sum_comm=" << stats.sum_comm
-      << " sum_comp=" << stats.sum_comp << " max_mem=" << stats.max_mem
-      << '\n';
+      << " sum_comp=" << stats.sum_comp << " max_mem=" << stats.max_mem;
+  if (multi) out << " channels=" << inst.num_channels();
+  out << '\n';
   out.precision(17);  // exact double round-trip
   for (const Task& t : inst) {
     out << "task " << (t.name.empty() ? "T" + std::to_string(t.id) : t.name)
-        << ' ' << t.comm << ' ' << t.comp << ' ' << t.mem << '\n';
+        << ' ' << t.comm << ' ' << t.comp << ' ' << t.mem;
+    if (multi) out << ' ' << t.channel;
+    out << '\n';
   }
 }
 
@@ -40,9 +46,9 @@ Instance read_trace(std::istream& in) {
   while (std::getline(in, line)) {
     ++line_no;
     if (line_no == 1) {
-      if (line != kMagic) {
-        throw TraceIoError(line_no, "missing header '" + std::string(kMagic) +
-                                        "'");
+      if (line != kMagicV1 && line != kMagicV2) {
+        throw TraceIoError(line_no, "missing header '" + std::string(kMagicV1) +
+                                        "' or '" + std::string(kMagicV2) + "'");
       }
       magic_seen = true;
       continue;
@@ -58,8 +64,28 @@ Instance read_trace(std::istream& in) {
     Task t;
     fields >> t.name >> t.comm >> t.comp >> t.mem;
     if (!fields) {
-      throw TraceIoError(line_no,
-                         "expected 'task <name> <comm> <comp> <mem>'");
+      throw TraceIoError(
+          line_no, "expected 'task <name> <comm> <comp> <mem> [<channel>]'");
+    }
+    // Optional channel column (v2 traces), parsed from the raw token:
+    // stream extraction into an unsigned would clobber the field on
+    // overflow ("4294967296") or wrap negatives instead of failing.
+    std::string channel_text;
+    if (fields >> channel_text) {
+      ChannelId channel = 0;
+      const auto [ptr, ec] = std::from_chars(
+          channel_text.data(), channel_text.data() + channel_text.size(),
+          channel);
+      if (ec != std::errc{} ||
+          ptr != channel_text.data() + channel_text.size() ||
+          channel >= kMaxChannels) {
+        throw TraceIoError(line_no, "channel '" + channel_text +
+                                        "' out of range [0, " +
+                                        std::to_string(kMaxChannels) + ")");
+      }
+      t.channel = channel;
+    } else {
+      fields.clear();
     }
     std::string trailing;
     if (fields >> trailing) {

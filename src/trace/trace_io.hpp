@@ -5,13 +5,17 @@
 ///
 ///     # dts-trace v1
 ///     # optional comment lines
-///     task <name> <comm_seconds> <comp_seconds> <mem_bytes>
+///     task <name> <comm_seconds> <comp_seconds> <mem_bytes> [<channel>]
 ///
 /// Durations are decimal seconds, memory decimal bytes; `<name>` contains
-/// no whitespace. The format round-trips every Instance the library can
-/// represent and is the interchange point for users who bring measured
-/// traces from their own runtimes (the paper's experiments consumed such
-/// per-process trace files).
+/// no whitespace. The optional fifth field is the copy engine the
+/// transfer occupies (default 0, the single link of v1 traces); writers
+/// emit it — under a "# dts-trace v2" header — only for multi-channel
+/// instances, so single-link traces stay byte-identical to v1 and old
+/// readers keep working on them. The format round-trips every Instance
+/// the library can represent and is the interchange point for users who
+/// bring measured traces from their own runtimes (the paper's
+/// experiments consumed such per-process trace files).
 
 #include <filesystem>
 #include <iosfwd>

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <string>
 
 namespace dts {
 
@@ -81,6 +82,35 @@ std::vector<Instance> split_batches(const Instance& inst,
                           tasks.begin() + static_cast<std::ptrdiff_t>(hi)));
   }
   return batches;
+}
+
+Instance with_writeback(const Instance& inst, const ChannelSpec& d2h,
+                        double result_fraction) {
+  if (!(result_fraction > 0.0) || result_fraction > 1.0) {
+    throw std::invalid_argument(
+        "with_writeback: result_fraction must be in (0, 1]");
+  }
+  std::vector<Task> tasks;
+  tasks.reserve(2 * inst.size());
+  for (const Task& t : inst) {
+    tasks.push_back(t);
+    if (!(t.mem > 0.0)) continue;  // nothing was fetched, nothing to return
+    const Mem result_bytes = result_fraction * t.mem;
+    Task wb;
+    wb.comm = d2h.transfer_time(result_bytes);
+    wb.comp = 0.0;
+    wb.mem = result_bytes;
+    wb.channel = kChannelD2H;
+    wb.name = (t.name.empty() ? "T" + std::to_string(t.id) : t.name) + "_wb";
+    tasks.push_back(std::move(wb));
+  }
+  return Instance(std::move(tasks));
+}
+
+Instance merged_channels(const Instance& inst) {
+  std::vector<Task> tasks(inst.tasks());
+  for (Task& t : tasks) t.channel = 0;
+  return Instance(std::move(tasks));
 }
 
 }  // namespace dts

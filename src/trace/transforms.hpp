@@ -10,6 +10,7 @@
 #include <span>
 #include <vector>
 
+#include "core/channels.hpp"
 #include "core/instance.hpp"
 #include "support/rng.hpp"
 
@@ -42,5 +43,22 @@ namespace dts {
 /// (the §6.3 runtime visibility model).
 [[nodiscard]] std::vector<Instance> split_batches(const Instance& inst,
                                                   std::size_t batch_size);
+
+/// Bidirectional (duplex) extension of a trace: after each task with a
+/// positive footprint, inserts a result write-back task on kChannelD2H
+/// whose transfer moves `result_fraction` of the task's input footprint
+/// over `d2h` (comp = 0 — a pure transfer occupying the output buffer for
+/// the duration of the copy). Original tasks keep their channels; the
+/// result models the paper-conclusion scenario where computed results
+/// stream back to the host while the next inputs stream in.
+/// `result_fraction` must be in (0, 1].
+[[nodiscard]] Instance with_writeback(const Instance& inst,
+                                      const ChannelSpec& d2h,
+                                      double result_fraction);
+
+/// Forces every task onto channel 0 — the half-duplex serialization of a
+/// multi-channel trace. Comparing makespans of an instance against
+/// merged_channels(instance) isolates the gain of per-direction engines.
+[[nodiscard]] Instance merged_channels(const Instance& inst);
 
 }  // namespace dts

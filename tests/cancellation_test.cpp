@@ -1,0 +1,140 @@
+/// Deadline/cancellation propagation into the anytime solvers: window:K
+/// and local-search must stop promptly under a short time limit or an
+/// already-fired CancellationToken, and still return a complete feasible
+/// best-so-far schedule.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "core/registry.hpp"
+#include "core/solver.hpp"
+#include "core/validate.hpp"
+#include "exact/window_solver.hpp"
+#include "heuristics/local_search.hpp"
+#include "test_util.hpp"
+
+namespace dts {
+namespace {
+
+Instance wide_instance(std::size_t n) {
+  Rng rng(99);
+  return testing::random_instance(rng, n);
+}
+
+double run_seconds(const auto& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  fn();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+TEST(Cancellation, PreCancelledWindowSolverFallsBackToSubmissionOrder) {
+  const Instance inst = wide_instance(18);
+  const Mem capacity = 1.5 * inst.min_capacity();
+  SolveOptions options;
+  const CancellationToken token = CancellationToken::source();
+  token.cancel();
+  options.cancel = token;
+  for (const char* solver : {"window:4", "window:3:pair"}) {
+    const SolveResult res =
+        solve({.instance = inst, .capacity = capacity}, solver, options);
+    EXPECT_TRUE(res.cancelled) << solver;
+    EXPECT_TRUE(res.schedule.complete()) << solver;
+    EXPECT_TRUE(validate_schedule(inst, res.schedule, capacity).ok())
+        << solver;
+    // No window was optimized: the whole schedule is the OS fallback.
+    EXPECT_DOUBLE_EQ(
+        res.makespan,
+        run_heuristic(HeuristicId::kOS, inst, capacity).makespan(inst))
+        << solver;
+  }
+}
+
+TEST(Cancellation, PreCancelledLocalSearchSkipsEvenTheSeedPass) {
+  const Instance inst = wide_instance(20);
+  const Mem capacity = 1.5 * inst.min_capacity();
+  SolveOptions options;
+  const CancellationToken token = CancellationToken::source();
+  token.cancel();
+  options.cancel = token;
+  const SolveResult res =
+      solve({.instance = inst, .capacity = capacity}, "local-search", options);
+  EXPECT_TRUE(res.cancelled);
+  EXPECT_EQ(res.evaluations, 0u);  // no candidate was even simulated
+  EXPECT_TRUE(validate_schedule(inst, res.schedule, capacity).ok());
+  // The auto-scheduler seed pass is skipped too: the best-so-far is the
+  // cheapest complete schedule, the submission order.
+  EXPECT_DOUBLE_EQ(
+      res.makespan,
+      run_heuristic(HeuristicId::kOS, inst, capacity).makespan(inst));
+}
+
+TEST(Cancellation, ZeroTimeLimitStopsBothSolversImmediately) {
+  const Instance inst = wide_instance(16);
+  const Mem capacity = 1.25 * inst.min_capacity();
+  SolveOptions options;
+  options.time_limit_seconds = 0.0;
+  for (const char* solver : {"window:4", "local-search"}) {
+    const SolveResult res =
+        solve({.instance = inst, .capacity = capacity}, solver, options);
+    EXPECT_TRUE(res.cancelled) << solver;
+    EXPECT_TRUE(validate_schedule(inst, res.schedule, capacity).ok())
+        << solver;
+  }
+}
+
+TEST(Cancellation, ShortDeadlineStopsLocalSearchPromptly) {
+  // A large instance with an effectively unbounded iteration budget: only
+  // the deadline can end the search. The generous wall-clock bound keeps
+  // the test robust on loaded CI machines while still proving the limit
+  // is honored (an unbounded run would take far longer).
+  const Instance inst = wide_instance(160);
+  const Mem capacity = 1.25 * inst.min_capacity();
+  SolveOptions options;
+  options.time_limit_seconds = 0.05;
+  options.max_iterations = 100000000;
+  SolveResult res;
+  const double elapsed = run_seconds([&] {
+    res = solve({.instance = inst, .capacity = capacity}, "local-search",
+                options);
+  });
+  EXPECT_TRUE(res.cancelled);
+  EXPECT_LT(elapsed, 5.0);
+  EXPECT_TRUE(validate_schedule(inst, res.schedule, capacity).ok());
+}
+
+TEST(Cancellation, MidRunTokenKeepsTheWindowPrefixOptimized) {
+  // Cancel after the first window boundary poll: the already-optimized
+  // prefix is kept, the tail drains in submission order, and the result
+  // stays feasible.
+  const Instance inst = wide_instance(12);
+  const Mem capacity = 1.5 * inst.min_capacity();
+  int polls = 0;
+  WindowOptions options;
+  options.window = 3;
+  options.should_stop = [&polls] { return ++polls > 1; };
+  const WindowedResult res = solve_windowed(inst, capacity, options);
+  EXPECT_TRUE(res.stopped);
+  EXPECT_EQ(res.windows_optimized, 1u);
+  EXPECT_TRUE(res.schedule.complete());
+  EXPECT_TRUE(validate_schedule(inst, res.schedule, capacity).ok());
+}
+
+TEST(Cancellation, LocalSearchStopCallbackCountsAsStopped) {
+  const Instance inst = wide_instance(24);
+  const Mem capacity = 1.5 * inst.min_capacity();
+  int budget = 50;
+  LocalSearchOptions options;
+  options.should_stop = [&budget] { return --budget < 0; };
+  const LocalSearchResult res =
+      schedule_local_search(inst, capacity, options);
+  EXPECT_TRUE(res.stopped);
+  EXPECT_LE(res.iterations, 50u);
+  EXPECT_TRUE(validate_schedule(inst, res.schedule, capacity).ok());
+  EXPECT_LE(res.makespan, res.initial_makespan + 1e-9);
+}
+
+}  // namespace
+}  // namespace dts

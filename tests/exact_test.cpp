@@ -139,7 +139,7 @@ TEST(PairOrder, ThrowsWhenTaskExceedsCapacity) {
 TEST(PairOrder, CarriedStateShiftsSchedule) {
   const Instance inst = Instance::from_comm_comp({{2, 3}, {1, 4}});
   ExecutionState::Snapshot snap;
-  snap.comm_available = 10.0;
+  snap.comm_available = {10.0};
   snap.comp_available = 12.0;
   PairOrderOptions options;
   options.initial_state = snap;

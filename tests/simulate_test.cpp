@@ -101,7 +101,7 @@ TEST(ExecutionState, SnapshotRoundTrip) {
 
 TEST(ExecutionState, SnapshotDropsFinishedEntries) {
   ExecutionState::Snapshot snap;
-  snap.comm_available = 10.0;
+  snap.comm_available = {10.0};
   snap.comp_available = 12.0;
   snap.active = {{5.0, 100.0}, {15.0, 7.0}};  // first already finished
   ExecutionState s(20.0, snap);

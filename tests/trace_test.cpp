@@ -210,9 +210,44 @@ TEST(TraceIo, RejectsShortRecord) {
   EXPECT_THROW((void)read_trace(buffer), TraceIoError);
 }
 
+TEST(TraceIo, FifthFieldIsTheChannel) {
+  std::stringstream buffer("# dts-trace v1\ntask a 1 2 3 1\n");
+  const Instance inst = read_trace(buffer);
+  ASSERT_EQ(inst.size(), 1u);
+  EXPECT_EQ(inst[0].channel, 1u);
+  EXPECT_EQ(inst.num_channels(), 2u);
+}
+
 TEST(TraceIo, RejectsTrailingFields) {
-  std::stringstream buffer("# dts-trace v1\ntask a 1 2 3 4\n");
+  std::stringstream buffer("# dts-trace v1\ntask a 1 2 3 0 9\n");
   EXPECT_THROW((void)read_trace(buffer), TraceIoError);
+}
+
+TEST(TraceIo, RejectsOutOfRangeChannel) {
+  for (const char* channel : {"4096", "4294967296", "-1", "1x", "0.5"}) {
+    std::stringstream buffer(std::string("# dts-trace v2\ntask a 1 2 3 ") +
+                             channel + "\n");
+    EXPECT_THROW((void)read_trace(buffer), TraceIoError) << channel;
+  }
+}
+
+TEST(TraceIo, MultiChannelRoundTrip) {
+  std::vector<Task> tasks;
+  tasks.push_back(Task{.id = 0, .comm = 1.5, .comp = 2.0, .mem = 3.0,
+                       .channel = kChannelH2D, .name = "in"});
+  tasks.push_back(Task{.id = 0, .comm = 0.5, .comp = 0.0, .mem = 1.0,
+                       .channel = kChannelD2H, .name = "out"});
+  const Instance inst(std::move(tasks));
+  std::stringstream buffer;
+  write_trace(buffer, inst);
+  EXPECT_NE(buffer.str().find("# dts-trace v2"), std::string::npos);
+  const Instance back = read_trace(buffer);
+  ASSERT_EQ(back.size(), inst.size());
+  for (TaskId i = 0; i < inst.size(); ++i) {
+    EXPECT_EQ(back[i].channel, inst[i].channel);
+    EXPECT_DOUBLE_EQ(back[i].comm, inst[i].comm);
+    EXPECT_DOUBLE_EQ(back[i].mem, inst[i].mem);
+  }
 }
 
 TEST(TraceIo, RejectsNegativeDurations) {
