@@ -1,0 +1,112 @@
+/// \file solver_service.cpp
+/// The request/handle lifecycle of the concurrent solve service
+/// (core/pool.hpp) end to end: a SolverPool under a priority policy
+/// receives a burst of solve jobs — an urgent small instance, bulk HF
+/// traces, a deadline-bounded anytime search, and one job the client
+/// cancels mid-flight — and every handle is observed through to its
+/// terminal state.
+
+#include <iostream>
+#include <vector>
+
+#include "core/pool.hpp"
+#include "report/table.hpp"
+#include "trace/generators.hpp"
+
+using namespace dts;
+
+int main() {
+  SolverPoolOptions options;
+  options.workers = 2;
+  options.policy = SolverPoolOptions::Policy::kPriority;
+  SolverPool pool(options);
+
+  TraceConfig config;
+  config.min_tasks = 200;
+  config.max_tasks = 400;
+
+  std::vector<JobHandle> handles;
+  std::vector<std::string> labels;
+
+  // Bulk work: four HF traces at normal priority.
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    config.seed = seed;
+    JobRequest job;
+    job.request.instance =
+        generate_trace(ChemistryKernel::kHartreeFock, config);
+    job.request.capacity = 1.25 * job.request.instance.min_capacity();
+    job.solver = "auto";
+    job.tag = "bulk-hf-" + std::to_string(seed);
+    labels.push_back(job.tag);
+    handles.push_back(pool.submit(std::move(job)));
+  }
+
+  // An urgent job: higher priority, so it overtakes the queued bulk work.
+  {
+    config.seed = 99;
+    JobRequest job;
+    job.request.instance =
+        generate_trace(ChemistryKernel::kCoupledClusterSD, config);
+    job.request.capacity = 1.5 * job.request.instance.min_capacity();
+    job.solver = "auto";
+    job.priority = 10;
+    job.tag = "urgent-ccsd";
+    labels.push_back(job.tag);
+    handles.push_back(pool.submit(std::move(job)));
+  }
+
+  // An anytime search under a service deadline: local search would run
+  // for its full iteration budget, but the 50 ms deadline (queue wait
+  // included) stops it with its best-so-far schedule.
+  {
+    config.seed = 7;
+    JobRequest job;
+    job.request.instance =
+        generate_trace(ChemistryKernel::kHartreeFock, config);
+    job.request.capacity = 1.25 * job.request.instance.min_capacity();
+    job.solver = "local-search";
+    job.options.max_iterations = 100000000;
+    job.deadline_seconds = 0.05;
+    job.tag = "deadline-local-search";
+    labels.push_back(job.tag);
+    handles.push_back(pool.submit(std::move(job)));
+  }
+
+  // A job the client changes its mind about.
+  {
+    config.seed = 8;
+    JobRequest job;
+    job.request.instance =
+        generate_trace(ChemistryKernel::kHartreeFock, config);
+    job.request.capacity = 1.25 * job.request.instance.min_capacity();
+    job.solver = "auto";
+    job.tag = "cancelled-by-client";
+    labels.push_back(job.tag);
+    JobHandle handle = pool.submit(std::move(job));
+    handle.cancel();  // queued or running — either way it resolves
+    handles.push_back(handle);
+  }
+
+  std::cout << "submitted " << handles.size()
+            << " jobs to a 2-worker priority pool\n\n";
+
+  TextTable table({"job", "status", "winner", "makespan", "note"});
+  for (std::size_t k = 0; k < handles.size(); ++k) {
+    const JobOutcome& outcome = handles[k].wait();
+    table.add_row(
+        {labels[k], std::string(to_string(outcome.status)),
+         outcome.has_result ? outcome.result.winner : "-",
+         outcome.has_result ? format_seconds(outcome.result.makespan) : "-",
+         outcome.error});
+  }
+  std::cout << table.to_ascii();
+
+  const SolverPool::Stats stats = pool.stats();
+  std::cout << "\nservice counters: " << stats.submitted << " submitted, "
+            << stats.done << " done, " << stats.cancelled << " cancelled, "
+            << stats.failed << " failed (peak queue depth "
+            << stats.peak_queued << ")\n";
+
+  pool.shutdown(DrainMode::kDrain);
+  return 0;
+}

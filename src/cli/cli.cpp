@@ -1,14 +1,19 @@
 #include "cli/cli.hpp"
 
+#include <algorithm>
 #include <cerrno>
 #include <charconv>
+#include <chrono>
 #include <cstdlib>
+#include <fstream>
 #include <ostream>
 #include <stdexcept>
 
+#include "core/pool.hpp"
 #include "core/recommend.hpp"
 #include "core/registry.hpp"
 #include "core/solver.hpp"
+#include "report/csv.hpp"
 #include "report/gantt.hpp"
 #include "report/schedule_stats.hpp"
 #include "report/table.hpp"
@@ -34,6 +39,16 @@ constexpr std::string_view kUsage =
     "  solve     FILE [--solver=NAME] (--capacity=B | --capacity-factor=F)\n"
     "            [--batch=N] [--iterations=N] [--seed=N] [--time-limit=S]\n"
     "            [--machine=NAME] [--gantt]  run any registered solver\n"
+    "  solve-batch FILE... [--solver=NAME]\n"
+    "            (--capacity=B | --capacity-factor=F) [--workers=N]\n"
+    "            [--queue=N] [--policy=fifo|priority] [--time-limit=S]\n"
+    "            [--batch=N] [--machine=NAME] [--csv=FILE]\n"
+    "                                solve many traces concurrently on a\n"
+    "                                SolverPool; emits a CSV of per-trace\n"
+    "                                makespans, wall times and jobs/sec.\n"
+    "                                --time-limit is a per-job deadline\n"
+    "                                (queue wait included); the priority\n"
+    "                                policy runs larger traces first\n"
     "  schedule  FILE --heuristic=NAME (--capacity=B | --capacity-factor=F)\n"
     "            [--batch=N] [--gantt]  run one heuristic, print the analysis\n"
     "  compare   FILE (--capacity=B | --capacity-factor=F)\n"
@@ -99,6 +114,16 @@ Instance load(const CommandLine& cmd) {
   return read_trace_file(cmd.positional.front());
 }
 
+/// Scheduling commands reject empty traces: "solving" zero tasks would
+/// print a degenerate all-zero analysis instead of pointing at the broken
+/// input.
+void expect_tasks(const Instance& inst, const std::string& file) {
+  if (inst.empty()) {
+    throw std::invalid_argument("trace '" + file +
+                                "' contains no tasks; nothing to solve");
+  }
+}
+
 /// Resolves --machine against the named presets.
 MachineModel resolve_machine(const std::string& name) {
   if (name == "cascade") return MachineModel::cascade();
@@ -108,10 +133,12 @@ MachineModel resolve_machine(const std::string& name) {
                               "' (use cascade, pcie-gpu or duplex-pcie)");
 }
 
-/// Builds the SolveRequest shared by every scheduling command.
-SolveRequest make_request(const CommandLine& cmd) {
+/// Builds the SolveRequest shared by every scheduling command from one
+/// trace file (solve-batch calls this per positional file).
+SolveRequest make_request(const CommandLine& cmd, const std::string& file) {
   SolveRequest request;
-  request.instance = load(cmd);
+  request.instance = read_trace_file(file);
+  expect_tasks(request.instance, file);
   request.capacity = resolve_capacity(cmd, request.instance);
   if (cmd.flag("batch")) {
     const std::size_t batch = cmd.count_or("batch", 0);
@@ -124,6 +151,13 @@ SolveRequest make_request(const CommandLine& cmd) {
     request.channels = resolve_machine(*machine).channel_set();
   }
   return request;
+}
+
+SolveRequest make_request(const CommandLine& cmd) {
+  if (cmd.positional.empty()) {
+    throw std::invalid_argument("missing trace file argument");
+  }
+  return make_request(cmd, cmd.positional.front());
 }
 
 SolveOptions make_options(const CommandLine& cmd) {
@@ -268,6 +302,102 @@ int cmd_solve(const CommandLine& cmd, std::ostream& out) {
   return 0;
 }
 
+/// Fixed-precision number for CSV cells (full precision is noise here).
+std::string csv_number(double value, int digits = 6) {
+  return format_fixed(value, digits);
+}
+
+int cmd_solve_batch(const CommandLine& cmd, std::ostream& out) {
+  if (cmd.positional.empty()) {
+    throw std::invalid_argument("solve-batch needs at least one trace file");
+  }
+  const std::string solver{cmd.flag("solver").value_or("auto")};
+
+  SolverPoolOptions pool_options;
+  pool_options.workers = cmd.count_or("workers", 0);
+  pool_options.queue_capacity =
+      std::max<std::size_t>(1, cmd.count_or("queue", 1024));
+  if (const auto policy = cmd.flag("policy")) {
+    if (*policy == "fifo") {
+      pool_options.policy = SolverPoolOptions::Policy::kFifo;
+    } else if (*policy == "priority") {
+      pool_options.policy = SolverPoolOptions::Policy::kPriority;
+    } else {
+      throw std::invalid_argument("unknown --policy '" + *policy +
+                                  "' (use fifo or priority)");
+    }
+  }
+
+  std::vector<JobRequest> jobs;
+  jobs.reserve(cmd.positional.size());
+  for (const std::string& file : cmd.positional) {
+    JobRequest job;
+    job.tag = file;
+    job.request = make_request(cmd, file);
+    job.solver = solver;
+    job.options = make_options(cmd);
+    // --time-limit becomes the service-level deadline (it covers queue
+    // wait, and the pool maps the remainder onto time_limit_seconds when
+    // the job starts). Inner candidate fan-out runs on the pool's own
+    // crew, so jobs never oversubscribe the workers.
+    job.deadline_seconds = job.options.time_limit_seconds;
+    job.options.time_limit_seconds.reset();
+    // Under the priority policy, larger traces go first (longest-job-first
+    // keeps the tail short when the mix is skewed).
+    job.priority = static_cast<int>(job.request.instance.size());
+    jobs.push_back(std::move(job));
+  }
+
+  SolverPool pool(pool_options);
+  const auto start = std::chrono::steady_clock::now();
+  const std::vector<JobOutcome> outcomes = solve_all(pool, std::move(jobs));
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  pool.shutdown(DrainMode::kDrain);
+
+  std::ofstream csv_file;
+  if (const auto csv_path = cmd.flag("csv")) {
+    csv_file.open(*csv_path);
+    if (!csv_file) {
+      throw std::runtime_error("solve-batch: cannot open " + *csv_path);
+    }
+  }
+  std::ostream& csv_out = csv_file.is_open() ? csv_file : out;
+  CsvWriter csv(csv_out);
+  csv.row({"trace", "solver", "status", "winner", "makespan",
+           "ratio_to_omim", "wall_seconds"});
+  std::size_t failed = 0;
+  std::size_t unsolved = 0;  // cancelled/expired without any schedule
+  std::size_t solved = 0;
+  for (std::size_t k = 0; k < outcomes.size(); ++k) {
+    const JobOutcome& outcome = outcomes[k];
+    const bool has = outcome.has_result;
+    if (outcome.status == JobStatus::kFailed) {
+      ++failed;
+    } else if (!has) {
+      ++unsolved;
+    } else {
+      ++solved;
+    }
+    csv.row({cmd.positional[k], solver, std::string(to_string(outcome.status)),
+             has ? outcome.result.winner : outcome.error,
+             has ? csv_number(outcome.result.makespan) : "",
+             has ? csv_number(outcome.result.ratio_to_optimal(), 4) : "",
+             has ? csv_number(outcome.result.wall_seconds) : ""});
+  }
+  out << "# " << outcomes.size() << " jobs on " << pool.worker_count()
+      << " workers: " << format_fixed(wall, 3) << " s wall, "
+      << format_fixed(wall > 0.0 ? solved / wall : 0.0, 2)
+      << " solved jobs/sec";
+  if (unsolved > 0) out << ", " << unsolved << " expired without a result";
+  if (failed > 0) out << ", " << failed << " failed";
+  out << "\n";
+  // Success means every job yielded a schedule (a deadline-stopped
+  // best-so-far result counts; an expired-in-queue job does not).
+  return failed == 0 && unsolved == 0 ? 0 : 1;
+}
+
 int cmd_schedule(const CommandLine& cmd, std::ostream& out) {
   const auto name = cmd.flag("heuristic").value_or("OOSIM");
   if (!heuristic_from_name(name)) {
@@ -308,6 +438,7 @@ int cmd_compare(const CommandLine& cmd, std::ostream& out) {
 
 int cmd_recommend(const CommandLine& cmd, std::ostream& out) {
   const Instance inst = load(cmd);
+  expect_tasks(inst, cmd.positional.front());
   const Mem capacity = resolve_capacity(cmd, inst);
   const Recommendation rec = recommend(inst, capacity);
   out << "capacity regime: " << to_string(rec.regime) << "\n"
@@ -394,6 +525,7 @@ int run_cli(int argc, const char* const* argv, std::ostream& out,
     if (cmd.command == "generate") return cmd_generate(cmd, out);
     if (cmd.command == "info") return cmd_info(cmd, out);
     if (cmd.command == "solve") return cmd_solve(cmd, out);
+    if (cmd.command == "solve-batch") return cmd_solve_batch(cmd, out);
     if (cmd.command == "schedule") return cmd_schedule(cmd, out);
     if (cmd.command == "compare") return cmd_compare(cmd, out);
     if (cmd.command == "recommend") return cmd_recommend(cmd, out);

@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "core/job.hpp"
 #include "core/johnson.hpp"
 #include "core/simulate.hpp"
 #include "heuristics/bin_packing.hpp"
@@ -113,7 +114,7 @@ Schedule schedule_in_batches(HeuristicId id, const Instance& inst, Mem capacity,
 
 BatchAutoResult schedule_in_batches_auto(
     const Instance& inst, Mem capacity, std::size_t batch_size,
-    std::span<const HeuristicId> candidates) {
+    std::span<const HeuristicId> candidates, Executor* executor) {
   if (batch_size == 0) {
     throw std::invalid_argument(
         "schedule_in_batches_auto: batch_size must be > 0");
@@ -128,35 +129,49 @@ BatchAutoResult schedule_in_batches_auto(
   ExecutionState::Snapshot carried;
   carried.comm_available.assign(inst.num_channels(), 0.0);
 
+  /// One candidate's simulation of the current batch from the carried
+  /// state — independent of every other trial, so they may run
+  /// concurrently on an executor.
+  struct Trial {
+    Schedule schedule;
+    Time end = kInfiniteTime;
+    Time link = kInfiniteTime;
+    ExecutionState::Snapshot state;
+  };
+  std::vector<Trial> trials(candidates.size());
+
   for (std::size_t lo = 0; lo < submission.size(); lo += batch_size) {
     const std::size_t hi = std::min(lo + batch_size, submission.size());
     const std::span<const TaskId> ids(&submission[lo], hi - lo);
 
-    HeuristicId best_id = candidates.front();
-    Time best_end = kInfiniteTime;
-    Time best_link = kInfiniteTime;
-    Schedule best_sched;
-    ExecutionState::Snapshot best_state;
-    for (HeuristicId id : candidates) {
+    const auto evaluate = [&](std::size_t k) {
       ExecutionState state(capacity, carried);
-      Schedule trial = result.schedule;
-      run_batch(id, inst, ids, capacity, state, trial);
-      const Time end = state.comp_available();
-      const bool better =
-          definitely_less(end, best_end) ||
-          (!definitely_less(best_end, end) &&
-           definitely_less(state.comm_available(), best_link));
-      if (best_end == kInfiniteTime || better) {
-        best_id = id;
-        best_end = end;
-        best_link = state.comm_available();
-        best_sched = std::move(trial);
-        best_state = state.snapshot();
-      }
+      Trial& trial = trials[k];
+      trial.schedule = result.schedule;
+      run_batch(candidates[k], inst, ids, capacity, state, trial.schedule);
+      trial.end = state.comp_available();
+      trial.link = state.comm_available();
+      trial.state = state.snapshot();
+    };
+    if (executor && candidates.size() > 1) {
+      executor->for_each(candidates.size(), evaluate);
+    } else {
+      for (std::size_t k = 0; k < candidates.size(); ++k) evaluate(k);
     }
-    result.schedule = std::move(best_sched);
-    result.winners.push_back(best_id);
-    carried = std::move(best_state);
+
+    // Fold in candidate order with the strict-preference rule: identical
+    // winner to evaluating and comparing one candidate at a time.
+    std::size_t best = 0;
+    for (std::size_t k = 1; k < candidates.size(); ++k) {
+      const bool better =
+          definitely_less(trials[k].end, trials[best].end) ||
+          (!definitely_less(trials[best].end, trials[k].end) &&
+           definitely_less(trials[k].link, trials[best].link));
+      if (better) best = k;
+    }
+    result.schedule = std::move(trials[best].schedule);
+    result.winners.push_back(candidates[best]);
+    carried = std::move(trials[best].state);
   }
   return result;
 }

@@ -18,6 +18,8 @@
 
 namespace dts {
 
+class Executor;  // job.hpp
+
 /// Runs `id` on consecutive batches of `batch_size` tasks sharing one
 /// execution state. A batch's ordering decisions (Johnson order, GG
 /// sequence, First-Fit bins, dynamic selection...) only consider the tasks
@@ -37,8 +39,15 @@ struct BatchAutoResult {
   Schedule schedule;
   std::vector<HeuristicId> winners;  ///< one per batch
 };
+
+/// `executor` (job.hpp; e.g. a SolverPool) fans the per-batch candidate
+/// trials — each an independent simulation of one candidate's subset
+/// instance from the carried engine state — across workers. The committed
+/// winner per batch is identical to the serial evaluation: trials are
+/// independent and the reduction folds them in candidate order with the
+/// same strict-preference rule. Null runs the trials serially.
 [[nodiscard]] BatchAutoResult schedule_in_batches_auto(
     const Instance& inst, Mem capacity, std::size_t batch_size,
-    std::span<const HeuristicId> candidates);
+    std::span<const HeuristicId> candidates, Executor* executor = nullptr);
 
 }  // namespace dts

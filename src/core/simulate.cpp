@@ -44,6 +44,7 @@ ExecutionState::Snapshot ExecutionState::snapshot() const {
   Snapshot snap;
   snap.comm_available = comm_avail_;
   snap.comp_available = comp_avail_;
+  snap.now = now_;
   snap.active.reserve(active_.size());
   for (const ActiveTask& a : active_) snap.active.emplace_back(a.comp_end, a.mem);
   return snap;
@@ -56,15 +57,18 @@ ExecutionState::ExecutionState(Mem capacity, const Snapshot& snap)
       throw std::invalid_argument("ExecutionState: negative availability");
     }
   }
-  if (snap.comp_available < 0.0) {
+  if (snap.comp_available < 0.0 || snap.now < 0.0) {
     throw std::invalid_argument("ExecutionState: negative availability");
   }
   comm_avail_ = snap.comm_available;
   comp_avail_ = snap.comp_available;
   // The decision instant resumes at the earliest instant a new transfer
-  // could be issued: the first free channel. Single-channel snapshots make
-  // this the link clock, exactly the original model.
-  now_ = *std::min_element(comm_avail_.begin(), comm_avail_.end());
+  // could be issued: the captured instant, or the first free channel if
+  // that is later (hand-built snapshots leave `now` at 0 and carry only
+  // clocks). Time never runs backwards — a decision instant earlier than
+  // the capture would re-admit memory the snapshot no longer tracks.
+  now_ = std::max(snap.now,
+                  *std::min_element(comm_avail_.begin(), comm_avail_.end()));
   for (const auto& [comp_end, mem] : snap.active) {
     // Entries already finished relative to the snapshot's clock carry no
     // memory; keep the rest in flight.

@@ -126,6 +126,14 @@ class ExecutionState {
     std::vector<Time> comm_available = {0.0};
     Time comp_available = 0.0;
     std::vector<std::pair<Time, Mem>> active;  ///< comp end, held memory
+    /// Decision instant at capture. Restoring resumes from
+    /// max(now, earliest channel clock): with one channel the last
+    /// transfer's end always equals the decision instant, but with
+    /// several channels an idle engine's clock can trail it — resuming
+    /// from the trailing clock alone would issue transfers in the past,
+    /// where memory this snapshot no longer tracks was still held
+    /// (found by tests/differential_test.cpp).
+    Time now = 0.0;
 
     /// The single link's clock; throws std::logic_error when the snapshot
     /// actually carries several channels (callers that assume the paper's

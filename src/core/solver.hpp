@@ -42,6 +42,8 @@
 
 namespace dts {
 
+class Executor;  // job.hpp: fan-out interface implemented by SolverPool
+
 /// What to solve: an instance under a memory capacity, optionally through
 /// the batched runtime (the solver only sees `batch_size` tasks at a time,
 /// paper §6.3). Solvers that cannot honor a batch window reject requests
@@ -108,6 +110,16 @@ struct SolveOptions {
   /// support/parallel_for. The winner is identical either way (the
   /// reduction is deterministic); this only buys wall time.
   bool parallel_candidates = true;
+  /// Optional fan-out surface (job.hpp) for solver-internal parallelism:
+  /// auto/batch-auto candidate trials (still gated by
+  /// parallel_candidates, which remains the on/off switch) and the
+  /// exhaustive window enumeration run their independent subtasks
+  /// through it. SolverPool is an Executor, so a service can share one
+  /// worker crew between whole jobs and their inner fan-out; pool jobs
+  /// that leave this unset get the pool installed automatically. Null
+  /// means the solver's built-in behavior (parallel_for or serial).
+  /// Results are identical either way.
+  Executor* executor = nullptr;
   /// Fill SolveResult::bounds (OMIM + capacity-aware bounds). Sweeps that
   /// already track bounds per trace disable this to skip the recompute.
   bool compute_bounds = true;

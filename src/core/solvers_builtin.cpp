@@ -13,6 +13,7 @@
 
 #include "core/auto_scheduler.hpp"
 #include "core/batch.hpp"
+#include "core/job.hpp"
 #include "core/registry.hpp"
 #include "core/solver.hpp"
 #include "exact/branch_bound.hpp"
@@ -123,7 +124,8 @@ class AutoSolver final : public Solver {
     }
     const std::optional<std::size_t> batch =
         forced_batch_ ? forced_batch_ : request.batch_size;
-    return batch ? run_batched(request, *batch) : run_full(request, options);
+    return batch ? run_batched(request, *batch, options)
+                 : run_full(request, options);
   }
 
  private:
@@ -137,8 +139,14 @@ class AutoSolver final : public Solver {
           run_heuristic(candidates_[k], request.instance, request.capacity);
       makespans[k] = makespan_of(request, schedules[k]);
     };
+    // parallel_candidates stays the master switch for candidate fan-out;
+    // the executor only changes *where* the concurrency runs.
     if (options.parallel_candidates && candidates_.size() > 1) {
-      parallel_for(0, candidates_.size(), evaluate);
+      if (options.executor) {
+        options.executor->for_each(candidates_.size(), evaluate);
+      } else {
+        parallel_for(0, candidates_.size(), evaluate);
+      }
     } else {
       for (std::size_t k = 0; k < candidates_.size(); ++k) evaluate(k);
     }
@@ -159,10 +167,12 @@ class AutoSolver final : public Solver {
   }
 
   [[nodiscard]] SolveResult run_batched(const SolveRequest& request,
-                                        std::size_t batch) const {
+                                        std::size_t batch,
+                                        const SolveOptions& options) const {
     SolveResult result;
     BatchAutoResult res = schedule_in_batches_auto(
-        request.instance, request.capacity, batch, candidates_);
+        request.instance, request.capacity, batch, candidates_,
+        options.parallel_candidates ? options.executor : nullptr);
     result.schedule = std::move(res.schedule);
     result.makespan = makespan_of(request, result.schedule);
     fill_batch_outcomes(candidates_, res.winners, result);
@@ -317,6 +327,7 @@ class WindowedSolver final : public Solver {
                                 const SolveOptions& options) const override {
     reject_batch(request, name());
     WindowOptions window = options_;
+    window.executor = options.executor;
     const StopCondition stop(options);
     if (stop.armed()) {
       window.should_stop = [&stop] { return stop.stop_requested(); };

@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <tuple>
 
+#include "core/job.hpp"
+
 namespace dts {
 
 namespace {
@@ -13,6 +15,57 @@ namespace {
 /// sequences only.
 std::tuple<Time, Time, Mem> value_key(const Task& t) {
   return {t.comm, t.comp, t.mem};
+}
+
+/// Fan out across first-task branches only when the tail enumeration is
+/// long enough to amortize the scheduling overhead (5! = 120 simulations
+/// per branch and up).
+constexpr std::size_t kParallelMinTasks = 6;
+
+/// Makespan first, then earliest link-free instant (matters when solving
+/// windows: leave the link free for the tasks that follow). Exact
+/// comparison, deliberately not the epsilon helpers: a strict weak
+/// ordering makes the keep-first-better fold associative under grouping,
+/// so the parallel branch fold provably selects the same candidate as
+/// the serial scan (an epsilon comparison is not transitive and could
+/// pick different orders on ties straddling the tolerance).
+bool better_candidate(Time ms, Time link_free, const ExhaustiveResult& best,
+                      Time best_link_free) {
+  if (ms != best.makespan) return ms < best.makespan;
+  return link_free < best_link_free;
+}
+
+/// Scans every value-distinct permutation of order[fixed..n) — the prefix
+/// is pinned — accumulating the winner into `result`/`best_link_free`.
+/// With fixed == 0 this is exactly the full serial enumeration.
+void scan_orders(const Instance& inst, Mem capacity,
+                 const ExhaustiveOptions& options, std::vector<TaskId> order,
+                 std::size_t fixed, ExhaustiveResult& result,
+                 Time& best_link_free) {
+  const auto value_less = [&](TaskId a, TaskId b) {
+    return value_key(inst[a]) < value_key(inst[b]);
+  };
+  do {
+    ++result.permutations_tried;
+    ExecutionState state =
+        options.initial_state
+            ? ExecutionState(capacity, *options.initial_state)
+            : ExecutionState(capacity, inst.num_channels());
+    Schedule sched(inst.size());
+    execute_order(inst, order, state, sched);
+    const Time ms = sched.makespan(inst);
+    if (result.order.empty() ||
+        better_candidate(ms, state.comm_available(), result,
+                         best_link_free)) {
+      result.makespan = ms;
+      result.order = order;
+      result.schedule = std::move(sched);
+      result.final_state = state.snapshot();
+      best_link_free = state.comm_available();
+    }
+  } while (std::next_permutation(order.begin() +
+                                     static_cast<std::ptrdiff_t>(fixed),
+                                 order.end(), value_less));
 }
 
 }  // namespace
@@ -37,31 +90,47 @@ ExhaustiveResult best_common_order(const Instance& inst, Mem capacity,
   std::vector<TaskId> order = inst.submission_order();
   std::sort(order.begin(), order.end(), value_less);
 
-  Time best_link_free = kInfiniteTime;
-  do {
-    ++result.permutations_tried;
-    ExecutionState state =
-        options.initial_state
-            ? ExecutionState(capacity, *options.initial_state)
-            : ExecutionState(capacity, inst.num_channels());
-    Schedule sched(inst.size());
-    execute_order(inst, order, state, sched);
-    const Time ms = sched.makespan(inst);
-    // Primary: makespan. Secondary (matters when solving windows): leave
-    // the link free as early as possible for the tasks that follow.
-    const bool better =
-        definitely_less(ms, result.makespan) ||
-        (!definitely_less(result.makespan, ms) &&
-         definitely_less(state.comm_available(), best_link_free));
-    if (result.order.empty() || better) {
-      result.makespan = ms;
-      result.order = order;
-      result.schedule = std::move(sched);
-      result.final_state = state.snapshot();
-      best_link_free = state.comm_available();
-    }
-  } while (std::next_permutation(order.begin(), order.end(), value_less));
+  if (!options.executor || inst.size() < kParallelMinTasks) {
+    Time best_link_free = kInfiniteTime;
+    scan_orders(inst, capacity, options, std::move(order), 0, result,
+                best_link_free);
+    return result;
+  }
 
+  // One branch per value-distinct first task, in sorted order. Branch b
+  // enumerates exactly the lexicographic block of permutations starting
+  // with that value, so the branches concatenated in branch order are the
+  // serial enumeration sequence.
+  std::vector<std::vector<TaskId>> branches;
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    if (i > 0 && !value_less(order[i - 1], order[i])) continue;  // duplicate
+    std::vector<TaskId> branch = order;
+    std::rotate(branch.begin(), branch.begin() + static_cast<std::ptrdiff_t>(i),
+                branch.begin() + static_cast<std::ptrdiff_t>(i) + 1);
+    branches.push_back(std::move(branch));
+  }
+
+  std::vector<ExhaustiveResult> partial(branches.size());
+  std::vector<Time> partial_link(branches.size(), kInfiniteTime);
+  options.executor->for_each(branches.size(), [&](std::size_t b) {
+    scan_orders(inst, capacity, options, std::move(branches[b]), 1,
+                partial[b], partial_link[b]);
+  });
+
+  // Fold branch winners in branch (= serial enumeration) order with the
+  // same strict-preference rule as the inner scans.
+  Time best_link_free = kInfiniteTime;
+  for (std::size_t b = 0; b < partial.size(); ++b) {
+    result.permutations_tried += partial[b].permutations_tried;
+    if (result.order.empty() ||
+        better_candidate(partial[b].makespan, partial_link[b], result,
+                         best_link_free)) {
+      const std::uint64_t tried = result.permutations_tried;
+      result = std::move(partial[b]);
+      result.permutations_tried = tried;
+      best_link_free = partial_link[b];
+    }
+  }
   return result;
 }
 

@@ -16,6 +16,8 @@
 
 namespace dts {
 
+class Executor;  // job.hpp
+
 struct ExhaustiveResult {
   Time makespan = kInfiniteTime;
   std::vector<TaskId> order;  ///< a best common order
@@ -32,6 +34,13 @@ struct ExhaustiveOptions {
   std::size_t max_n = 10;
   /// Optional carried state (window solving); nullopt = fresh engine.
   std::optional<ExecutionState::Snapshot> initial_state;
+  /// Optional fan-out (job.hpp): the enumeration splits into one branch
+  /// per value-distinct first task and scans the branches concurrently.
+  /// The branches partition the serial enumeration, and the final fold
+  /// applies the same strict-preference rule in the serial order, so the
+  /// optimum (and its tie-breaking) match the serial search. Used for
+  /// instances of 6+ tasks; smaller searches stay serial.
+  Executor* executor = nullptr;
 };
 
 /// Minimizes makespan over all distinct common orders under `capacity`.

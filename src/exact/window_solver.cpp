@@ -61,6 +61,7 @@ WindowedResult solve_windowed(const Instance& inst, Mem capacity,
       ExhaustiveOptions ex;
       ex.max_n = options.window;
       ex.initial_state = carried;
+      ex.executor = options.executor;
       const ExhaustiveResult res = best_common_order(sub, capacity, ex);
       for (TaskId local = 0; local < sub.size(); ++local) {
         result.schedule.set(ids[local], res.schedule[local].comm_start,

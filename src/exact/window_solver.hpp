@@ -23,6 +23,8 @@
 
 namespace dts {
 
+class Executor;  // job.hpp
+
 enum class WindowMode {
   kCommonOrder,
   kPairOrder,
@@ -36,6 +38,11 @@ struct WindowOptions {
   /// order from the carried engine state, so the result is always a
   /// complete feasible schedule.
   std::function<bool()> should_stop;
+  /// Optional fan-out (job.hpp): each window's common-order enumeration
+  /// splits its first-task branches across workers (see
+  /// ExhaustiveOptions::executor); the window-by-window outer loop stays
+  /// sequential (each window starts from the previous one's state).
+  Executor* executor = nullptr;
 };
 
 /// schedule_windowed plus how the run ended.

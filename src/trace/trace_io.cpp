@@ -42,15 +42,24 @@ Instance read_trace(std::istream& in) {
   std::string line;
   std::size_t line_no = 0;
   bool magic_seen = false;
+  bool v2 = false;
 
   while (std::getline(in, line)) {
     ++line_no;
+    if (!line.empty() && line.back() == '\r') {
+      // A silently stripped '\r' would *usually* work (stream extraction
+      // treats it as whitespace) but can leak into the last field of a
+      // record — reject CRLF input loudly instead of misparsing quietly.
+      throw TraceIoError(line_no,
+                         "CRLF line ending; dts traces use LF line endings");
+    }
     if (line_no == 1) {
       if (line != kMagicV1 && line != kMagicV2) {
         throw TraceIoError(line_no, "missing header '" + std::string(kMagicV1) +
                                         "' or '" + std::string(kMagicV2) + "'");
       }
       magic_seen = true;
+      v2 = line == kMagicV2;
       continue;
     }
     if (line.empty() || line[0] == '#') continue;
@@ -72,6 +81,14 @@ Instance read_trace(std::istream& in) {
     // overflow ("4294967296") or wrap negatives instead of failing.
     std::string channel_text;
     if (fields >> channel_text) {
+      if (!v2) {
+        // A stray extra numeric column in a v1 trace must stay a loud
+        // error, not silently become a copy-engine assignment.
+        throw TraceIoError(line_no,
+                           "unexpected 5th column '" + channel_text +
+                               "' in a v1 trace (channel columns need the '" +
+                               std::string(kMagicV2) + "' header)");
+      }
       ChannelId channel = 0;
       const auto [ptr, ec] = std::from_chars(
           channel_text.data(), channel_text.data() + channel_text.size(),

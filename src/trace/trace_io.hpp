@@ -9,10 +9,12 @@
 ///
 /// Durations are decimal seconds, memory decimal bytes; `<name>` contains
 /// no whitespace. The optional fifth field is the copy engine the
-/// transfer occupies (default 0, the single link of v1 traces); writers
-/// emit it — under a "# dts-trace v2" header — only for multi-channel
-/// instances, so single-link traces stay byte-identical to v1 and old
-/// readers keep working on them. The format round-trips every Instance
+/// transfer occupies (default 0, the single link of v1 traces); it is
+/// only legal under a "# dts-trace v2" header — a 5th column in a v1
+/// trace is rejected rather than silently becoming a channel assignment.
+/// Writers emit v2 only for multi-channel instances, so single-link
+/// traces stay byte-identical to v1 and old readers keep working on
+/// them. The format round-trips every Instance
 /// the library can represent and is the interchange point for users who
 /// bring measured traces from their own runtimes (the paper's
 /// experiments consumed such per-process trace files).

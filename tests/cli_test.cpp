@@ -273,6 +273,82 @@ TEST(Cli, ListSolversBothSpellings) {
   }
 }
 
+TEST(Cli, EmptyTraceIsAClearUserError) {
+  // A header-only trace has zero tasks; "solving" it used to print a
+  // degenerate all-zero analysis. Every scheduling command must point at
+  // the real problem and exit nonzero instead.
+  TempFile file("empty.trace");
+  {
+    std::ofstream out(file.str());
+    out << "# dts-trace v1\n";
+  }
+  for (const char* command : {"solve", "schedule", "compare", "recommend",
+                              "improve", "solve-batch"}) {
+    const CliRun r = run({command, file.str(), "--capacity-factor=1.5"});
+    EXPECT_EQ(r.exit_code, 1) << command;
+    EXPECT_NE(r.err.find("contains no tasks"), std::string::npos)
+        << command << ": " << r.err;
+  }
+  // info still works on an empty trace (inspecting one is legitimate).
+  EXPECT_EQ(run({"info", file.str()}).exit_code, 0);
+}
+
+TEST(Cli, SolveBatchEmitsCsvAndThroughput) {
+  TempFile a("batch_a.trace");
+  TempFile b("batch_b.trace");
+  ASSERT_EQ(run({"generate", "--kernel=HF", "--seed=21", "--min-tasks=30",
+                 "--max-tasks=40", "--out=" + a.str()})
+                .exit_code,
+            0);
+  ASSERT_EQ(run({"generate", "--kernel=CCSD", "--seed=22", "--min-tasks=30",
+                 "--max-tasks=40", "--out=" + b.str()})
+                .exit_code,
+            0);
+  const CliRun r = run({"solve-batch", a.str(), b.str(), a.str(),
+                        "--capacity-factor=1.25", "--workers=2"});
+  ASSERT_EQ(r.exit_code, 0) << r.err;
+  EXPECT_NE(r.out.find(
+                "trace,solver,status,winner,makespan,ratio_to_omim,"
+                "wall_seconds"),
+            std::string::npos);
+  EXPECT_NE(r.out.find(a.str() + ",auto,done,"), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find(b.str() + ",auto,done,"), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("jobs/sec"), std::string::npos);
+  EXPECT_NE(r.out.find("3 jobs on 2 workers"), std::string::npos);
+
+  // --csv=FILE moves the table into the file; the summary stays on stdout.
+  TempFile csv("batch_out.csv");
+  const CliRun to_file =
+      run({"solve-batch", a.str(), b.str(), "--capacity-factor=1.25",
+           "--workers=2", "--csv=" + csv.str(), "--policy=priority"});
+  ASSERT_EQ(to_file.exit_code, 0) << to_file.err;
+  EXPECT_EQ(to_file.out.find("trace,solver"), std::string::npos);
+  std::ifstream in(csv.str());
+  std::stringstream csv_text;
+  csv_text << in.rdbuf();
+  EXPECT_NE(csv_text.str().find("trace,solver,status"), std::string::npos);
+
+  const CliRun bad_policy =
+      run({"solve-batch", a.str(), "--capacity-factor=1.25",
+           "--policy=fastest"});
+  EXPECT_EQ(bad_policy.exit_code, 1);
+  EXPECT_NE(bad_policy.err.find("unknown --policy"), std::string::npos);
+
+  const CliRun no_files = run({"solve-batch", "--capacity-factor=1.25"});
+  EXPECT_EQ(no_files.exit_code, 1);
+  EXPECT_NE(no_files.err.find("at least one trace file"), std::string::npos);
+
+  // Jobs that expire before producing any schedule are not success: a
+  // zero deadline is already expired at submission, so every job lands
+  // in kCancelled without a result and the command exits nonzero.
+  const CliRun expired =
+      run({"solve-batch", a.str(), b.str(), "--capacity-factor=1.25",
+           "--workers=1", "--time-limit=0"});
+  EXPECT_EQ(expired.exit_code, 1) << expired.out;
+  EXPECT_NE(expired.out.find("expired without a result"), std::string::npos)
+      << expired.out;
+}
+
 TEST(Cli, ScheduleAcceptsBatchWindow) {
   TempFile file("batchflag.trace");
   ASSERT_EQ(run({"generate", "--kernel=CCSD", "--seed=8", "--min-tasks=30",

@@ -1,0 +1,184 @@
+/// Fuzz-style negative tests for the dts-trace v1/v2 parser: every
+/// malformed input — truncated lines, out-of-range channel columns, CRLF
+/// endings, huge or non-numeric tokens, random byte soup — must produce a
+/// clean TraceIoError with the offending line number, never a crash, hang
+/// or silent misparse. The seeded random corpus additionally round-trips
+/// mutations of a valid trace: every mutation either parses to a valid
+/// instance or throws TraceIoError (nothing else escapes).
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "support/rng.hpp"
+#include "trace/trace_io.hpp"
+
+namespace dts {
+namespace {
+
+TraceIoError parse_failure(const std::string& text) {
+  std::stringstream buffer(text);
+  try {
+    (void)read_trace(buffer);
+  } catch (const TraceIoError& e) {
+    return e;
+  }
+  ADD_FAILURE() << "expected TraceIoError for:\n" << text;
+  return TraceIoError(0, "did not throw");
+}
+
+TEST(TraceFuzz, TruncatedRecords) {
+  for (const char* line :
+       {"task", "task a", "task a 1", "task a 1 2", "task a 1 2 3 0 extra"}) {
+    const TraceIoError e =
+        parse_failure(std::string("# dts-trace v2\n") + line + "\n");
+    EXPECT_EQ(e.line(), 2u) << line;
+  }
+}
+
+TEST(TraceFuzz, TruncatedMidNumber) {
+  // A record cut off in the middle of a token (no trailing newline).
+  const TraceIoError e = parse_failure("# dts-trace v1\ntask a 1 2");
+  EXPECT_EQ(e.line(), 2u);
+}
+
+TEST(TraceFuzz, OutOfRangeChannelColumns) {
+  for (const char* channel :
+       {"256",                    // == kMaxChannels (exclusive bound)
+        "4294967295",             // UINT32_MAX
+        "4294967296",             // would wrap a naive uint32 parse
+        "99999999999999999999",   // overflows uint64 too
+        "-1", "-0", "0x1", "1e2", "2.0", "two"}) {
+    std::string text = std::string("# dts-trace v2\ntask a 1 2 3 ") + channel +
+                       "\n";
+    const TraceIoError e = parse_failure(text);
+    EXPECT_EQ(e.line(), 2u) << channel;
+  }
+}
+
+TEST(TraceFuzz, ChannelColumnUnderV1HeaderIsACleanError) {
+  // Accepting it would silently turn a malformed v1 trace into a
+  // multi-channel instance with optimistic overlap.
+  const TraceIoError e = parse_failure("# dts-trace v1\ntask a 1 2 3 1\n");
+  EXPECT_EQ(e.line(), 2u);
+  EXPECT_NE(std::string(e.what()).find("v1"), std::string::npos);
+}
+
+TEST(TraceFuzz, CrlfEndingsAreACleanError) {
+  // Fully CRLF file: rejected at the header line with a CRLF-specific
+  // message, not a generic "missing header".
+  const TraceIoError header =
+      parse_failure("# dts-trace v1\r\ntask a 1 2 3\r\n");
+  EXPECT_EQ(header.line(), 1u);
+  EXPECT_NE(std::string(header.what()).find("CRLF"), std::string::npos);
+
+  // Mixed endings (LF header, CRLF records) must not silently parse: the
+  // '\r' could end up glued to the last numeric field.
+  const TraceIoError record = parse_failure("# dts-trace v1\ntask a 1 2 3\r\n");
+  EXPECT_EQ(record.line(), 2u);
+  EXPECT_NE(std::string(record.what()).find("CRLF"), std::string::npos);
+}
+
+TEST(TraceFuzz, HugeAndNonFiniteTokens) {
+  for (const char* fields :
+       {"1e400 2 3",       // overflows double
+        "1 2 1e400",
+        "inf 2 3",         // parses as a double but is not a valid duration
+        "nan 2 3",
+        "-0.5 2 3",        // negative duration
+        "1 -2 3",
+        "1 2 -3",
+        "0x10 2 3",        // hex soup
+        "1,5 2 3"}) {      // locale-style decimal comma -> trailing junk
+    const TraceIoError e =
+        parse_failure(std::string("# dts-trace v1\ntask a ") + fields + "\n");
+    EXPECT_EQ(e.line(), 2u) << fields;
+  }
+}
+
+TEST(TraceFuzz, HugeTokenCountsRejectedAsTrailingContent) {
+  std::string line = "task a 1 2 3 0";
+  for (int i = 0; i < 512; ++i) line += " 9";
+  const TraceIoError e = parse_failure("# dts-trace v2\n" + line + "\n");
+  EXPECT_EQ(e.line(), 2u);
+}
+
+TEST(TraceFuzz, AbsurdlyLongSingleToken) {
+  // A multi-megabyte name token must not crash or hang; it either parses
+  // (names are free-form) or errors — here the record is also truncated.
+  const std::string huge_name(1 << 21, 'x');
+  const TraceIoError e =
+      parse_failure("# dts-trace v1\ntask " + huge_name + " 1\n");
+  EXPECT_EQ(e.line(), 2u);
+}
+
+TEST(TraceFuzz, HeaderGarbage) {
+  for (const char* header :
+       {"", "\n", "# dts-trace v3", "# dts-trace", "dts-trace v1",
+        "# DTS-TRACE V1", "\xff\xfe# dts-trace v1"}) {
+    const TraceIoError e = parse_failure(std::string(header) + "\n");
+    EXPECT_EQ(e.line(), 1u) << header;
+  }
+}
+
+TEST(TraceFuzz, RandomByteSoupNeverCrashes) {
+  Rng rng(20260729);
+  for (int round = 0; round < 200; ++round) {
+    std::string text = "# dts-trace v2\n";
+    const std::size_t len = rng.index(400);
+    for (std::size_t i = 0; i < len; ++i) {
+      // Printable-ish bytes plus separators; enough to hit the tokenizer
+      // from every angle without being pure noise.
+      const char alphabet[] = "task 0123456789.eE+-#\n\t chnl";
+      text += alphabet[rng.index(sizeof(alphabet) - 1)];
+    }
+    std::stringstream buffer(text);
+    try {
+      const Instance inst = read_trace(buffer);
+      // Parsed: then every task must be valid and on a sane channel.
+      for (const Task& t : inst) {
+        EXPECT_TRUE(is_valid(t));
+        EXPECT_LT(t.channel, kMaxChannels);
+      }
+    } catch (const TraceIoError&) {
+      // Clean rejection is the expected outcome for most rounds.
+    }
+  }
+}
+
+TEST(TraceFuzz, MutatedValidTraceParsesOrThrowsCleanly) {
+  const std::string valid =
+      "# dts-trace v2\n"
+      "task a 1.5 2.25 3 0\n"
+      "task b 0 4 1 1\n"
+      "task c 2 0 2 1\n";
+  Rng rng(42);
+  for (int round = 0; round < 300; ++round) {
+    std::string text = valid;
+    // 1-3 random single-byte mutations (overwrite, insert, delete).
+    const int edits = 1 + static_cast<int>(rng.index(3));
+    for (int e = 0; e < edits; ++e) {
+      if (text.empty()) break;
+      const std::size_t pos = rng.index(text.size());
+      const char byte = static_cast<char>(rng.index(96) + 32);
+      switch (rng.index(3)) {
+        case 0: text[pos] = byte; break;
+        case 1: text.insert(pos, 1, byte); break;
+        default: text.erase(pos, 1); break;
+      }
+    }
+    std::stringstream buffer(text);
+    try {
+      const Instance inst = read_trace(buffer);
+      for (const Task& t : inst) {
+        EXPECT_TRUE(is_valid(t));
+        EXPECT_LT(t.channel, kMaxChannels);
+      }
+    } catch (const TraceIoError&) {
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dts

@@ -210,16 +210,21 @@ TEST(TraceIo, RejectsShortRecord) {
   EXPECT_THROW((void)read_trace(buffer), TraceIoError);
 }
 
-TEST(TraceIo, FifthFieldIsTheChannel) {
-  std::stringstream buffer("# dts-trace v1\ntask a 1 2 3 1\n");
+TEST(TraceIo, FifthFieldIsTheChannelInV2Only) {
+  std::stringstream buffer("# dts-trace v2\ntask a 1 2 3 1\n");
   const Instance inst = read_trace(buffer);
   ASSERT_EQ(inst.size(), 1u);
   EXPECT_EQ(inst[0].channel, 1u);
   EXPECT_EQ(inst.num_channels(), 2u);
+
+  // A stray extra numeric column in a v1 trace must not silently become
+  // a copy-engine assignment.
+  std::stringstream v1("# dts-trace v1\ntask a 1 2 3 1\n");
+  EXPECT_THROW((void)read_trace(v1), TraceIoError);
 }
 
 TEST(TraceIo, RejectsTrailingFields) {
-  std::stringstream buffer("# dts-trace v1\ntask a 1 2 3 0 9\n");
+  std::stringstream buffer("# dts-trace v2\ntask a 1 2 3 0 9\n");
   EXPECT_THROW((void)read_trace(buffer), TraceIoError);
 }
 
