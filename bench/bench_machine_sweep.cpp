@@ -1,0 +1,166 @@
+/// Machine sweep — the redesign's headline experiment: the HF and CCSD
+/// workloads, generated once as machine-independent byte-annotated
+/// traces, re-costed with bind() for EVERY machine in the MachineRegistry
+/// and solved. One table row per (kernel, machine): workload shape after
+/// binding, auto-winner, makespan statistics and solve throughput. The
+/// numbers land in BENCH_machine_sweep.json so the perf trajectory of
+/// the costing + solving pipeline has data points across PRs.
+///
+///   bench_machine_sweep [--quick] [--traces=N] [--seed=S] [--csv-dir=P]
+///                       [--json=FILE]   (default BENCH_machine_sweep.json)
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/solver.hpp"
+#include "model/machine.hpp"
+#include "report/stats.hpp"
+#include "trace/transforms.hpp"
+
+namespace {
+
+/// Strips a --json=FILE argument before bench::Options sees it.
+std::string take_json_flag(int& argc, char** argv) {
+  std::string json = "BENCH_machine_sweep.json";
+  int w = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--json=", 0) == 0) {
+      json = arg.substr(7);
+    } else {
+      argv[w++] = argv[i];
+    }
+  }
+  argc = w;
+  return json;
+}
+
+struct SweepRow {
+  std::string kernel;
+  std::string machine;
+  std::string winner;
+  double median_makespan = 0.0;
+  double median_ratio = 0.0;      // makespan / OMIM of the bound trace
+  double comm_over_comp = 0.0;    // aggregate shape after binding
+  double solves_per_sec = 0.0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dts;
+  const std::string json_path = take_json_flag(argc, argv);
+  const bench::Options options = bench::Options::parse(argc, argv);
+
+  std::printf("machine sweep — %zu traces/kernel across every registered "
+              "machine\n\n",
+              options.traces);
+
+  std::vector<SweepRow> rows;
+  TextTable table({"kernel", "machine", "winner", "median makespan",
+                   "median ratio", "comm/comp", "solves/s"});
+
+  for (ChemistryKernel kernel : {ChemistryKernel::kHartreeFock,
+                                 ChemistryKernel::kCoupledClusterSD}) {
+    // One machine-independent corpus per kernel: generated on the paper
+    // machine, then stripped to bytes-only — exactly what a user's
+    // measured v3 trace set looks like before re-costing.
+    std::vector<Instance> workloads;
+    for (const Instance& trace : bench::corpus(kernel, options)) {
+      workloads.push_back(strip_comm_times(trace));
+    }
+
+    for (const MachineListing& listing : list_machines()) {
+      if (listing.name == "cascade") continue;  // alias of "paper"
+      const Machine machine = machine_from_name(listing.name);
+
+      SweepRow row;
+      row.kernel = std::string(to_string(kernel));
+      row.machine = listing.name;
+
+      // Bind once per workload, outside the timed region: the solves/s
+      // metric must measure solving, not costing or this aggregation.
+      double sum_comm = 0.0, sum_comp = 0.0;
+      std::vector<Instance> bound;
+      bound.reserve(workloads.size());
+      for (const Instance& workload : workloads) {
+        bound.push_back(bind(workload, machine));
+        const InstanceStats stats = bound.back().stats();
+        sum_comm += stats.sum_comm;
+        sum_comp += stats.sum_comp;
+      }
+
+      std::vector<double> makespans;
+      std::vector<double> ratios;
+      std::map<std::string, std::size_t> wins;
+      const auto start = std::chrono::steady_clock::now();
+      for (const Instance& instance : bound) {
+        SolveRequest request;
+        request.instance = instance;
+        request.capacity = 1.5 * instance.min_capacity();
+        const SolveResult result = solve(request, "auto");
+        makespans.push_back(result.makespan);
+        ratios.push_back(result.ratio_to_optimal());
+        ++wins[result.winner];
+      }
+      const double wall =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start)
+              .count();
+
+      row.median_makespan = summarize(makespans).median;
+      row.median_ratio = summarize(ratios).median;
+      row.comm_over_comp = sum_comp > 0.0 ? sum_comm / sum_comp : 0.0;
+      row.solves_per_sec =
+          wall > 0.0 ? static_cast<double>(workloads.size()) / wall : 0.0;
+      std::size_t best = 0;
+      for (const auto& [name, count] : wins) {
+        if (count > best) {
+          best = count;
+          row.winner = name;
+        }
+      }
+      rows.push_back(row);
+
+      char makespan_text[32], ratio_text[32], shape_text[32], rate_text[32];
+      std::snprintf(makespan_text, sizeof makespan_text, "%.6g s",
+                    row.median_makespan);
+      std::snprintf(ratio_text, sizeof ratio_text, "%.4f", row.median_ratio);
+      std::snprintf(shape_text, sizeof shape_text, "%.3f",
+                    row.comm_over_comp);
+      std::snprintf(rate_text, sizeof rate_text, "%.1f", row.solves_per_sec);
+      table.add_row({row.kernel, row.machine, row.winner, makespan_text,
+                     ratio_text, shape_text, rate_text});
+    }
+  }
+
+  std::printf("%s", table.to_ascii().c_str());
+
+  // Hand-rolled JSON (no third-party deps in this container).
+  std::ofstream json(json_path);
+  if (!json) {
+    std::fprintf(stderr, "cannot open %s\n", json_path.c_str());
+    return 1;
+  }
+  json << "{\n  \"bench\": \"machine_sweep\",\n  \"traces_per_kernel\": "
+       << options.traces << ",\n  \"rows\": [\n";
+  json.precision(12);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const SweepRow& row = rows[i];
+    json << "    {\"kernel\": \"" << row.kernel << "\", \"machine\": \""
+         << row.machine << "\", \"winner\": \"" << row.winner
+         << "\", \"median_makespan_seconds\": " << row.median_makespan
+         << ", \"median_ratio_to_omim\": " << row.median_ratio
+         << ", \"comm_over_comp\": " << row.comm_over_comp
+         << ", \"solves_per_second\": " << row.solves_per_sec << "}"
+         << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+  std::printf("\nwrote %s (%zu rows)\n", json_path.c_str(), rows.size());
+  return 0;
+}

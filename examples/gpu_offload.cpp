@@ -39,6 +39,7 @@ int main() {
                .comm = gpu.transfer_time(bytes),
                .comp = gpu.streaming_time(bytes) * 0.5,
                .mem = bytes,
+               .comm_bytes = bytes,
                .name = "gather_" + std::to_string(i)};
     } else if (pick < 0.75) {  // attention GEMM: modest weights, heavy flops
       const double bytes = rng.uniform(32e6, 128e6);
@@ -47,6 +48,7 @@ int main() {
                .comm = gpu.transfer_time(bytes),
                .comp = gpu.compute_time(flops),
                .mem = bytes,
+               .comm_bytes = bytes,
                .name = "gemm_" + std::to_string(i)};
     } else {  // elementwise epilogue
       const double bytes = rng.uniform(8e6, 32e6);
@@ -54,6 +56,7 @@ int main() {
                .comm = gpu.transfer_time(bytes),
                .comp = gpu.streaming_time(bytes),
                .mem = bytes,
+               .comm_bytes = bytes,
                .name = "ew_" + std::to_string(i)};
     }
     kernels.push_back(std::move(t));
@@ -103,5 +106,20 @@ int main() {
               render_gantt(inst, res.schedule,
                            {.width = 72, .show_legend = false})
                   .c_str());
+
+  // The tensor sizes above are machine independent (Task::comm_bytes), so
+  // re-costing the same queue for a different interconnect is a one-line
+  // machine swap: SolveRequest::machine re-binds every transfer through
+  // the named machine's performance model before solving.
+  std::printf("\nsame queue, other interconnects (device mem 1.5x):\n");
+  TextTable sweep({"machine", "winner", "makespan"});
+  for (const char* machine :
+       {"pcie-gpu", "duplex-pcie", "summit-node", "nvlink"}) {
+    SolveRequest request{.instance = inst, .capacity = budget};
+    request.machine = machine;
+    const SolveResult swept = solve(request, "auto");
+    sweep.add_row({machine, swept.winner, format_seconds(swept.makespan)});
+  }
+  std::printf("%s", sweep.to_ascii().c_str());
   return 0;
 }

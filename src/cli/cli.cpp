@@ -5,14 +5,20 @@
 #include <charconv>
 #include <chrono>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <ostream>
+#include <sstream>
 #include <stdexcept>
+
+#include <iostream>
 
 #include "core/pool.hpp"
 #include "core/recommend.hpp"
 #include "core/registry.hpp"
 #include "core/solver.hpp"
+#include "model/calibrate.hpp"
+#include "model/machine.hpp"
 #include "report/csv.hpp"
 #include "report/gantt.hpp"
 #include "report/schedule_stats.hpp"
@@ -26,19 +32,23 @@ namespace dts::cli {
 namespace {
 
 constexpr std::string_view kUsage =
-    "usage: dts <command> [args]\n"
+    "usage: dts <command> [args]     (trace FILE arguments accept '-' for\n"
+    "                                stdin, so commands pipe into each other)\n"
     "commands:\n"
     "  generate  --kernel=HF|CCSD [--seed=N] [--min-tasks=N] [--max-tasks=N]\n"
-    "            [--machine=cascade|pcie-gpu|duplex-pcie]\n"
+    "            [--machine=paper|cascade|pcie-gpu|duplex-pcie]\n"
     "            [--writeback-fraction=F]\n"
-    "            --out=FILE          synthesize a process trace; a duplex\n"
-    "                                machine emits bidirectional traces with\n"
-    "                                D2H result write-back tasks\n"
+    "            --out=FILE          synthesize a byte-annotated (v3) process\n"
+    "                                trace; a duplex machine emits\n"
+    "                                bidirectional traces with D2H result\n"
+    "                                write-back tasks\n"
     "  info      FILE [--channels]   bounds and workload characteristics\n"
     "                                (--channels adds the per-engine loads)\n"
     "  solve     FILE [--solver=NAME] (--capacity=B | --capacity-factor=F)\n"
     "            [--batch=N] [--iterations=N] [--seed=N] [--time-limit=S]\n"
-    "            [--machine=NAME] [--gantt]  run any registered solver\n"
+    "            [--machine=NAME] [--gantt]  run any registered solver;\n"
+    "                                --machine re-costs byte-annotated\n"
+    "                                traces for a registered machine\n"
     "  solve-batch FILE... [--solver=NAME]\n"
     "            (--capacity=B | --capacity-factor=F) [--workers=N]\n"
     "            [--queue=N] [--policy=fifo|priority] [--time-limit=S]\n"
@@ -57,6 +67,16 @@ constexpr std::string_view kUsage =
     "                                the Table-6 recommendation\n"
     "  improve   FILE (--capacity=B | --capacity-factor=F) [--iterations=N]\n"
     "                                local search on top of the best heuristic\n"
+    "  recost    FILE --machine=NAME [--out=FILE]\n"
+    "                                re-cost a byte-annotated trace for a\n"
+    "                                registered machine; writes the machine-\n"
+    "                                costed v3 trace to stdout (or --out)\n"
+    "  calibrate FILE [--split=BYTES]  least-squares fit a transfer model\n"
+    "                                from '<bytes> <seconds>' sample lines\n"
+    "                                (--split fits the small/large-message\n"
+    "                                regimes separately, as the paper does)\n"
+    "  machines                      list every registered machine model\n"
+    "                                (also available as dts --list-machines)\n"
     "  solvers                       list every registered solver\n"
     "                                (also available as dts --list-solvers)\n";
 
@@ -107,11 +127,18 @@ Mem resolve_capacity(const CommandLine& cmd, const Instance& inst) {
   return inst.min_capacity() * f;
 }
 
-Instance load(const CommandLine& cmd) {
+/// Loads one trace argument; '-' reads the injected stdin stream so
+/// commands compose in pipes (dts recost ... | dts solve -).
+Instance load_trace(const std::string& file, std::istream& in) {
+  if (file == "-") return read_trace(in);
+  return read_trace_file(file);
+}
+
+Instance load(const CommandLine& cmd, std::istream& in) {
   if (cmd.positional.empty()) {
     throw std::invalid_argument("missing trace file argument");
   }
-  return read_trace_file(cmd.positional.front());
+  return load_trace(cmd.positional.front(), in);
 }
 
 /// Scheduling commands reject empty traces: "solving" zero tasks would
@@ -124,20 +151,29 @@ void expect_tasks(const Instance& inst, const std::string& file) {
   }
 }
 
-/// Resolves --machine against the named presets.
-MachineModel resolve_machine(const std::string& name) {
-  if (name == "cascade") return MachineModel::cascade();
+/// Resolves `generate`'s --machine flag. Generation needs the full
+/// MachineModel (compute rates as well as link models), so it stays on
+/// the MachineModel presets; scheduling commands resolve --machine in the
+/// MachineRegistry instead (any registered machine, affine or piecewise).
+MachineModel resolve_generator_machine(const std::string& name) {
+  if (name == "cascade" || name == "paper") return MachineModel::cascade();
   if (name == "pcie-gpu") return MachineModel::pcie_gpu();
   if (name == "duplex-pcie") return MachineModel::duplex_pcie();
-  throw std::invalid_argument("unknown machine '" + name +
-                              "' (use cascade, pcie-gpu or duplex-pcie)");
+  throw std::invalid_argument(
+      "unknown machine '" + name +
+      "' (generate accepts paper, cascade, pcie-gpu or duplex-pcie)");
 }
 
 /// Builds the SolveRequest shared by every scheduling command from one
-/// trace file (solve-batch calls this per positional file).
-SolveRequest make_request(const CommandLine& cmd, const std::string& file) {
+/// trace file (solve-batch calls this per positional file). --machine
+/// resolves in the MachineRegistry and re-costs the trace's
+/// byte-annotated tasks for that hardware up front — the CLI binds
+/// eagerly (rather than through SolveRequest::machine) so the printed
+/// schedule analysis sees the same machine-costed tasks the solver does.
+SolveRequest make_request(const CommandLine& cmd, const std::string& file,
+                          std::istream& in) {
   SolveRequest request;
-  request.instance = read_trace_file(file);
+  request.instance = load_trace(file, in);
   expect_tasks(request.instance, file);
   request.capacity = resolve_capacity(cmd, request.instance);
   if (cmd.flag("batch")) {
@@ -147,17 +183,30 @@ SolveRequest make_request(const CommandLine& cmd, const std::string& file) {
     }
     request.batch_size = batch;
   }
-  if (const auto machine = cmd.flag("machine")) {
-    request.channels = resolve_machine(*machine).channel_set();
+  if (const auto machine_name = cmd.flag("machine")) {
+    // Same guard as recost: re-costing a trace whose tasks lack byte
+    // annotations would keep their old times while reporting the new
+    // machine's name — a silent hybrid costing. bind() itself permits
+    // per-task fallthrough (the library contract); the CLI insists the
+    // whole trace is re-costable.
+    if (!request.instance.fully_byte_annotated()) {
+      throw std::invalid_argument(
+          "trace '" + file +
+          "' is not fully byte-annotated (v3 bytes= column), so --machine "
+          "cannot re-cost it; regenerate it as v3 or drop --machine");
+    }
+    const Machine machine = machine_from_name(*machine_name);
+    request.instance = bind(request.instance, machine);
+    request.channels = machine.channel_set();
   }
   return request;
 }
 
-SolveRequest make_request(const CommandLine& cmd) {
+SolveRequest make_request(const CommandLine& cmd, std::istream& in) {
   if (cmd.positional.empty()) {
     throw std::invalid_argument("missing trace file argument");
   }
-  return make_request(cmd, cmd.positional.front());
+  return make_request(cmd, cmd.positional.front(), in);
 }
 
 SolveOptions make_options(const CommandLine& cmd) {
@@ -195,7 +244,7 @@ int cmd_generate(const CommandLine& cmd, std::ostream& out) {
     throw std::invalid_argument("need 0 < min-tasks <= max-tasks");
   }
   if (const auto machine = cmd.flag("machine")) {
-    config.machine = resolve_machine(*machine);
+    config.machine = resolve_generator_machine(*machine);
   }
   if (const auto fraction = cmd.flag("writeback-fraction")) {
     if (!config.machine.duplex()) {
@@ -221,13 +270,30 @@ int cmd_generate(const CommandLine& cmd, std::ostream& out) {
   return 0;
 }
 
-int cmd_info(const CommandLine& cmd, std::ostream& out) {
-  const Instance inst = load(cmd);
-  const WorkloadCharacteristics wc = characterize(inst);
+int cmd_info(const CommandLine& cmd, std::ostream& out,
+             std::istream& in) {
+  const Instance inst = load(cmd, in);
   const InstanceStats stats = inst.stats();
+  if (!inst.fully_bound()) {
+    // A bytes-only workload has no times to characterize yet; show what
+    // is machine independent and point at recost.
+    TextTable table({"quantity", "value"});
+    table.add_row({"tasks", std::to_string(stats.n_tasks)});
+    table.add_row({"channels", std::to_string(inst.num_channels())});
+    table.add_row({"time-less (bytes-only)", "yes — bind with `dts recost "
+                   "FILE --machine=NAME` to cost it"});
+    table.add_row({"minimum capacity (mc)", format_si_bytes(stats.max_mem)});
+    table.add_row({"total memory footprint",
+                   format_si_bytes(stats.total_mem)});
+    out << table.to_ascii();
+    return 0;
+  }
+  const WorkloadCharacteristics wc = characterize(inst);
   TextTable table({"quantity", "value"});
   table.add_row({"tasks", std::to_string(stats.n_tasks)});
   table.add_row({"channels", std::to_string(inst.num_channels())});
+  table.add_row({"byte-annotated (recostable)",
+                 inst.fully_byte_annotated() ? "yes" : "no"});
   table.add_row({"sum comm", format_seconds(wc.bounds.sum_comm)});
   if (cmd.flag("channels") && !inst.single_channel()) {
     for (std::size_t ch = 0; ch < wc.bounds.sum_comm_per_channel.size();
@@ -271,13 +337,17 @@ void print_schedule_analysis(std::ostream& out, const Instance& inst,
   if (gantt) out << render_gantt(inst, sched, {.width = 72});
 }
 
-int cmd_solve(const CommandLine& cmd, std::ostream& out) {
-  const SolveRequest request = make_request(cmd);
+int cmd_solve(const CommandLine& cmd, std::ostream& out,
+              std::istream& in) {
+  const SolveRequest request = make_request(cmd, in);
   const SolveOptions options = make_options(cmd);
   const auto solver = cmd.flag("solver").value_or("auto");
   const SolveResult res = solve(request, solver, options);
   out << "solver " << solver << " at capacity "
       << format_si_bytes(request.capacity);
+  if (const auto machine = cmd.flag("machine")) {
+    out << " on machine " << *machine;
+  }
   if (request.batch_size) out << " (batches of " << *request.batch_size << ")";
   out << ":\n";
   out << "winner: " << res.winner;
@@ -307,7 +377,8 @@ std::string csv_number(double value, int digits = 6) {
   return format_fixed(value, digits);
 }
 
-int cmd_solve_batch(const CommandLine& cmd, std::ostream& out) {
+int cmd_solve_batch(const CommandLine& cmd, std::ostream& out,
+                    std::istream& in) {
   if (cmd.positional.empty()) {
     throw std::invalid_argument("solve-batch needs at least one trace file");
   }
@@ -328,12 +399,19 @@ int cmd_solve_batch(const CommandLine& cmd, std::ostream& out) {
     }
   }
 
+  // stdin is one stream: a second '-' would read it after the first
+  // drained it and fail with a baffling "empty trace".
+  if (std::count(cmd.positional.begin(), cmd.positional.end(), "-") > 1) {
+    throw std::invalid_argument(
+        "solve-batch: '-' (stdin) may be given at most once");
+  }
+
   std::vector<JobRequest> jobs;
   jobs.reserve(cmd.positional.size());
   for (const std::string& file : cmd.positional) {
     JobRequest job;
     job.tag = file;
-    job.request = make_request(cmd, file);
+    job.request = make_request(cmd, file, in);
     job.solver = solver;
     job.options = make_options(cmd);
     // --time-limit becomes the service-level deadline (it covers queue
@@ -398,13 +476,14 @@ int cmd_solve_batch(const CommandLine& cmd, std::ostream& out) {
   return failed == 0 && unsolved == 0 ? 0 : 1;
 }
 
-int cmd_schedule(const CommandLine& cmd, std::ostream& out) {
+int cmd_schedule(const CommandLine& cmd, std::ostream& out,
+                 std::istream& in) {
   const auto name = cmd.flag("heuristic").value_or("OOSIM");
   if (!heuristic_from_name(name)) {
     throw std::invalid_argument("unknown heuristic '" + name +
                                 "' (see `dts compare` for the list)");
   }
-  const SolveRequest request = make_request(cmd);
+  const SolveRequest request = make_request(cmd, in);
   const SolveResult res = solve(request, name);
   out << name << " at capacity " << format_si_bytes(request.capacity) << ":\n";
   print_schedule_analysis(out, request.instance, res.schedule, res.bounds,
@@ -412,14 +491,15 @@ int cmd_schedule(const CommandLine& cmd, std::ostream& out) {
   return 0;
 }
 
-int cmd_compare(const CommandLine& cmd, std::ostream& out) {
+int cmd_compare(const CommandLine& cmd, std::ostream& out,
+                std::istream& in) {
   if (cmd.flag("batch")) {
     // Batched candidates report per-batch wins, not makespans, which this
     // table cannot render.
     throw std::invalid_argument(
         "compare does not take --batch; use `dts solve --solver=auto-batch:N`");
   }
-  const SolveRequest request = make_request(cmd);
+  const SolveRequest request = make_request(cmd, in);
   const SolveResult res = solve(request, "auto");
   TextTable table({"heuristic", "family", "makespan", "ratio to OMIM"});
   for (const CandidateOutcome& o : res.outcomes) {
@@ -436,19 +516,27 @@ int cmd_compare(const CommandLine& cmd, std::ostream& out) {
   return 0;
 }
 
-int cmd_recommend(const CommandLine& cmd, std::ostream& out) {
-  const Instance inst = load(cmd);
-  expect_tasks(inst, cmd.positional.front());
-  const Mem capacity = resolve_capacity(cmd, inst);
-  const Recommendation rec = recommend(inst, capacity);
+int cmd_recommend(const CommandLine& cmd, std::ostream& out,
+                  std::istream& in) {
+  // Through make_request so --machine re-costs here too; recommend()
+  // never reaches solve()'s time-less guard, so repeat it.
+  const SolveRequest request = make_request(cmd, in);
+  if (!request.instance.fully_bound()) {
+    throw std::invalid_argument(
+        "trace '" + cmd.positional.front() +
+        "' has time-less (bytes-only) tasks; pass --machine=NAME to cost "
+        "them");
+  }
+  const Recommendation rec = recommend(request.instance, request.capacity);
   out << "capacity regime: " << to_string(rec.regime) << "\n"
       << "recommended heuristic: " << name_of(rec.primary) << "\n"
       << "rationale (Table 6): " << rec.rationale << "\n";
   return 0;
 }
 
-int cmd_improve(const CommandLine& cmd, std::ostream& out) {
-  const SolveRequest request = make_request(cmd);
+int cmd_improve(const CommandLine& cmd, std::ostream& out,
+                std::istream& in) {
+  const SolveRequest request = make_request(cmd, in);
   const SolveResult res = solve(request, "local-search", make_options(cmd));
   const Time initial =
       res.outcomes.empty() ? res.makespan : res.outcomes.front().makespan;
@@ -466,6 +554,96 @@ int cmd_solvers(std::ostream& out) {
   for (const SolverListing& listing : list_solvers()) {
     table.add_row({listing.name, listing.params, listing.description});
   }
+  out << table.to_ascii();
+  return 0;
+}
+
+int cmd_machines(std::ostream& out) {
+  TextTable table({"machine", "channels", "description"});
+  for (const MachineListing& listing : list_machines()) {
+    table.add_row({listing.name, listing.channels, listing.description});
+  }
+  out << table.to_ascii();
+  return 0;
+}
+
+int cmd_recost(const CommandLine& cmd, std::ostream& out, std::istream& in) {
+  const auto machine_name = cmd.flag("machine");
+  if (!machine_name) {
+    throw std::invalid_argument("recost needs --machine=NAME (see `dts "
+                                "machines`)");
+  }
+  const Instance inst = load(cmd, in);
+  if (!inst.fully_byte_annotated()) {
+    throw std::invalid_argument(
+        "trace '" + cmd.positional.front() +
+        "' is not fully byte-annotated (v3 bytes= column); re-costing "
+        "needs the machine-independent transfer sizes");
+  }
+  const Machine machine = machine_from_name(*machine_name);
+  const Instance bound = bind(inst, machine);
+  if (const auto out_file = cmd.flag("out")) {
+    write_trace_file(*out_file, bound);
+  } else {
+    write_trace(out, bound);
+  }
+  return 0;
+}
+
+int cmd_calibrate(const CommandLine& cmd, std::ostream& out,
+                  std::istream& in) {
+  if (cmd.positional.empty()) {
+    throw std::invalid_argument(
+        "calibrate needs a sample file of '<bytes> <seconds>' lines");
+  }
+  const std::string& file = cmd.positional.front();
+  std::ifstream file_stream;
+  if (file != "-") {
+    // ifstream::open succeeds on a directory on Linux and only the reads
+    // fail, which would surface as a baffling "need at least two
+    // samples" — check explicitly.
+    if (std::filesystem::is_directory(file)) {
+      throw std::runtime_error("calibrate: " + file + " is a directory");
+    }
+    file_stream.open(file);
+    if (!file_stream) {
+      throw std::runtime_error("calibrate: cannot open " + file);
+    }
+  }
+  std::istream& samples_in = file == "-" ? in : file_stream;
+
+  std::vector<TransferSample> samples;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(samples_in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields(line);
+    TransferSample s;
+    std::string trailing;
+    if (!(fields >> s.bytes >> s.seconds) || fields >> trailing) {
+      throw std::invalid_argument("sample line " + std::to_string(line_no) +
+                                  ": expected '<bytes> <seconds>'");
+    }
+    samples.push_back(s);
+  }
+
+  TextTable table({"quantity", "value"});
+  table.add_row({"samples", std::to_string(samples.size())});
+  if (const auto split = cmd.flag("split")) {
+    const double split_bytes = parse_double_flag("split", *split);
+    const PiecewiseTransferModel model =
+        calibrate_piecewise(samples, split_bytes);
+    table.add_row({"model", model.describe()});
+    out << table.to_ascii();
+    return 0;
+  }
+  const CalibratedFit fit = calibrate(samples);
+  table.add_row({"latency", format_seconds(fit.latency)});
+  table.add_row({"bandwidth", format_si_bytes(fit.bandwidth) + "/s"});
+  table.add_row({"rmse", format_seconds(fit.rmse)});
+  table.add_row({"max relative error",
+                 format_fixed(100.0 * fit.max_rel_error, 2) + "%"});
   out << table.to_ascii();
   return 0;
 }
@@ -515,21 +693,30 @@ CommandLine parse_command_line(int argc, const char* const* argv) {
 
 int run_cli(int argc, const char* const* argv, std::ostream& out,
             std::ostream& err) {
+  return run_cli(argc, argv, out, err, std::cin);
+}
+
+int run_cli(int argc, const char* const* argv, std::ostream& out,
+            std::ostream& err, std::istream& in) {
   try {
     const CommandLine cmd = parse_command_line(argc, argv);
     if (cmd.command.empty() || cmd.command == "help") {
       if (cmd.flag("list-solvers")) return cmd_solvers(out);
+      if (cmd.flag("list-machines")) return cmd_machines(out);
       out << kUsage;
       return cmd.command.empty() ? 2 : 0;
     }
     if (cmd.command == "generate") return cmd_generate(cmd, out);
-    if (cmd.command == "info") return cmd_info(cmd, out);
-    if (cmd.command == "solve") return cmd_solve(cmd, out);
-    if (cmd.command == "solve-batch") return cmd_solve_batch(cmd, out);
-    if (cmd.command == "schedule") return cmd_schedule(cmd, out);
-    if (cmd.command == "compare") return cmd_compare(cmd, out);
-    if (cmd.command == "recommend") return cmd_recommend(cmd, out);
-    if (cmd.command == "improve") return cmd_improve(cmd, out);
+    if (cmd.command == "info") return cmd_info(cmd, out, in);
+    if (cmd.command == "solve") return cmd_solve(cmd, out, in);
+    if (cmd.command == "solve-batch") return cmd_solve_batch(cmd, out, in);
+    if (cmd.command == "schedule") return cmd_schedule(cmd, out, in);
+    if (cmd.command == "compare") return cmd_compare(cmd, out, in);
+    if (cmd.command == "recommend") return cmd_recommend(cmd, out, in);
+    if (cmd.command == "improve") return cmd_improve(cmd, out, in);
+    if (cmd.command == "recost") return cmd_recost(cmd, out, in);
+    if (cmd.command == "calibrate") return cmd_calibrate(cmd, out, in);
+    if (cmd.command == "machines") return cmd_machines(out);
     if (cmd.command == "solvers") return cmd_solvers(out);
     err << "unknown command '" << cmd.command << "'\n" << kUsage;
     return 2;

@@ -15,11 +15,17 @@
 ///   dts recommend hf.trace --capacity-factor=1.1
 ///   dts improve hf.trace --capacity-factor=1.5 --iterations=20000
 ///   dts solvers                (also: dts --list-solvers)
+///   dts machines               (also: dts --list-machines)
+///   dts recost hf.trace --machine=nvlink | dts solve - --capacity-factor=1.5
+///   dts calibrate samples.txt
 ///
 /// Every scheduling command runs through the unified dts::solve() registry
 /// (core/solver.hpp). Capacities are given either absolutely
 /// (--capacity=BYTES) or relative to the trace's minimum feasible capacity
-/// (--capacity-factor=F).
+/// (--capacity-factor=F). --machine=NAME resolves in the MachineRegistry
+/// (model/machine.hpp) and re-costs byte-annotated (v3) traces for that
+/// hardware before solving. A trace argument of `-` reads from stdin, so
+/// recost pipes into solve.
 
 #include <iosfwd>
 #include <map>
@@ -54,8 +60,12 @@ struct CommandLine {
 [[nodiscard]] CommandLine parse_command_line(int argc, const char* const* argv);
 
 /// Runs one command; returns the process exit code. Writes results to
-/// `out` and problems to `err` (never throws for user errors).
+/// `out` and problems to `err` (never throws for user errors). Trace
+/// arguments of `-` read from std::cin; the second overload injects the
+/// input stream instead (tests drive piped workflows through it).
 int run_cli(int argc, const char* const* argv, std::ostream& out,
             std::ostream& err);
+int run_cli(int argc, const char* const* argv, std::ostream& out,
+            std::ostream& err, std::istream& in);
 
 }  // namespace dts::cli

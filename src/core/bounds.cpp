@@ -1,12 +1,18 @@
 #include "core/bounds.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 
 #include "core/johnson.hpp"
 
 namespace dts {
 
 Bounds compute_bounds(const Instance& inst) {
+  if (!inst.fully_bound()) {
+    throw std::invalid_argument(
+        "compute_bounds: the instance has time-less (bytes-only) tasks; "
+        "bind() it to a machine first");
+  }
   Bounds b;
   b.sum_comm_per_channel.assign(inst.num_channels(), 0.0);
   for (const Task& t : inst) {

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "core/types.hpp"
+#include "model/transfer_model.hpp"
 
 namespace dts {
 
@@ -28,14 +29,17 @@ namespace dts {
 /// the trace generators use to convert bytes into channel occupancy time.
 /// The scheduling core itself only consumes per-task transfer *times*; the
 /// bandwidth/latency pair matters when synthesizing or calibrating traces.
+/// Richer (piecewise) models live behind model/machine.hpp's Machine; a
+/// ChannelSpec is that model's affine summary.
 struct ChannelSpec {
   std::string name = "link";
   double bandwidth = 1.2e9;  ///< bytes/s moved once the transfer started
   double latency = 2.0e-6;   ///< per-transfer startup cost (s)
 
-  /// Time this engine needs to move `bytes`.
+  /// Time this engine needs to move `bytes` — delegates to the library's
+  /// single affine implementation (model/transfer_model.hpp).
   [[nodiscard]] Time transfer_time(double bytes) const noexcept {
-    return latency + bytes / bandwidth;
+    return affine_transfer_time(latency, bandwidth, bytes);
   }
 };
 

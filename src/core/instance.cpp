@@ -16,6 +16,8 @@ Instance::Instance(std::vector<Task> tasks) : tasks_(std::move(tasks)) {
     // could ever wrap the +1.
     num_channels_ = std::max(
         num_channels_, static_cast<std::size_t>(tasks_[i].channel) + 1);
+    fully_bound_ = fully_bound_ && tasks_[i].time_bound();
+    fully_byte_annotated_ = fully_byte_annotated_ && tasks_[i].has_comm_bytes();
   }
 }
 
@@ -48,12 +50,16 @@ InstanceStats Instance::stats() const {
   s.n_tasks = tasks_.size();
   s.sum_comm_per_channel.assign(num_channels_, 0.0);
   for (const Task& t : tasks_) {
-    s.sum_comm += t.comm;
+    // Time-less tasks carry the kUnboundTime sentinel; counting it would
+    // silently shrink the sums (and comp >= -1 would classify every such
+    // task as compute intensive).
+    const Time comm = t.time_bound() ? t.comm : 0.0;
+    s.sum_comm += comm;
     s.sum_comp += t.comp;
-    s.sum_comm_per_channel[t.channel] += t.comm;
+    s.sum_comm_per_channel[t.channel] += comm;
     s.total_mem += t.mem;
     s.max_mem = std::max(s.max_mem, t.mem);
-    if (t.compute_intensive()) ++s.n_compute_intensive;
+    if (t.time_bound() && t.compute_intensive()) ++s.n_compute_intensive;
   }
   return s;
 }

@@ -88,6 +88,17 @@ class Instance {
     return num_channels_ == 1;
   }
 
+  /// True when every task has an actual transfer time (no kUnboundTime
+  /// sentinels). Solvers require a fully bound instance; a bytes-only
+  /// trace becomes bound via bind(inst, machine) (model/machine.hpp).
+  [[nodiscard]] bool fully_bound() const noexcept { return fully_bound_; }
+
+  /// True when every task records the bytes its transfer moves, i.e. the
+  /// whole instance can be re-costed for another machine.
+  [[nodiscard]] bool fully_byte_annotated() const noexcept {
+    return fully_byte_annotated_;
+  }
+
   /// Ids of the tasks whose transfer runs on `ch`, in submission order.
   [[nodiscard]] std::vector<TaskId> tasks_on_channel(ChannelId ch) const;
 
@@ -105,6 +116,8 @@ class Instance {
  private:
   std::vector<Task> tasks_;
   std::size_t num_channels_ = 1;
+  bool fully_bound_ = true;
+  bool fully_byte_annotated_ = true;
 };
 
 }  // namespace dts

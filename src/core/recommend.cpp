@@ -1,5 +1,7 @@
 #include "core/recommend.hpp"
 
+#include <stdexcept>
+
 #include "core/johnson.hpp"
 #include "core/validate.hpp"
 
@@ -44,6 +46,11 @@ Time mean_comm(const Instance& inst, Pred pred) {
 }  // namespace
 
 Recommendation recommend(const Instance& inst, Mem capacity) {
+  if (!inst.fully_bound()) {
+    throw std::invalid_argument(
+        "recommend: the instance has time-less (bytes-only) tasks; bind() "
+        "it to a machine first");
+  }
   const CapacityRegime regime = classify_capacity(inst, capacity);
   const InstanceStats stats = inst.stats();
   const double ci_frac = stats.compute_intensive_fraction();

@@ -133,8 +133,11 @@ std::vector<std::string> SolverRegistry::keys() const {
   return keys;
 }
 
-SolveResult solve(const SolveRequest& request, std::string_view solver,
-                  const SolveOptions& options) {
+namespace {
+
+/// The solve pipeline after machine binding: every task has a real time.
+SolveResult solve_bound(const SolveRequest& request, std::string_view solver,
+                        const SolveOptions& options) {
   if (!request.instance.empty() &&
       definitely_less(request.capacity, request.instance.min_capacity())) {
     throw std::invalid_argument(
@@ -162,6 +165,42 @@ SolveResult solve(const SolveRequest& request, std::string_view solver,
   }
   if (result.winner.empty()) result.winner = std::string(solver);
   return result;
+}
+
+}  // namespace
+
+SolveResult solve(const SolveRequest& request, std::string_view solver,
+                  const SolveOptions& options) {
+  // Machine-parameterized solving: bind the instance to the requested
+  // hardware before anything else, so capacity checks, bounds and the
+  // solver itself all see the machine-costed workload.
+  if (request.machine || request.machine_model) {
+    if (request.machine && request.machine_model) {
+      throw std::invalid_argument(
+          "solve: set either SolveRequest::machine (registry name) or "
+          "machine_model (descriptor), not both");
+    }
+    const Machine machine = request.machine_model
+                                ? *request.machine_model
+                                : machine_from_name(*request.machine);
+    // Whole-request copy (not field-by-field) so fields added to
+    // SolveRequest later cannot silently vanish on the machine path; the
+    // copied instance is immediately replaced by its bound version.
+    SolveRequest bound_request = request;
+    bound_request.machine.reset();
+    bound_request.machine_model.reset();
+    bound_request.instance = bind(request.instance, machine);
+    if (!bound_request.channels) {
+      bound_request.channels = machine.channel_set();
+    }
+    return solve_bound(bound_request, solver, options);
+  }
+  if (!request.instance.fully_bound()) {
+    throw std::invalid_argument(
+        "solve: the instance has time-less (bytes-only) tasks; set "
+        "SolveRequest::machine or machine_model to cost them");
+  }
+  return solve_bound(request, solver, options);
 }
 
 std::vector<SolverListing> list_solvers() {

@@ -39,6 +39,7 @@
 #include "core/instance.hpp"
 #include "core/schedule.hpp"
 #include "exact/lower_bounds.hpp"
+#include "model/machine.hpp"
 
 namespace dts {
 
@@ -55,11 +56,22 @@ class Executor;  // job.hpp: fan-out interface implemented by SolverPool
 /// paper's model. When set, it must cover every channel the instance's
 /// tasks reference — solve() rejects a request whose tasks name engines
 /// the machine does not have — and its names label per-channel reporting.
+///
+/// `machine` / `machine_model` parameterize solving by hardware: solve()
+/// lazily binds the instance (model/machine.hpp bind()) before running,
+/// re-costing every byte-annotated task through the machine's per-channel
+/// TransferModels, and — when `channels` is unset — adopts the machine's
+/// channel set. A name is resolved in the global MachineRegistry at
+/// solve() time; a descriptor is used as-is (set at most one). Without a
+/// machine, solve() rejects instances carrying time-less (bytes-only)
+/// tasks — there is nothing to cost them with.
 struct SolveRequest {
   Instance instance;
   Mem capacity = 0.0;
   std::optional<std::size_t> batch_size;
   std::optional<ChannelSet> channels;
+  std::optional<std::string> machine;   ///< MachineRegistry key
+  std::optional<Machine> machine_model; ///< inline descriptor
 };
 
 /// Cooperative cancellation. A default-constructed token can never fire;

@@ -11,7 +11,12 @@ Time Task::acceleration() const noexcept {
 }
 
 bool is_valid(const Task& t) noexcept {
-  return std::isfinite(t.comm) && t.comm >= 0.0 &&  //
+  const bool comm_ok =
+      (std::isfinite(t.comm) && t.comm >= 0.0) ||
+      (t.comm == kUnboundTime && t.comm_bytes >= 0.0);  // time-less carrier
+  const bool bytes_ok = t.comm_bytes == kUnknownBytes ||
+                        (std::isfinite(t.comm_bytes) && t.comm_bytes >= 0.0);
+  return comm_ok && bytes_ok &&                       //
          std::isfinite(t.comp) && t.comp >= 0.0 &&  //
          std::isfinite(t.mem) && t.mem >= 0.0 &&    //
          t.channel < kMaxChannels;
@@ -19,9 +24,15 @@ bool is_valid(const Task& t) noexcept {
 
 std::string to_string(const Task& t) {
   std::ostringstream os;
-  os << (t.name.empty() ? "T" + std::to_string(t.id) : t.name)  //
-     << "[comm=" << t.comm << " comp=" << t.comp << " mem=" << t.mem;
+  os << (t.name.empty() ? "T" + std::to_string(t.id) : t.name) << "[comm=";
+  if (t.time_bound()) {
+    os << t.comm;
+  } else {
+    os << "?";  // time-less: costed by bind() from the byte annotation
+  }
+  os << " comp=" << t.comp << " mem=" << t.mem;
   if (t.channel != 0) os << " ch=" << t.channel;
+  if (t.has_comm_bytes()) os << " bytes=" << t.comm_bytes;
   os << "]";
   return os.str();
 }

@@ -23,11 +23,31 @@ namespace dts {
 /// kChannelD2H, so opposite directions overlap.
 struct Task {
   TaskId id = kInvalidTask;  ///< Index within the owning Instance.
-  Time comm = 0.0;           ///< CM_i: transfer time on its channel.
+  Time comm = 0.0;           ///< CM_i: transfer time on its channel, or
+                             ///< kUnboundTime for a time-less task whose
+                             ///< cost comes from comm_bytes via bind().
   Time comp = 0.0;           ///< CP_i: processing time on the compute unit.
   Mem mem = 0.0;             ///< MC_i: bytes held from comm start to comp end.
   ChannelId channel = 0;     ///< Copy engine serving the transfer.
+  /// Bytes the transfer moves — the machine-independent size the paper's
+  /// §3 performance model maps to CM_i. kUnknownBytes (negative) when the
+  /// task only carries a measured time; >= 0 when the trace is
+  /// byte-annotated, in which case bind(inst, machine) recomputes comm
+  /// from the machine's per-channel TransferModel.
+  double comm_bytes = kUnknownBytes;
   std::string name;          ///< Optional label (used by traces & reports).
+
+  /// True when the transfer's size is recorded (the task can be re-costed
+  /// for another machine).
+  [[nodiscard]] constexpr bool has_comm_bytes() const noexcept {
+    return comm_bytes >= 0.0;
+  }
+
+  /// True when comm is an actual time (not the kUnboundTime sentinel).
+  /// Solvers require every task to be time-bound.
+  [[nodiscard]] constexpr bool time_bound() const noexcept {
+    return comm >= 0.0;
+  }
 
   /// Paper terminology: a task is compute intensive iff CP_i >= CM_i,
   /// communication intensive otherwise.
@@ -46,7 +66,10 @@ struct Task {
 
 /// Validity: finite, non-negative fields and a channel below kMaxChannels.
 /// Tasks with comm == 0 and mem == 0 are legal (Table 2's task A);
-/// negative or NaN durations are not.
+/// negative or NaN durations are not — with one exception: a time-less
+/// task (comm == kUnboundTime) is valid iff it carries a byte annotation
+/// to eventually cost it with (comm_bytes >= 0). comm_bytes itself must
+/// be finite and >= 0, or exactly kUnknownBytes.
 [[nodiscard]] bool is_valid(const Task& t) noexcept;
 
 /// Human-readable one-liner, e.g. "T3[comm=2.5 comp=4 mem=176128]".

@@ -53,6 +53,16 @@ inline constexpr ChannelId kMaxChannels = 256;
 inline constexpr Time kInfiniteTime = std::numeric_limits<Time>::infinity();
 inline constexpr Mem kInfiniteMem = std::numeric_limits<Mem>::infinity();
 
+/// Sentinel comm value of a *time-less* task: the transfer's size is known
+/// (Task::comm_bytes) but no machine has costed it yet. Such tasks are
+/// only valid carriers between trace IO and bind(); solve() refuses to
+/// schedule them without a machine.
+inline constexpr Time kUnboundTime = -1.0;
+
+/// Sentinel for Task::comm_bytes when the transfer size is unknown (the
+/// task only carries a measured time, as in v1/v2 traces).
+inline constexpr double kUnknownBytes = -1.0;
+
 /// Absolute slack used by feasibility checks. Schedules are built from
 /// short chains of additions, so accumulated error is tiny; the validator
 /// additionally scales this by the magnitude of the quantities compared.

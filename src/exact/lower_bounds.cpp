@@ -1,6 +1,7 @@
 #include "exact/lower_bounds.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 
 #include "core/johnson.hpp"
 
@@ -42,6 +43,11 @@ CapacityAwareBounds one_link_bounds(const Instance& inst, Mem capacity) {
 }  // namespace
 
 CapacityAwareBounds capacity_aware_bounds(const Instance& inst, Mem capacity) {
+  if (!inst.fully_bound()) {
+    throw std::invalid_argument(
+        "capacity_aware_bounds: the instance has time-less (bytes-only) "
+        "tasks; bind() it to a machine first");
+  }
   if (inst.single_channel()) return one_link_bounds(inst, capacity);
 
   // Multi-channel: each channel's induced sub-schedule is feasible for the

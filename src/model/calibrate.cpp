@@ -1,0 +1,99 @@
+#include "model/calibrate.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dts {
+
+CalibratedFit calibrate(std::span<const TransferSample> samples) {
+  if (samples.size() < 2) {
+    throw std::invalid_argument("calibrate: need at least two samples");
+  }
+  // OLS on (x = bytes, y = seconds). Center on the means for numerical
+  // stability — byte counts span many orders of magnitude.
+  double mean_x = 0.0, mean_y = 0.0;
+  for (const TransferSample& s : samples) {
+    if (!std::isfinite(s.bytes) || s.bytes < 0.0 || !std::isfinite(s.seconds) ||
+        s.seconds < 0.0) {
+      throw std::invalid_argument(
+          "calibrate: samples must be finite and non-negative");
+    }
+    mean_x += s.bytes;
+    mean_y += s.seconds;
+  }
+  const double n = static_cast<double>(samples.size());
+  mean_x /= n;
+  mean_y /= n;
+
+  double sxx = 0.0, sxy = 0.0;
+  for (const TransferSample& s : samples) {
+    const double dx = s.bytes - mean_x;
+    sxx += dx * dx;
+    sxy += dx * (s.seconds - mean_y);
+  }
+  if (!(sxx > 0.0)) {
+    throw std::invalid_argument(
+        "calibrate: need samples at two distinct sizes");
+  }
+  const double slope = sxy / sxx;  // seconds per byte
+  if (!(slope > 0.0)) {
+    throw std::invalid_argument(
+        "calibrate: transfer times do not grow with size (non-positive "
+        "fitted slope)");
+  }
+  CalibratedFit fit;
+  fit.bandwidth = 1.0 / slope;
+  // Noise can pull the intercept slightly negative; a negative startup
+  // cost is physically meaningless, so clamp.
+  fit.latency = std::max(0.0, mean_y - slope * mean_x);
+
+  double sq = 0.0;
+  for (const TransferSample& s : samples) {
+    const double predicted =
+        affine_transfer_time(fit.latency, fit.bandwidth, s.bytes);
+    const double err = predicted - s.seconds;
+    sq += err * err;
+    if (s.seconds > 0.0) {
+      fit.max_rel_error =
+          std::max(fit.max_rel_error, std::abs(err) / s.seconds);
+    }
+  }
+  fit.rmse = std::sqrt(sq / n);
+  return fit;
+}
+
+PiecewiseTransferModel calibrate_piecewise(
+    std::span<const TransferSample> samples, double split_bytes) {
+  if (!(split_bytes > 0.0) || !std::isfinite(split_bytes)) {
+    throw std::invalid_argument(
+        "calibrate_piecewise: split_bytes must be positive and finite");
+  }
+  std::vector<TransferSample> small, large;
+  for (const TransferSample& s : samples) {
+    (s.bytes < split_bytes ? small : large).push_back(s);
+  }
+  if (small.size() < 2 || large.size() < 2) {
+    throw std::invalid_argument(
+        "calibrate_piecewise: the " +
+        std::string(small.size() < 2 ? "small" : "large") +
+        "-message regime has fewer than two samples at this split");
+  }
+  const CalibratedFit lo = calibrate(small);
+  const CalibratedFit hi = calibrate(large);
+  return PiecewiseTransferModel({
+      {0.0, lo.latency, lo.bandwidth},
+      {split_bytes, hi.latency, hi.bandwidth},
+  });
+}
+
+std::vector<TransferSample> measure_samples(const TransferModel& model,
+                                            std::span<const double> sizes) {
+  std::vector<TransferSample> samples;
+  samples.reserve(sizes.size());
+  for (double bytes : sizes) {
+    samples.push_back(TransferSample{bytes, model.transfer_time(bytes)});
+  }
+  return samples;
+}
+
+}  // namespace dts

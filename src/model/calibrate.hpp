@@ -1,0 +1,57 @@
+#pragma once
+
+/// \file calibrate.hpp
+/// Model calibration from measured transfers, the paper's §3 methodology:
+/// time a set of transfers of known sizes, then least-squares fit the
+/// bytes -> seconds curve. calibrate() recovers the affine
+/// latency+bandwidth pair; calibrate_piecewise() fits one affine branch
+/// per message-size regime for measured curves with a protocol switch
+/// (eager vs. rendezvous).
+
+#include <span>
+#include <vector>
+
+#include "model/transfer_model.hpp"
+
+namespace dts {
+
+/// One timed transfer: `bytes` moved in `seconds`.
+struct TransferSample {
+  double bytes = 0.0;
+  Time seconds = 0.0;
+};
+
+/// An affine fit plus its quality metrics.
+struct CalibratedFit {
+  double latency = 0.0;    ///< fitted intercept (s), clamped at 0
+  double bandwidth = 0.0;  ///< fitted 1/slope (bytes/s)
+  double rmse = 0.0;       ///< root-mean-square residual (s)
+  double max_rel_error = 0.0;  ///< worst |predicted-measured|/measured
+
+  [[nodiscard]] AffineTransferModel model() const {
+    return AffineTransferModel(latency, bandwidth);
+  }
+};
+
+/// Ordinary least squares of seconds on bytes: latency is the intercept,
+/// bandwidth the reciprocal slope — exactly the paper's fit. Throws
+/// std::invalid_argument for fewer than two distinct sizes, non-finite or
+/// negative samples, or a fit with non-positive slope (times must grow
+/// with size). A slightly negative intercept (measurement noise) is
+/// clamped to zero.
+[[nodiscard]] CalibratedFit calibrate(std::span<const TransferSample> samples);
+
+/// Two-regime fit: samples below `split_bytes` calibrate the
+/// small-message branch, the rest the large-message branch, stitched into
+/// a PiecewiseTransferModel with the threshold at `split_bytes`. Each
+/// side needs two distinct sizes.
+[[nodiscard]] PiecewiseTransferModel calibrate_piecewise(
+    std::span<const TransferSample> samples, double split_bytes);
+
+/// Synthesizes calibration samples by timing `sizes` through a model —
+/// the test-bench counterpart of measuring a real link (round-trip:
+/// calibrate(measure_samples(m, sizes)) recovers m's parameters).
+[[nodiscard]] std::vector<TransferSample> measure_samples(
+    const TransferModel& model, std::span<const double> sizes);
+
+}  // namespace dts

@@ -1,0 +1,166 @@
+#include "model/machine.hpp"
+
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+
+namespace dts {
+
+namespace detail {
+// Defined in trace/machine.cpp, next to the MachineModel constants the
+// presets share (one source of truth for the hardware numbers).
+// Referencing it from here pulls that translation unit out of a static
+// library even when a program only ever names machines by string.
+void register_builtin_machines(MachineRegistry& registry);
+}  // namespace detail
+
+MachineChannel affine_channel(std::string name, double latency,
+                              double bandwidth) {
+  return MachineChannel{
+      std::move(name),
+      std::make_shared<const AffineTransferModel>(latency, bandwidth)};
+}
+
+Machine::Machine(std::string name, std::string description,
+                 std::vector<MachineChannel> channels)
+    : name_(std::move(name)),
+      description_(std::move(description)),
+      channels_(std::move(channels)) {
+  if (channels_.empty()) {
+    throw std::invalid_argument("Machine '" + name_ +
+                                "': at least one channel required");
+  }
+  for (const MachineChannel& ch : channels_) {
+    if (!ch.model) {
+      throw std::invalid_argument("Machine '" + name_ + "': channel '" +
+                                  ch.name + "' has no transfer model");
+    }
+  }
+}
+
+ChannelSet Machine::channel_set() const {
+  std::vector<ChannelSpec> specs;
+  specs.reserve(channels_.size());
+  for (const MachineChannel& ch : channels_) specs.push_back(ch.spec());
+  return ChannelSet(std::move(specs));
+}
+
+Instance bind(const Instance& inst, const Machine& machine) {
+  std::vector<Task> tasks(inst.tasks());
+  for (Task& t : tasks) {
+    if (t.channel >= machine.num_channels()) {
+      throw std::invalid_argument(
+          "bind: task '" + (t.name.empty() ? "T" + std::to_string(t.id)
+                                           : t.name) +
+          "' runs on channel " + std::to_string(t.channel) + " but machine '" +
+          machine.name() + "' has only " +
+          std::to_string(machine.num_channels()) + " channel(s)");
+    }
+    if (t.has_comm_bytes()) {
+      t.comm = machine.channel(t.channel).transfer_time(t.comm_bytes);
+    } else if (!t.time_bound()) {
+      throw std::invalid_argument(
+          "bind: task '" + (t.name.empty() ? "T" + std::to_string(t.id)
+                                           : t.name) +
+          "' has neither a transfer time nor a byte annotation");
+    }
+  }
+  return Instance(std::move(tasks));
+}
+
+namespace {
+
+std::mutex& machine_registry_mutex() {
+  static std::mutex mutex;
+  return mutex;
+}
+
+}  // namespace
+
+MachineRegistry& MachineRegistry::global() {
+  static MachineRegistry registry;
+  static std::once_flag builtin_once;
+  std::call_once(builtin_once,
+                 [] { detail::register_builtin_machines(registry); });
+  return registry;
+}
+
+void MachineRegistry::add(std::string key, std::string description,
+                          Factory factory) {
+  if (key.empty()) throw std::logic_error("machine key must not be empty");
+  const std::lock_guard<std::mutex> lock(machine_registry_mutex());
+  for (const Entry& entry : entries_) {
+    if (entry.key == key) {
+      throw std::logic_error("machine '" + key + "' registered twice");
+    }
+  }
+  entries_.push_back(
+      Entry{std::move(key), std::move(description), std::move(factory)});
+}
+
+Machine MachineRegistry::make(std::string_view name) const {
+  Factory factory;
+  {
+    const std::lock_guard<std::mutex> lock(machine_registry_mutex());
+    for (const Entry& entry : entries_) {
+      if (entry.key == name) {
+        factory = entry.factory;
+        break;
+      }
+    }
+  }
+  if (!factory) {
+    std::ostringstream message;
+    message << "unknown machine '" << name << "'; available:";
+    for (const std::string& key : keys()) message << " " << key;
+    throw std::invalid_argument(message.str());
+  }
+  return factory();
+}
+
+bool MachineRegistry::contains(std::string_view key) const {
+  const std::lock_guard<std::mutex> lock(machine_registry_mutex());
+  for (const Entry& entry : entries_) {
+    if (entry.key == key) return true;
+  }
+  return false;
+}
+
+std::vector<MachineListing> MachineRegistry::listings() const {
+  std::vector<Entry> entries;
+  {
+    const std::lock_guard<std::mutex> lock(machine_registry_mutex());
+    entries = entries_;
+  }
+  std::vector<MachineListing> rows;
+  rows.reserve(entries.size());
+  for (const Entry& entry : entries) {
+    const Machine machine = entry.factory();
+    std::string channels;
+    for (const MachineChannel& ch : machine.channels()) {
+      if (!channels.empty()) channels += "+";
+      channels += ch.name;
+    }
+    rows.push_back(
+        MachineListing{entry.key, std::move(channels), entry.description});
+  }
+  return rows;
+}
+
+std::vector<std::string> MachineRegistry::keys() const {
+  const std::lock_guard<std::mutex> lock(machine_registry_mutex());
+  std::vector<std::string> keys;
+  keys.reserve(entries_.size());
+  for (const Entry& entry : entries_) keys.push_back(entry.key);
+  return keys;
+}
+
+Machine machine_from_name(std::string_view name) {
+  return MachineRegistry::global().make(name);
+}
+
+std::vector<MachineListing> list_machines() {
+  return MachineRegistry::global().listings();
+}
+
+}  // namespace dts

@@ -1,0 +1,167 @@
+#pragma once
+
+/// \file machine.hpp
+/// Machine descriptors and the string-keyed machine registry: the hardware
+/// half of the paper's performance-model methodology, made first class.
+///
+/// A Machine is a named collection of copy engines, each costed by its own
+/// TransferModel. Workloads stay machine independent — tasks carry the
+/// *bytes* their transfer moves (Task::comm_bytes) — and bind() produces
+/// the machine-specific costed instance by running every byte-annotated
+/// task through its channel's model. Re-targeting a workload to different
+/// hardware is bind(inst, other_machine); asymmetric-duplex what-if
+/// studies are a one-line machine swap.
+///
+/// Machines register in the MachineRegistry exactly like solvers do in the
+/// SolverRegistry (core/solver.hpp): a namespace-scope RegisterMachine
+/// adds a factory before main(), and the built-in presets ("paper",
+/// "summit-node", "duplex-pcie", "nvlink", ...) are registered on first
+/// access. SolveRequest::machine resolves names here lazily at solve()
+/// time.
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/channels.hpp"
+#include "core/instance.hpp"
+#include "model/transfer_model.hpp"
+
+namespace dts {
+
+/// One copy engine of a Machine: a report-friendly name plus the
+/// performance model that converts bytes into occupancy time. The model
+/// pointer is shared because Machine values are freely copied (requests
+/// carry them by value) and TransferModels are immutable.
+struct MachineChannel {
+  std::string name = "link";
+  std::shared_ptr<const TransferModel> model;
+
+  [[nodiscard]] Time transfer_time(double bytes) const {
+    return model->transfer_time(bytes);
+  }
+
+  /// Affine summary (asymptotic bandwidth + zero-byte latency) for the
+  /// execution core's ChannelSet, which labels per-channel reporting.
+  [[nodiscard]] ChannelSpec spec() const {
+    return ChannelSpec{name, model->asymptotic_bandwidth(),
+                       model->zero_byte_latency()};
+  }
+};
+
+/// Convenience builder for the common affine case.
+[[nodiscard]] MachineChannel affine_channel(std::string name, double latency,
+                                            double bandwidth);
+
+/// A machine: named channels indexed by ChannelId. Channel 0 is the
+/// paper's single link (and the H2D engine of a duplex machine);
+/// channel 1, when present, is the D2H write-back engine.
+class Machine {
+ public:
+  Machine() = default;
+
+  /// Throws std::invalid_argument for an empty channel list or a channel
+  /// without a model.
+  Machine(std::string name, std::string description,
+          std::vector<MachineChannel> channels);
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const std::string& description() const noexcept {
+    return description_;
+  }
+  [[nodiscard]] std::size_t num_channels() const noexcept {
+    return channels_.size();
+  }
+  [[nodiscard]] bool duplex() const noexcept { return channels_.size() > 1; }
+  [[nodiscard]] const MachineChannel& channel(ChannelId id) const {
+    return channels_.at(id);
+  }
+  [[nodiscard]] const std::vector<MachineChannel>& channels() const noexcept {
+    return channels_;
+  }
+
+  /// Time for `bytes` on channel `id`. Throws std::out_of_range for a
+  /// channel this machine does not have.
+  [[nodiscard]] Time transfer_time(ChannelId id, double bytes) const {
+    return channels_.at(id).transfer_time(bytes);
+  }
+
+  /// The execution core's view: names + affine summaries per engine.
+  [[nodiscard]] ChannelSet channel_set() const;
+
+ private:
+  std::string name_;
+  std::string description_;
+  std::vector<MachineChannel> channels_;
+};
+
+/// Produces the machine-costed instance: every byte-annotated task gets
+/// comm recomputed from its channel's TransferModel (including previously
+/// time-less tasks); tasks without a byte annotation keep their measured
+/// comm. Throws std::invalid_argument when a task is time-less AND
+/// byte-less (nothing to cost it with), or references a channel the
+/// machine does not have.
+[[nodiscard]] Instance bind(const Instance& inst, const Machine& machine);
+
+/// One row of MachineRegistry::listings().
+struct MachineListing {
+  std::string name;         ///< registry key, e.g. "duplex-pcie"
+  std::string channels;     ///< e.g. "H2D+D2H"
+  std::string description;
+};
+
+/// String-keyed machine factory registry, mirroring SolverRegistry.
+/// Factories self-register via RegisterMachine; the built-in presets are
+/// registered on first access so a static-library link never loses them.
+class MachineRegistry {
+ public:
+  using Factory = std::function<Machine()>;
+
+  /// The process-wide registry.
+  [[nodiscard]] static MachineRegistry& global();
+
+  /// Registers a factory under `key`. Throws std::logic_error when the
+  /// key is already taken or empty.
+  void add(std::string key, std::string description, Factory factory);
+
+  /// Instantiates the machine `name` refers to. Throws
+  /// std::invalid_argument for an unknown key — the message lists every
+  /// available machine.
+  [[nodiscard]] Machine make(std::string_view name) const;
+
+  [[nodiscard]] bool contains(std::string_view key) const;
+
+  /// Every registered machine, in registration order.
+  [[nodiscard]] std::vector<MachineListing> listings() const;
+
+  /// Registered keys, in registration order (error messages, CLI).
+  [[nodiscard]] std::vector<std::string> keys() const;
+
+ private:
+  struct Entry {
+    std::string key;
+    std::string description;
+    Factory factory;
+  };
+  std::vector<Entry> entries_;  // small; linear lookup, stable order
+};
+
+/// Self-registration helper: a namespace-scope `const RegisterMachine` in
+/// any linked translation unit adds the factory before main() runs.
+struct RegisterMachine {
+  RegisterMachine(std::string key, std::string description,
+                  MachineRegistry::Factory factory) {
+    MachineRegistry::global().add(std::move(key), std::move(description),
+                                  std::move(factory));
+  }
+};
+
+/// Resolves a preset name in the global registry.
+[[nodiscard]] Machine machine_from_name(std::string_view name);
+
+/// Listings of the global registry (CLI `dts machines`, error messages).
+[[nodiscard]] std::vector<MachineListing> list_machines();
+
+}  // namespace dts

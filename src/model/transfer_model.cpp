@@ -1,0 +1,79 @@
+#include "model/transfer_model.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace dts {
+
+namespace {
+
+void require_model_params(double latency, double bandwidth,
+                          const char* what) {
+  if (!std::isfinite(latency) || latency < 0.0) {
+    throw std::invalid_argument(std::string(what) +
+                                ": latency must be finite and >= 0");
+  }
+  if (!std::isfinite(bandwidth) || !(bandwidth > 0.0)) {
+    throw std::invalid_argument(std::string(what) +
+                                ": bandwidth must be finite and > 0");
+  }
+}
+
+}  // namespace
+
+AffineTransferModel::AffineTransferModel(double latency, double bandwidth)
+    : latency_(latency), bandwidth_(bandwidth) {
+  require_model_params(latency, bandwidth, "AffineTransferModel");
+}
+
+std::string AffineTransferModel::describe() const {
+  std::ostringstream os;
+  os << "affine(latency=" << latency_ << "s, bandwidth=" << bandwidth_
+     << "B/s)";
+  return os.str();
+}
+
+PiecewiseTransferModel::PiecewiseTransferModel(std::vector<Segment> segments)
+    : segments_(std::move(segments)) {
+  if (segments_.empty()) {
+    throw std::invalid_argument(
+        "PiecewiseTransferModel: at least one segment required");
+  }
+  if (segments_.front().min_bytes != 0.0) {
+    throw std::invalid_argument(
+        "PiecewiseTransferModel: the first segment must start at 0 bytes");
+  }
+  for (std::size_t i = 0; i < segments_.size(); ++i) {
+    require_model_params(segments_[i].latency, segments_[i].bandwidth,
+                         "PiecewiseTransferModel segment");
+    if (i > 0 && !(segments_[i].min_bytes > segments_[i - 1].min_bytes)) {
+      throw std::invalid_argument(
+          "PiecewiseTransferModel: segment thresholds must be strictly "
+          "increasing");
+    }
+  }
+}
+
+Time PiecewiseTransferModel::transfer_time(double bytes) const noexcept {
+  const Segment* active = &segments_.front();
+  for (const Segment& s : segments_) {
+    if (bytes >= s.min_bytes) active = &s;
+  }
+  return affine_transfer_time(active->latency, active->bandwidth, bytes);
+}
+
+std::string PiecewiseTransferModel::describe() const {
+  std::ostringstream os;
+  os << "piecewise(";
+  for (std::size_t i = 0; i < segments_.size(); ++i) {
+    if (i > 0) os << "; ";
+    os << ">=" << segments_[i].min_bytes << "B: latency="
+       << segments_[i].latency << "s, bandwidth=" << segments_[i].bandwidth
+       << "B/s";
+  }
+  os << ")";
+  return os.str();
+}
+
+}  // namespace dts

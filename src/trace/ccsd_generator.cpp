@@ -71,6 +71,7 @@ Instance generate_ccsd_trace(const TraceConfig& config) {
         .comm = comm,
         .comp = comm * ratio,
         .mem = bytes,
+        .comm_bytes = bytes,
         .name = (contraction ? "contract_" : "fetch_") + std::to_string(i)});
   }
   return Instance(std::move(tasks));

@@ -74,6 +74,7 @@ Instance generate_hf_trace(const TraceConfig& config) {
                .comm = comm,
                .comp = comm * rng.uniform(1.05, 1.45),
                .mem = b_bytes,
+               .comm_bytes = b_bytes,
                .name = "ct_" + std::to_string(i)};
     }
     // Mild run-to-run jitter on the computation (cache state, NUMA): HF

@@ -1,4 +1,88 @@
 #include "trace/machine.hpp"
 
-// MachineModel is header-only; this translation unit exists so the build
-// has a home for future non-inline additions (e.g. calibration loaders).
+#include <utility>
+#include <vector>
+
+namespace dts {
+
+Machine MachineModel::to_machine(std::string name,
+                                 std::string description) const {
+  std::vector<MachineChannel> channels;
+  channels.push_back(affine_channel(duplex() ? "H2D" : "link", link_latency,
+                                    link_bandwidth));
+  if (duplex()) {
+    channels.push_back(affine_channel("D2H", link_latency, d2h_bandwidth));
+  }
+  return Machine(std::move(name), std::move(description), std::move(channels));
+}
+
+namespace detail {
+
+/// The built-in machine presets live here, next to the MachineModel
+/// constants they share, so the hardware numbers have exactly one home.
+/// MachineRegistry::global() (model/machine.cpp) calls this on first
+/// access — the same late-registration trick SolverRegistry uses to
+/// survive static-library links.
+void register_builtin_machines(MachineRegistry& registry) {
+  // "cascade" is a documented alias of "paper": same construction, only
+  // the registry key differs.
+  const auto cascade_machine = [](const char* name) {
+    return MachineModel::cascade().to_machine(
+        name, "Cascade node slice, single half-duplex link");
+  };
+  registry.add("paper",
+               "the paper's testbed: one process's share of a PNNL Cascade "
+               "node (shared FDR link, one-sided transfers)",
+               [cascade_machine] { return cascade_machine("paper"); });
+  registry.add("cascade", "alias of 'paper' (the Cascade testbed)",
+               [cascade_machine] { return cascade_machine("cascade"); });
+  registry.add("pcie-gpu",
+               "CPU->GPU offload over one PCIe 3.0 x16 DMA engine "
+               "(half duplex)",
+               [] {
+                 return MachineModel::pcie_gpu().to_machine(
+                     "pcie-gpu", "PCIe 3.0 x16, single DMA engine");
+               });
+  registry.add("duplex-pcie",
+               "CPU<->GPU offload with both PCIe 3.0 x16 DMA engines "
+               "(H2D + slightly slower D2H)",
+               [] {
+                 return MachineModel::duplex_pcie().to_machine(
+                     "duplex-pcie",
+                     "PCIe 3.0 x16, one DMA engine per direction");
+               });
+  registry.add(
+      "summit-node",
+      "Summit-like node: NVLink2 CPU<->GPU bricks, duplex, with the "
+      "measured small/large-message protocol switch (piecewise model)",
+      [] {
+        // NVLink2 CPU<->GPU on a Summit node: ~50 GB/s per direction (two
+        // bricks). Small messages ride an eager path whose effective
+        // bandwidth sits far below the asymptote; the curve switches
+        // branch at the 64 KiB protocol threshold — the two-regime shape
+        // the paper measures on its own interconnect.
+        const auto nvlink2 = [] {
+          return std::make_shared<const PiecewiseTransferModel>(
+              std::vector<PiecewiseTransferModel::Segment>{
+                  {0.0, 1.5e-6, 1.0e10},      // eager: latency-dominated
+                  {65536.0, 6.0e-6, 5.0e10},  // rendezvous: streaming
+              });
+        };
+        return Machine("summit-node",
+                       "NVLink2 duplex, piecewise small/large regimes",
+                       {MachineChannel{"H2D", nvlink2()},
+                        MachineChannel{"D2H", nvlink2()}});
+      });
+  registry.add("nvlink",
+               "NVLink3-class CPU<->GPU attachment: duplex, ~150 GB/s per "
+               "direction, sub-microsecond startup",
+               [] {
+                 return Machine("nvlink", "NVLink3 duplex",
+                                {affine_channel("H2D", 8.0e-7, 1.5e11),
+                                 affine_channel("D2H", 8.0e-7, 1.5e11)});
+               });
+}
+
+}  // namespace detail
+
+}  // namespace dts

@@ -9,8 +9,11 @@
 /// decisions; the absolute magnitudes simply keep reported times in a
 /// realistic microsecond-to-second range.
 
+#include <string>
+
 #include "core/channels.hpp"
 #include "core/types.hpp"
+#include "model/machine.hpp"
 
 namespace dts {
 
@@ -42,16 +45,18 @@ struct MachineModel {
     return ChannelSet::duplex(link_bandwidth, d2h_bandwidth, link_latency);
   }
 
-  /// Time to move `bytes` across the (H2D) link.
+  /// Time to move `bytes` across the (H2D) link. Delegates to the
+  /// library's single affine implementation (model/transfer_model.hpp) so
+  /// generation-time costing can never drift from bind()-time costing.
   [[nodiscard]] Time transfer_time(double bytes) const noexcept {
-    return link_latency + bytes / link_bandwidth;
+    return affine_transfer_time(link_latency, link_bandwidth, bytes);
   }
 
   /// Time to move `bytes` back over the D2H engine (the H2D link when the
   /// machine is half duplex).
   [[nodiscard]] Time d2h_transfer_time(double bytes) const noexcept {
-    return link_latency +
-           bytes / (duplex() ? d2h_bandwidth : link_bandwidth);
+    return affine_transfer_time(
+        link_latency, duplex() ? d2h_bandwidth : link_bandwidth, bytes);
   }
 
   /// Time to execute `flops` of dense compute.
@@ -89,6 +94,14 @@ struct MachineModel {
     m.d2h_bandwidth = 1.1e10;
     return m;
   }
+
+  /// The transfer side of this model as a first-class Machine descriptor
+  /// (model/machine.hpp): one affine channel per copy engine, built from
+  /// the same constants — the registry presets "paper", "pcie-gpu" and
+  /// "duplex-pcie" are exactly these conversions, so bind()-time costing
+  /// reproduces generation-time costing bit for bit.
+  [[nodiscard]] Machine to_machine(std::string name,
+                                   std::string description) const;
 };
 
 }  // namespace dts

@@ -19,6 +19,7 @@ Task make_transpose_task(const MachineModel& machine, const TileSpec& tile,
               .comm = machine.transfer_time(bytes),
               .comp = machine.streaming_time(bytes),
               .mem = bytes,
+              .comm_bytes = bytes,
               .name = std::move(name)};
 }
 
@@ -32,6 +33,7 @@ Task make_contraction_task(const MachineModel& machine, std::size_t m,
               .comm = machine.transfer_time(a_bytes + b_bytes),
               .comp = machine.compute_time(flops),
               .mem = a_bytes + b_bytes,
+              .comm_bytes = a_bytes + b_bytes,
               .name = std::move(name)};
 }
 
@@ -47,6 +49,7 @@ Task make_fock_accumulation_task(const MachineModel& machine,
               // because the link is slower than the memory system.
               .comp = machine.streaming_time(bytes) * 0.30,
               .mem = bytes,
+              .comm_bytes = bytes,
               .name = std::move(name)};
 }
 

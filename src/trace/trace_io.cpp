@@ -4,18 +4,51 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 namespace dts {
 
 namespace {
+
 constexpr std::string_view kMagicV1 = "# dts-trace v1";
 constexpr std::string_view kMagicV2 = "# dts-trace v2";
+constexpr std::string_view kMagicV3 = "# dts-trace v3";
+constexpr std::string_view kBytesPrefix = "bytes=";
+
+/// Full-token double parse; TraceIoError names the offending field.
+/// from_chars (not strtod) so hex soup ("0x10") and locale surprises stay
+/// loud errors, and out-of-range magnitudes ("1e400") never saturate. A
+/// single leading '+' is accepted for compatibility with the stream
+/// extraction the v1/v2 parser used (externally-written "+1.5" fields
+/// must keep loading).
+double parse_double_field(std::size_t line_no, const char* field,
+                          const std::string& text) {
+  std::string_view digits = text;
+  if (!digits.empty() && digits.front() == '+') digits.remove_prefix(1);
+  double value = 0.0;
+  const auto [ptr, ec] =
+      std::from_chars(digits.data(), digits.data() + digits.size(), value);
+  if (ec != std::errc{} || ptr != digits.data() + digits.size() ||
+      digits.empty()) {
+    throw TraceIoError(line_no, std::string("malformed ") + field + " '" +
+                                    text + "'");
+  }
+  return value;
 }
+
+}  // namespace
 
 void write_trace(std::ostream& out, const Instance& inst) {
   const InstanceStats stats = inst.stats();
   const bool multi = !inst.single_channel();
-  out << (multi ? kMagicV2 : kMagicV1) << '\n';
+  // The lowest version that can represent this instance: bytes and
+  // time-less tasks need v3, extra channels need v2, everything else
+  // stays v1 so legacy readers keep working.
+  bool bytes = false;
+  for (const Task& t : inst) {
+    bytes = bytes || t.has_comm_bytes() || !t.time_bound();
+  }
+  out << (bytes ? kMagicV3 : multi ? kMagicV2 : kMagicV1) << '\n';
   out << "# tasks=" << stats.n_tasks << " sum_comm=" << stats.sum_comm
       << " sum_comp=" << stats.sum_comp << " max_mem=" << stats.max_mem;
   if (multi) out << " channels=" << inst.num_channels();
@@ -23,8 +56,15 @@ void write_trace(std::ostream& out, const Instance& inst) {
   out.precision(17);  // exact double round-trip
   for (const Task& t : inst) {
     out << "task " << (t.name.empty() ? "T" + std::to_string(t.id) : t.name)
-        << ' ' << t.comm << ' ' << t.comp << ' ' << t.mem;
+        << ' ';
+    if (t.time_bound()) {
+      out << t.comm;
+    } else {
+      out << '?';  // time-less: cost comes from the byte annotation
+    }
+    out << ' ' << t.comp << ' ' << t.mem;
     if (multi) out << ' ' << t.channel;
+    if (t.has_comm_bytes()) out << ' ' << kBytesPrefix << t.comm_bytes;
     out << '\n';
   }
 }
@@ -42,7 +82,7 @@ Instance read_trace(std::istream& in) {
   std::string line;
   std::size_t line_no = 0;
   bool magic_seen = false;
-  bool v2 = false;
+  int version = 1;
 
   while (std::getline(in, line)) {
     ++line_no;
@@ -54,59 +94,110 @@ Instance read_trace(std::istream& in) {
                          "CRLF line ending; dts traces use LF line endings");
     }
     if (line_no == 1) {
-      if (line != kMagicV1 && line != kMagicV2) {
+      if (line == kMagicV1) {
+        version = 1;
+      } else if (line == kMagicV2) {
+        version = 2;
+      } else if (line == kMagicV3) {
+        version = 3;
+      } else {
         throw TraceIoError(line_no, "missing header '" + std::string(kMagicV1) +
-                                        "' or '" + std::string(kMagicV2) + "'");
+                                        "', '" + std::string(kMagicV2) +
+                                        "' or '" + std::string(kMagicV3) + "'");
       }
       magic_seen = true;
-      v2 = line == kMagicV2;
       continue;
     }
     if (line.empty() || line[0] == '#') continue;
 
     std::istringstream fields(line);
-    std::string keyword;
-    fields >> keyword;
-    if (keyword != "task") {
-      throw TraceIoError(line_no, "unknown record '" + keyword + "'");
+    std::vector<std::string> tokens;
+    std::string token;
+    while (fields >> token) tokens.push_back(std::move(token));
+    if (tokens.empty() || tokens[0] != "task") {
+      throw TraceIoError(line_no, "unknown record '" +
+                                      (tokens.empty() ? "" : tokens[0]) + "'");
+    }
+    if (tokens.size() < 5) {
+      throw TraceIoError(line_no,
+                         "expected 'task <name> <comm> <comp> <mem> "
+                         "[<channel>] [bytes=<B>]'");
     }
     Task t;
-    fields >> t.name >> t.comm >> t.comp >> t.mem;
-    if (!fields) {
-      throw TraceIoError(
-          line_no, "expected 'task <name> <comm> <comp> <mem> [<channel>]'");
-    }
-    // Optional channel column (v2 traces), parsed from the raw token:
-    // stream extraction into an unsigned would clobber the field on
-    // overflow ("4294967296") or wrap negatives instead of failing.
-    std::string channel_text;
-    if (fields >> channel_text) {
-      if (!v2) {
-        // A stray extra numeric column in a v1 trace must stay a loud
-        // error, not silently become a copy-engine assignment.
+    t.name = tokens[1];
+    if (tokens[2] == "?") {
+      // A time-less task only makes sense when a byte annotation can
+      // eventually cost it — both are v3 features.
+      if (version < 3) {
         throw TraceIoError(line_no,
-                           "unexpected 5th column '" + channel_text +
-                               "' in a v1 trace (channel columns need the '" +
-                               std::string(kMagicV2) + "' header)");
+                           "time-less comm '?' needs the '" +
+                               std::string(kMagicV3) + "' header");
       }
-      ChannelId channel = 0;
-      const auto [ptr, ec] = std::from_chars(
-          channel_text.data(), channel_text.data() + channel_text.size(),
-          channel);
-      if (ec != std::errc{} ||
-          ptr != channel_text.data() + channel_text.size() ||
-          channel >= kMaxChannels) {
-        throw TraceIoError(line_no, "channel '" + channel_text +
-                                        "' out of range [0, " +
-                                        std::to_string(kMaxChannels) + ")");
-      }
-      t.channel = channel;
+      t.comm = kUnboundTime;
     } else {
-      fields.clear();
+      t.comm = parse_double_field(line_no, "comm", tokens[2]);
+      if (t.comm < 0.0) {
+        // Only '?' may mark a time-less task — a literal negative number
+        // must not silently alias the kUnboundTime sentinel.
+        throw TraceIoError(line_no, "negative comm '" + tokens[2] + "'");
+      }
     }
-    std::string trailing;
-    if (fields >> trailing) {
-      throw TraceIoError(line_no, "trailing content '" + trailing + "'");
+    t.comp = parse_double_field(line_no, "comp", tokens[3]);
+    t.mem = parse_double_field(line_no, "mem", tokens[4]);
+
+    bool channel_seen = false;
+    bool bytes_seen = false;
+    for (std::size_t i = 5; i < tokens.size(); ++i) {
+      const std::string& field = tokens[i];
+      if (field.rfind(kBytesPrefix, 0) == 0) {
+        if (version < 3) {
+          // A stray bytes= column in an old trace must stay a loud error.
+          throw TraceIoError(line_no,
+                             "unexpected '" + field +
+                                 "' (byte annotations need the '" +
+                                 std::string(kMagicV3) + "' header)");
+        }
+        if (bytes_seen) {
+          throw TraceIoError(line_no, "duplicate byte annotation '" + field +
+                                          "'");
+        }
+        const std::string value = field.substr(kBytesPrefix.size());
+        t.comm_bytes = parse_double_field(line_no, "bytes", value);
+        if (!(t.comm_bytes >= 0.0)) {  // negated form also catches NaN
+          throw TraceIoError(line_no, "negative or non-finite byte "
+                                      "annotation '" + field + "'");
+        }
+        bytes_seen = true;
+      } else if (!channel_seen && !bytes_seen) {
+        if (version < 2) {
+          // A stray extra numeric column in a v1 trace must stay a loud
+          // error, not silently become a copy-engine assignment.
+          throw TraceIoError(line_no,
+                             "unexpected 5th column '" + field +
+                                 "' in a v1 trace (channel columns need the '" +
+                                 std::string(kMagicV2) + "' header)");
+        }
+        // Parsed from the raw token: stream extraction into an unsigned
+        // would clobber the field on overflow ("4294967296") or wrap
+        // negatives instead of failing.
+        ChannelId channel = 0;
+        const auto [ptr, ec] = std::from_chars(
+            field.data(), field.data() + field.size(), channel);
+        if (ec != std::errc{} || ptr != field.data() + field.size() ||
+            channel >= kMaxChannels) {
+          throw TraceIoError(line_no, "channel '" + field +
+                                          "' out of range [0, " +
+                                          std::to_string(kMaxChannels) + ")");
+        }
+        t.channel = channel;
+        channel_seen = true;
+      } else {
+        throw TraceIoError(line_no, "trailing content '" + field + "'");
+      }
+    }
+    if (!t.time_bound() && !t.has_comm_bytes()) {
+      throw TraceIoError(line_no,
+                         "time-less task without a bytes= annotation");
     }
     if (!is_valid(t)) {
       throw TraceIoError(line_no, "negative or non-finite task fields");

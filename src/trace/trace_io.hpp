@@ -6,16 +6,30 @@
 ///     # dts-trace v1
 ///     # optional comment lines
 ///     task <name> <comm_seconds> <comp_seconds> <mem_bytes> [<channel>]
+///         [bytes=<comm_bytes>]
 ///
 /// Durations are decimal seconds, memory decimal bytes; `<name>` contains
 /// no whitespace. The optional fifth field is the copy engine the
 /// transfer occupies (default 0, the single link of v1 traces); it is
-/// only legal under a "# dts-trace v2" header — a 5th column in a v1
-/// trace is rejected rather than silently becoming a channel assignment.
-/// Writers emit v2 only for multi-channel instances, so single-link
-/// traces stay byte-identical to v1 and old readers keep working on
-/// them. The format round-trips every Instance
-/// the library can represent and is the interchange point for users who
+/// only legal under a "# dts-trace v2" (or later) header — a 5th column
+/// in a v1 trace is rejected rather than silently becoming a channel
+/// assignment.
+///
+/// Version 3 ("# dts-trace v3") adds the machine-independent transfer
+/// *size*: a trailing `bytes=<B>` annotation per task, gated on the v3
+/// header exactly like the channel column is gated on v2. A
+/// byte-annotated task can be re-costed for different hardware with
+/// bind(inst, machine) (model/machine.hpp) or `dts recost`. Under v3 the
+/// `<comm_seconds>` field may also be `?` — a *time-less* task whose cost
+/// must come from its byte annotation (only legal together with
+/// `bytes=`); such bytes-only traces are the machine-independent workload
+/// interchange format.
+///
+/// Writers emit the lowest version that can represent the instance (v2
+/// only for multi-channel, v3 only for byte-annotated or time-less
+/// tasks), so legacy traces stay byte-identical to v1 and old readers
+/// keep working on them. The format round-trips every Instance the
+/// library can represent and is the interchange point for users who
 /// bring measured traces from their own runtimes (the paper's
 /// experiments consumed such per-process trace files).
 

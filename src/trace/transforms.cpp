@@ -23,7 +23,7 @@ Instance scale_times(const Instance& inst, double comm_factor,
   require_positive_factor(comp_factor, "scale_times(comp)");
   std::vector<Task> tasks(inst.tasks());
   for (Task& t : tasks) {
-    t.comm *= comm_factor;
+    if (t.time_bound()) t.comm *= comm_factor;  // sentinels stay time-less
     t.comp *= comp_factor;
   }
   return Instance(std::move(tasks));
@@ -62,7 +62,8 @@ Instance jitter_times(const Instance& inst, Rng& rng, double jitter) {
   }
   std::vector<Task> tasks(inst.tasks());
   for (Task& t : tasks) {
-    t.comm *= rng.uniform(1.0 - jitter, 1.0 + jitter);
+    const double comm_factor = rng.uniform(1.0 - jitter, 1.0 + jitter);
+    if (t.time_bound()) t.comm *= comm_factor;  // sentinels stay time-less
     t.comp *= rng.uniform(1.0 - jitter, 1.0 + jitter);
   }
   return Instance(std::move(tasks));
@@ -101,6 +102,7 @@ Instance with_writeback(const Instance& inst, const ChannelSpec& d2h,
     wb.comp = 0.0;
     wb.mem = result_bytes;
     wb.channel = kChannelD2H;
+    wb.comm_bytes = result_bytes;  // write-backs are re-costable by size
     wb.name = (t.name.empty() ? "T" + std::to_string(t.id) : t.name) + "_wb";
     tasks.push_back(std::move(wb));
   }
@@ -110,6 +112,21 @@ Instance with_writeback(const Instance& inst, const ChannelSpec& d2h,
 Instance merged_channels(const Instance& inst) {
   std::vector<Task> tasks(inst.tasks());
   for (Task& t : tasks) t.channel = 0;
+  return Instance(std::move(tasks));
+}
+
+Instance strip_comm_times(const Instance& inst) {
+  std::vector<Task> tasks(inst.tasks());
+  for (Task& t : tasks) {
+    if (!t.has_comm_bytes()) {
+      throw std::invalid_argument(
+          "strip_comm_times: task '" +
+          (t.name.empty() ? "T" + std::to_string(t.id) : t.name) +
+          "' has no byte annotation; stripping its time would leave it "
+          "uncostable");
+    }
+    t.comm = kUnboundTime;
+  }
   return Instance(std::move(tasks));
 }
 

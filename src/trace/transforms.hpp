@@ -61,4 +61,11 @@ namespace dts {
 /// merged_channels(instance) isolates the gain of per-direction engines.
 [[nodiscard]] Instance merged_channels(const Instance& inst);
 
+/// Machine-independent (bytes-only) view of a byte-annotated trace: every
+/// comm becomes the kUnboundTime sentinel, leaving only sizes — the input
+/// of bind(inst, machine) / `dts recost`. Throws std::invalid_argument
+/// when some task has no byte annotation (its time could never be
+/// recovered).
+[[nodiscard]] Instance strip_comm_times(const Instance& inst);
+
 }  // namespace dts

@@ -19,14 +19,17 @@ struct CliRun {
   std::string err;
 };
 
-CliRun run(const std::vector<std::string>& args) {
+/// Runs one command; `stdin_text` feeds trace arguments given as '-'.
+CliRun run(const std::vector<std::string>& args,
+           const std::string& stdin_text = {}) {
   std::vector<const char*> argv;
   argv.reserve(args.size());
   for (const auto& a : args) argv.push_back(a.c_str());
   std::ostringstream out;
   std::ostringstream err;
+  std::istringstream in(stdin_text);
   const int code =
-      run_cli(static_cast<int>(argv.size()), argv.data(), out, err);
+      run_cli(static_cast<int>(argv.size()), argv.data(), out, err, in);
   return CliRun{code, out.str(), err.str()};
 }
 
@@ -347,6 +350,210 @@ TEST(Cli, SolveBatchEmitsCsvAndThroughput) {
   EXPECT_EQ(expired.exit_code, 1) << expired.out;
   EXPECT_NE(expired.out.find("expired without a result"), std::string::npos)
       << expired.out;
+}
+
+TEST(Cli, MachinesListsEveryPresetBothSpellings) {
+  for (const std::vector<std::string>& args :
+       {std::vector<std::string>{"machines"},
+        std::vector<std::string>{"--list-machines"}}) {
+    const CliRun r = run(args);
+    ASSERT_EQ(r.exit_code, 0) << r.err;
+    for (const char* machine :
+         {"paper", "cascade", "pcie-gpu", "duplex-pcie", "summit-node",
+          "nvlink"}) {
+      EXPECT_NE(r.out.find(machine), std::string::npos) << machine;
+    }
+    EXPECT_NE(r.out.find("H2D+D2H"), std::string::npos);
+  }
+}
+
+TEST(Cli, RecostPipesIntoSolve) {
+  // The acceptance pipeline: dts recost T --machine=nvlink | dts solve -.
+  TempFile file("recost.trace");
+  ASSERT_EQ(run({"generate", "--kernel=HF", "--seed=9", "--min-tasks=30",
+                 "--max-tasks=40", "--out=" + file.str()})
+                .exit_code,
+            0);
+  const CliRun recost = run({"recost", file.str(), "--machine=nvlink"});
+  ASSERT_EQ(recost.exit_code, 0) << recost.err;
+  EXPECT_NE(recost.out.find("# dts-trace v3"), std::string::npos);
+  EXPECT_NE(recost.out.find("bytes="), std::string::npos);
+
+  const CliRun solved =
+      run({"solve", "-", "--capacity-factor=1.25"}, recost.out);
+  ASSERT_EQ(solved.exit_code, 0) << solved.err;
+  EXPECT_NE(solved.out.find("winner:"), std::string::npos);
+
+  // Re-costing for a faster machine must shrink the trace's total comm:
+  // solve the original and the nvlink-bound trace and compare makespans.
+  const CliRun base = run({"solve", file.str(), "--solver=OS",
+                           "--capacity-factor=1.25"});
+  const CliRun fast = run({"solve", file.str(), "--solver=OS",
+                           "--capacity-factor=1.25", "--machine=nvlink"});
+  ASSERT_EQ(base.exit_code, 0) << base.err;
+  ASSERT_EQ(fast.exit_code, 0) << fast.err;
+  EXPECT_NE(fast.out.find("on machine nvlink"), std::string::npos);
+  EXPECT_NE(base.out, fast.out);
+
+  // --out writes the trace to a file instead of stdout.
+  TempFile out_file("recost_out.trace");
+  const CliRun to_file = run({"recost", file.str(), "--machine=paper",
+                              "--out=" + out_file.str()});
+  ASSERT_EQ(to_file.exit_code, 0) << to_file.err;
+  EXPECT_EQ(to_file.out.find("# dts-trace"), std::string::npos);
+  std::ifstream in(out_file.str());
+  std::stringstream text;
+  text << in.rdbuf();
+  EXPECT_NE(text.str().find("# dts-trace v3"), std::string::npos);
+
+  // Unknown machines list the registry, and --machine is required.
+  const CliRun unknown = run({"recost", file.str(), "--machine=nope"});
+  EXPECT_EQ(unknown.exit_code, 1);
+  EXPECT_NE(unknown.err.find("unknown machine"), std::string::npos);
+  EXPECT_NE(unknown.err.find("paper"), std::string::npos);
+  EXPECT_EQ(run({"recost", file.str()}).exit_code, 1);
+}
+
+TEST(Cli, RecostRejectsTracesWithoutByteAnnotations) {
+  TempFile file("recost_v1.trace");
+  {
+    std::ofstream out(file.str());
+    out << "# dts-trace v1\ntask a 1 2 3\n";
+  }
+  const CliRun r = run({"recost", file.str(), "--machine=paper"});
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.err.find("byte-annotated"), std::string::npos) << r.err;
+}
+
+TEST(Cli, SolveMachineRecostsByteAnnotatedTraces) {
+  // A bytes-only (time-less) trace solves only with --machine.
+  TempFile file("timeless.trace");
+  {
+    std::ofstream out(file.str());
+    out << "# dts-trace v3\n"
+        << "task a ? 0.001 100000 bytes=100000\n"
+        << "task b ? 0.002 50000 bytes=50000\n";
+  }
+  const CliRun without = run({"solve", file.str(), "--capacity-factor=2"});
+  EXPECT_EQ(without.exit_code, 1);
+  EXPECT_NE(without.err.find("time-less"), std::string::npos) << without.err;
+
+  const CliRun with_machine = run({"solve", file.str(), "--capacity-factor=2",
+                                   "--machine=paper"});
+  ASSERT_EQ(with_machine.exit_code, 0) << with_machine.err;
+  EXPECT_NE(with_machine.out.find("winner:"), std::string::npos);
+
+  // recommend never reaches solve()'s guard, so it repeats it: a
+  // time-less trace is rejected without --machine and costed with it.
+  const CliRun rec_without = run({"recommend", file.str(),
+                                  "--capacity-factor=2"});
+  EXPECT_EQ(rec_without.exit_code, 1);
+  EXPECT_NE(rec_without.err.find("time-less"), std::string::npos)
+      << rec_without.err;
+  const CliRun rec_with = run({"recommend", file.str(), "--capacity-factor=2",
+                               "--machine=paper"});
+  ASSERT_EQ(rec_with.exit_code, 0) << rec_with.err;
+  EXPECT_NE(rec_with.out.find("recommended heuristic:"), std::string::npos);
+
+  // --machine on a trace without byte annotations would keep the old
+  // times while reporting the new machine's name — rejected, same as
+  // recost.
+  TempFile legacy("legacy_v1.trace");
+  {
+    std::ofstream out(legacy.str());
+    out << "# dts-trace v1\ntask a 1 2 3\n";
+  }
+  const CliRun hybrid = run({"solve", legacy.str(), "--capacity-factor=2",
+                             "--machine=nvlink"});
+  EXPECT_EQ(hybrid.exit_code, 1);
+  EXPECT_NE(hybrid.err.find("byte-annotated"), std::string::npos)
+      << hybrid.err;
+}
+
+TEST(Cli, SolveBatchAcceptsMachine) {
+  // The SolverPool service path re-costs traces too: same trace, two
+  // machines, different makespans in the CSV.
+  TempFile file("batch_machine.trace");
+  ASSERT_EQ(run({"generate", "--kernel=HF", "--seed=31", "--min-tasks=30",
+                 "--max-tasks=40", "--out=" + file.str()})
+                .exit_code,
+            0);
+  const CliRun slow = run({"solve-batch", file.str(), "--solver=OS",
+                           "--capacity-factor=1.25", "--workers=1",
+                           "--machine=paper"});
+  ASSERT_EQ(slow.exit_code, 0) << slow.err;
+  const CliRun fast = run({"solve-batch", file.str(), "--solver=OS",
+                           "--capacity-factor=1.25", "--workers=1",
+                           "--machine=nvlink"});
+  ASSERT_EQ(fast.exit_code, 0) << fast.err;
+  const auto makespan_cell = [](const std::string& csv) {
+    // trace,solver,status,winner,makespan,... -> the 5th cell of row 2.
+    std::istringstream lines(csv);
+    std::string header, row;
+    std::getline(lines, header);
+    std::getline(lines, row);
+    std::istringstream cells(row);
+    std::string cell;
+    for (int i = 0; i < 5; ++i) std::getline(cells, cell, ',');
+    return cell;
+  };
+  EXPECT_NE(makespan_cell(slow.out), makespan_cell(fast.out))
+      << slow.out << fast.out;
+
+  const CliRun unknown = run({"solve-batch", file.str(),
+                              "--capacity-factor=1.25", "--machine=nope"});
+  EXPECT_EQ(unknown.exit_code, 1);
+  EXPECT_NE(unknown.err.find("unknown machine"), std::string::npos);
+}
+
+TEST(Cli, CalibrateFitsSamples) {
+  TempFile file("samples.txt");
+  {
+    std::ofstream out(file.str());
+    out << "# bytes seconds (perfect affine: 2us + bytes / 1e9)\n";
+    for (double bytes = 1000.0; bytes <= 1e8; bytes *= 10.0) {
+      out << bytes << " " << (2.0e-6 + bytes / 1.0e9) << "\n";
+    }
+  }
+  const CliRun r = run({"calibrate", file.str()});
+  ASSERT_EQ(r.exit_code, 0) << r.err;
+  EXPECT_NE(r.out.find("latency"), std::string::npos);
+  EXPECT_NE(r.out.find("bandwidth"), std::string::npos);
+  EXPECT_NE(r.out.find("1.00GB/s"), std::string::npos) << r.out;
+
+  const CliRun split = run({"calibrate", file.str(), "--split=100000"});
+  ASSERT_EQ(split.exit_code, 0) << split.err;
+  EXPECT_NE(split.out.find("piecewise"), std::string::npos);
+
+  // Malformed sample lines are a clear user error.
+  TempFile bad("bad_samples.txt");
+  {
+    std::ofstream out(bad.str());
+    out << "100 abc\n";
+  }
+  EXPECT_EQ(run({"calibrate", bad.str()}).exit_code, 1);
+  EXPECT_EQ(run({"calibrate", "/nonexistent/samples"}).exit_code, 1);
+}
+
+TEST(Cli, InfoReportsByteAnnotationAndTimelessTraces) {
+  TempFile file("info_v3.trace");
+  ASSERT_EQ(run({"generate", "--kernel=HF", "--seed=12", "--min-tasks=20",
+                 "--max-tasks=25", "--out=" + file.str()})
+                .exit_code,
+            0);
+  const CliRun annotated = run({"info", file.str()});
+  ASSERT_EQ(annotated.exit_code, 0) << annotated.err;
+  EXPECT_NE(annotated.out.find("byte-annotated"), std::string::npos);
+
+  TempFile timeless("info_timeless.trace");
+  {
+    std::ofstream out(timeless.str());
+    out << "# dts-trace v3\ntask a ? 1 2 bytes=100\n";
+  }
+  const CliRun r = run({"info", timeless.str()});
+  ASSERT_EQ(r.exit_code, 0) << r.err;
+  EXPECT_NE(r.out.find("time-less"), std::string::npos);
+  EXPECT_NE(r.out.find("recost"), std::string::npos);
 }
 
 TEST(Cli, ScheduleAcceptsBatchWindow) {

@@ -1,4 +1,4 @@
-/// Fuzz-style negative tests for the dts-trace v1/v2 parser: every
+/// Fuzz-style negative tests for the dts-trace v1/v2/v3 parser: every
 /// malformed input — truncated lines, out-of-range channel columns, CRLF
 /// endings, huge or non-numeric tokens, random byte soup — must produce a
 /// clean TraceIoError with the offending line number, never a crash, hang
@@ -115,22 +115,66 @@ TEST(TraceFuzz, AbsurdlyLongSingleToken) {
 
 TEST(TraceFuzz, HeaderGarbage) {
   for (const char* header :
-       {"", "\n", "# dts-trace v3", "# dts-trace", "dts-trace v1",
+       {"", "\n", "# dts-trace v4", "# dts-trace", "dts-trace v1",
         "# DTS-TRACE V1", "\xff\xfe# dts-trace v1"}) {
     const TraceIoError e = parse_failure(std::string(header) + "\n");
     EXPECT_EQ(e.line(), 1u) << header;
   }
 }
 
+TEST(TraceFuzz, ByteAnnotationsGatedOnV3Header) {
+  // A bytes= column in a v1/v2 trace must stay a loud error, exactly like
+  // the channel column under v1 — silently dropping it would discard the
+  // machine-independent sizes; silently accepting it would let old
+  // writers emit traces old readers misparse.
+  for (const char* header : {"# dts-trace v1", "# dts-trace v2"}) {
+    const TraceIoError e =
+        parse_failure(std::string(header) + "\ntask a 1 2 3 bytes=100\n");
+    EXPECT_EQ(e.line(), 2u) << header;
+    EXPECT_NE(std::string(e.what()).find("v3"), std::string::npos) << header;
+  }
+}
+
+TEST(TraceFuzz, MalformedByteAnnotations) {
+  for (const char* tail :
+       {"bytes=",            // empty value
+        "bytes=abc",         // non-numeric
+        "bytes=-5",          // negative size
+        "bytes=1e400",       // overflows double
+        "bytes=0x20",        // hex soup
+        "bytes=1 bytes=2",   // duplicate annotation
+        "bytes=1 7",         // channel after bytes (order is fixed)
+        "0 bytes=1 junk"}) { // trailing content
+    const TraceIoError e =
+        parse_failure(std::string("# dts-trace v3\ntask a 1 2 3 ") + tail +
+                      "\n");
+    EXPECT_EQ(e.line(), 2u) << tail;
+  }
+}
+
+TEST(TraceFuzz, TimelessTasksNeedV3AndBytes) {
+  // '?' comm is the v3 time-less marker; under v1/v2 it is garbage, and
+  // even under v3 it needs a byte annotation to ever become costable.
+  for (const char* text :
+       {"# dts-trace v1\ntask a ? 2 3\n",
+        "# dts-trace v2\ntask a ? 2 3 0\n",
+        "# dts-trace v3\ntask a ? 2 3\n",        // no bytes=
+        "# dts-trace v3\ntask a -1 2 3 bytes=4\n"}) {  // only '?' marks it
+    const TraceIoError e = parse_failure(text);
+    EXPECT_EQ(e.line(), 2u) << text;
+  }
+}
+
 TEST(TraceFuzz, RandomByteSoupNeverCrashes) {
   Rng rng(20260729);
   for (int round = 0; round < 200; ++round) {
-    std::string text = "# dts-trace v2\n";
+    std::string text = round % 2 == 0 ? "# dts-trace v2\n" : "# dts-trace v3\n";
     const std::size_t len = rng.index(400);
     for (std::size_t i = 0; i < len; ++i) {
       // Printable-ish bytes plus separators; enough to hit the tokenizer
-      // from every angle without being pure noise.
-      const char alphabet[] = "task 0123456789.eE+-#\n\t chnl";
+      // (including the v3 bytes=/'?' paths) from every angle without
+      // being pure noise.
+      const char alphabet[] = "task 0123456789.eE+-#\n\t bytes=?chnl";
       text += alphabet[rng.index(sizeof(alphabet) - 1)];
     }
     std::stringstream buffer(text);

@@ -180,14 +180,76 @@ TEST(TraceIo, RoundTrip) {
   const Instance original = generate_ccsd_trace(config);
   std::stringstream buffer;
   write_trace(buffer, original);
+  // Generated traces carry byte annotations, so the writer picks v3.
+  EXPECT_NE(buffer.str().find("# dts-trace v3"), std::string::npos);
   const Instance loaded = read_trace(buffer);
   ASSERT_EQ(loaded.size(), original.size());
   for (TaskId i = 0; i < original.size(); ++i) {
     EXPECT_DOUBLE_EQ(loaded[i].comm, original[i].comm) << i;
     EXPECT_DOUBLE_EQ(loaded[i].comp, original[i].comp) << i;
     EXPECT_DOUBLE_EQ(loaded[i].mem, original[i].mem) << i;
+    EXPECT_DOUBLE_EQ(loaded[i].comm_bytes, original[i].comm_bytes) << i;
     EXPECT_EQ(loaded[i].name, original[i].name) << i;
   }
+}
+
+TEST(TraceIo, WriterPicksTheLowestSufficientVersion) {
+  // No bytes, one channel -> v1 (legacy readers keep working).
+  const Instance v1 = Instance::from_comm_comp({{1, 2}, {3, 4}});
+  std::stringstream v1_buffer;
+  write_trace(v1_buffer, v1);
+  EXPECT_NE(v1_buffer.str().find("# dts-trace v1\n"), std::string::npos);
+
+  // Bytes on a single-channel instance -> v3.
+  std::vector<Task> tasks;
+  tasks.push_back(Task{.id = 0, .comm = 1.0, .comp = 2.0, .mem = 3.0,
+                       .comm_bytes = 4096.0, .name = "a"});
+  std::stringstream v3_buffer;
+  write_trace(v3_buffer, Instance(std::move(tasks)));
+  const std::string text = v3_buffer.str();
+  EXPECT_NE(text.find("# dts-trace v3\n"), std::string::npos);
+  EXPECT_NE(text.find("bytes=4096"), std::string::npos);
+}
+
+TEST(TraceIo, V3RoundTripWithBytesChannelsAndTimelessTasks) {
+  std::vector<Task> tasks;
+  tasks.push_back(Task{.id = 0, .comm = 1.5, .comp = 2.0, .mem = 3.0,
+                       .channel = kChannelH2D, .comm_bytes = 176000.0,
+                       .name = "in"});
+  tasks.push_back(Task{.id = 0, .comm = kUnboundTime, .comp = 0.0, .mem = 1.0,
+                       .channel = kChannelD2H, .comm_bytes = 70400.0,
+                       .name = "out"});
+  tasks.push_back(Task{.id = 0, .comm = 0.25, .comp = 0.5, .mem = 2.0,
+                       .channel = kChannelH2D, .name = "legacy"});
+  const Instance inst(std::move(tasks));
+  std::stringstream buffer;
+  write_trace(buffer, inst);
+  EXPECT_NE(buffer.str().find("# dts-trace v3"), std::string::npos);
+  EXPECT_NE(buffer.str().find(" ? "), std::string::npos);  // time-less comm
+  const Instance back = read_trace(buffer);
+  ASSERT_EQ(back.size(), inst.size());
+  for (TaskId i = 0; i < inst.size(); ++i) {
+    EXPECT_EQ(back[i].comm, inst[i].comm) << i;  // incl. the sentinel
+    EXPECT_DOUBLE_EQ(back[i].comp, inst[i].comp) << i;
+    EXPECT_DOUBLE_EQ(back[i].mem, inst[i].mem) << i;
+    EXPECT_EQ(back[i].channel, inst[i].channel) << i;
+    EXPECT_DOUBLE_EQ(back[i].comm_bytes, inst[i].comm_bytes) << i;
+  }
+  EXPECT_FALSE(back.fully_bound());
+  EXPECT_FALSE(back.fully_byte_annotated());
+}
+
+TEST(TraceIo, V3AcceptsBytesWithoutChannelColumn) {
+  std::stringstream buffer(
+      "# dts-trace v3\n"
+      "task a 1 2 3 bytes=4096\n"
+      "task b ? 1 2 bytes=100\n");
+  const Instance inst = read_trace(buffer);
+  ASSERT_EQ(inst.size(), 2u);
+  EXPECT_DOUBLE_EQ(inst[0].comm_bytes, 4096.0);
+  EXPECT_EQ(inst[0].channel, 0u);
+  EXPECT_EQ(inst[1].comm, kUnboundTime);
+  EXPECT_TRUE(inst.fully_byte_annotated());
 }
 
 TEST(TraceIo, RejectsMissingHeader) {
@@ -253,6 +315,22 @@ TEST(TraceIo, MultiChannelRoundTrip) {
     EXPECT_DOUBLE_EQ(back[i].comm, inst[i].comm);
     EXPECT_DOUBLE_EQ(back[i].mem, inst[i].mem);
   }
+}
+
+TEST(TraceIo, AcceptsExplicitPlusSignsLikeTheLegacyParser) {
+  // Externally-written v1 traces with "+1.5" fields loaded under the old
+  // stream-extraction parser and must keep loading.
+  std::stringstream buffer("# dts-trace v1\ntask a +1.5 +2 +3\n");
+  const Instance inst = read_trace(buffer);
+  ASSERT_EQ(inst.size(), 1u);
+  EXPECT_DOUBLE_EQ(inst[0].comm, 1.5);
+  EXPECT_DOUBLE_EQ(inst[0].comp, 2.0);
+  EXPECT_DOUBLE_EQ(inst[0].mem, 3.0);
+  // But a bare or doubled sign stays malformed.
+  std::stringstream bare("# dts-trace v1\ntask a + 2 3\n");
+  EXPECT_THROW((void)read_trace(bare), TraceIoError);
+  std::stringstream doubled("# dts-trace v1\ntask a ++1 2 3\n");
+  EXPECT_THROW((void)read_trace(doubled), TraceIoError);
 }
 
 TEST(TraceIo, RejectsNegativeDurations) {

@@ -84,6 +84,41 @@ TEST(Transforms, SplitBatches) {
   EXPECT_THROW((void)split_batches(inst, 0), std::invalid_argument);
 }
 
+TEST(Transforms, StripCommTimesYieldsMachineIndependentWorkloads) {
+  std::vector<Task> tasks;
+  tasks.push_back(Task{.id = 0, .comm = 1.0, .comp = 2.0, .mem = 3.0,
+                       .comm_bytes = 4096.0, .name = "a"});
+  tasks.push_back(Task{.id = 0, .comm = 0.5, .comp = 0.0, .mem = 1.0,
+                       .comm_bytes = 100.0, .name = "b"});
+  const Instance inst(std::move(tasks));
+  const Instance stripped = strip_comm_times(inst);
+  EXPECT_FALSE(stripped.fully_bound());
+  for (const Task& t : stripped) {
+    EXPECT_EQ(t.comm, kUnboundTime);
+    EXPECT_TRUE(t.has_comm_bytes());
+  }
+  // Comp, mem and bytes survive.
+  EXPECT_DOUBLE_EQ(stripped[0].comp, 2.0);
+  EXPECT_DOUBLE_EQ(stripped[0].comm_bytes, 4096.0);
+
+  // A task without bytes cannot be stripped: its time would be lost.
+  const Instance legacy = Instance::from_comm_comp({{1, 2}});
+  EXPECT_THROW((void)strip_comm_times(legacy), std::invalid_argument);
+}
+
+TEST(Transforms, ScaleAndJitterPreserveTimelessSentinels) {
+  std::vector<Task> tasks;
+  tasks.push_back(Task{.id = 0, .comm = kUnboundTime, .comp = 2.0, .mem = 3.0,
+                       .comm_bytes = 4096.0, .name = "a"});
+  const Instance inst(std::move(tasks));
+  const Instance scaled = scale_times(inst, 0.5, 2.0);
+  EXPECT_EQ(scaled[0].comm, kUnboundTime);
+  EXPECT_DOUBLE_EQ(scaled[0].comp, 4.0);
+  Rng rng(5);
+  const Instance jittered = jitter_times(inst, rng, 0.1);
+  EXPECT_EQ(jittered[0].comm, kUnboundTime);
+}
+
 TEST(Transforms, SplitThenMergeRoundTrips) {
   Rng rng(803);
   const Instance inst = testing::random_instance(rng, 17);
