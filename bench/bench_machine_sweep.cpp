@@ -2,9 +2,17 @@
 /// workloads, generated once as machine-independent byte-annotated
 /// traces, re-costed with bind() for EVERY machine in the MachineRegistry
 /// and solved. One table row per (kernel, machine): workload shape after
-/// binding, auto-winner, makespan statistics and solve throughput. The
-/// numbers land in BENCH_machine_sweep.json so the perf trajectory of
-/// the costing + solving pipeline has data points across PRs.
+/// binding, auto-winner, makespan statistics and solve throughput.
+///
+/// A second axis sweeps duplex *asymmetry*: duplex traces are re-bound to
+/// duplex-pcie variants whose D2H engine is progressively slower (2x, 4x,
+/// 8x), and the channel-load-aware duplex-balance order is evaluated
+/// against SCMR (the paper's best dynamic heuristic) on each variant.
+///
+/// The numbers land in BENCH_machine_sweep.json so the perf trajectory of
+/// the costing + solving pipeline has data points across PRs; CI checks
+/// the deterministic makespan columns against bench/baselines/ via
+/// tools/check_bench_baseline.py (the performance-regression guard).
 ///
 ///   bench_machine_sweep [--quick] [--traces=N] [--seed=S] [--csv-dir=P]
 ///                       [--json=FILE]   (default BENCH_machine_sweep.json)
@@ -49,6 +57,35 @@ struct SweepRow {
   double comm_over_comp = 0.0;    // aggregate shape after binding
   double solves_per_sec = 0.0;
 };
+
+/// One point of the duplex-asymmetry axis: SCMR vs the duplex-balance
+/// order on a duplex-pcie variant whose D2H engine is `slowdown`x slower.
+struct AsymmetryRow {
+  std::string kernel;
+  double slowdown = 1.0;
+  double scmr_median = 0.0;
+  double balance_median = 0.0;
+
+  [[nodiscard]] double balance_over_scmr() const {
+    return scmr_median > 0.0 ? balance_median / scmr_median : 0.0;
+  }
+};
+
+/// duplex-pcie with its D2H bandwidth divided by `slowdown` (1 = the
+/// registered preset itself).
+dts::Machine asymmetric_duplex_machine(double slowdown) {
+  using namespace dts;
+  const Machine base = machine_from_name("duplex-pcie");
+  std::vector<MachineChannel> channels = base.channels();
+  const MachineChannel& d2h = base.channel(kChannelD2H);
+  channels[kChannelD2H] =
+      affine_channel(d2h.name, d2h.model->zero_byte_latency(),
+                     d2h.model->asymptotic_bandwidth() / slowdown);
+  return Machine(base.name() + "/d2h-" + std::to_string(int(slowdown)) + "x",
+                 "duplex-pcie, D2H slowed " + std::to_string(int(slowdown)) +
+                     "x",
+                 std::move(channels));
+}
 
 }  // namespace
 
@@ -141,6 +178,57 @@ int main(int argc, char** argv) {
 
   std::printf("%s", table.to_ascii().c_str());
 
+  // ---------------------------------------------- duplex asymmetry axis
+  // Duplex traces (input fetches on H2D + result write-backs on D2H),
+  // re-bound to duplex-pcie variants with a progressively slower D2H
+  // engine: the regime where a channel-load-aware order can beat SCMR.
+  std::printf("\nduplex asymmetry — SCMR vs duplex-balance on slowed-D2H "
+              "duplex-pcie variants\n\n");
+  std::vector<AsymmetryRow> asymmetry;
+  TextTable asym_table({"kernel", "d2h slowdown", "SCMR median",
+                        "duplex-balance median", "balance/SCMR"});
+  for (ChemistryKernel kernel : {ChemistryKernel::kHartreeFock,
+                                 ChemistryKernel::kCoupledClusterSD}) {
+    TraceConfig duplex_config;
+    duplex_config.machine = MachineModel::duplex_pcie();
+    std::vector<Instance> duplex_bytes;
+    for (const Instance& trace : generate_process_traces(
+             kernel, options.traces, options.seed, duplex_config)) {
+      duplex_bytes.push_back(strip_comm_times(trace));
+    }
+    for (const double slowdown : {1.0, 2.0, 4.0, 8.0}) {
+      const Machine machine = asymmetric_duplex_machine(slowdown);
+      AsymmetryRow row;
+      row.kernel = std::string(to_string(kernel));
+      row.slowdown = slowdown;
+      std::vector<double> scmr, balance;
+      for (const Instance& workload : duplex_bytes) {
+        const Instance instance = bind(workload, machine);
+        SolveRequest request;
+        request.instance = instance;
+        request.capacity = 1.5 * instance.min_capacity();
+        SolveOptions solve_options;
+        solve_options.compute_bounds = false;
+        scmr.push_back(solve(request, "SCMR", solve_options).makespan);
+        balance.push_back(
+            solve(request, "duplex-balance", solve_options).makespan);
+      }
+      row.scmr_median = summarize(scmr).median;
+      row.balance_median = summarize(balance).median;
+      asymmetry.push_back(row);
+
+      char slow_text[16], scmr_text[32], bal_text[32], ratio_text[16];
+      std::snprintf(slow_text, sizeof slow_text, "%gx", slowdown);
+      std::snprintf(scmr_text, sizeof scmr_text, "%.6g s", row.scmr_median);
+      std::snprintf(bal_text, sizeof bal_text, "%.6g s", row.balance_median);
+      std::snprintf(ratio_text, sizeof ratio_text, "%.4f",
+                    row.balance_over_scmr());
+      asym_table.add_row({row.kernel, slow_text, scmr_text, bal_text,
+                          ratio_text});
+    }
+  }
+  std::printf("%s", asym_table.to_ascii().c_str());
+
   // Hand-rolled JSON (no third-party deps in this container).
   std::ofstream json(json_path);
   if (!json) {
@@ -160,7 +248,19 @@ int main(int argc, char** argv) {
          << ", \"solves_per_second\": " << row.solves_per_sec << "}"
          << (i + 1 < rows.size() ? "," : "") << "\n";
   }
+  json << "  ],\n  \"asymmetry\": [\n";
+  for (std::size_t i = 0; i < asymmetry.size(); ++i) {
+    const AsymmetryRow& row = asymmetry[i];
+    json << "    {\"kernel\": \"" << row.kernel
+         << "\", \"d2h_slowdown\": " << row.slowdown
+         << ", \"scmr_median_makespan_seconds\": " << row.scmr_median
+         << ", \"duplex_balance_median_makespan_seconds\": "
+         << row.balance_median
+         << ", \"balance_over_scmr\": " << row.balance_over_scmr() << "}"
+         << (i + 1 < asymmetry.size() ? "," : "") << "\n";
+  }
   json << "  ]\n}\n";
-  std::printf("\nwrote %s (%zu rows)\n", json_path.c_str(), rows.size());
+  std::printf("\nwrote %s (%zu rows + %zu asymmetry rows)\n",
+              json_path.c_str(), rows.size(), asymmetry.size());
   return 0;
 }

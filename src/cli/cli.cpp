@@ -550,9 +550,10 @@ int cmd_improve(const CommandLine& cmd, std::ostream& out,
 }
 
 int cmd_solvers(std::ostream& out) {
-  TextTable table({"solver", "arguments", "description"});
+  TextTable table({"solver", "arguments", "channels", "description"});
   for (const SolverListing& listing : list_solvers()) {
-    table.add_row({listing.name, listing.params, listing.description});
+    table.add_row({listing.name, listing.params, listing.channels,
+                   listing.description});
   }
   out << table.to_ascii();
   return 0;

@@ -71,6 +71,13 @@ SolverRegistry& SolverRegistry::global() {
 
 void SolverRegistry::add(std::string key, std::string params,
                          std::string description, Factory factory) {
+  add(std::move(key), std::move(params), std::move(description), "any",
+      std::move(factory));
+}
+
+void SolverRegistry::add(std::string key, std::string params,
+                         std::string description, std::string channels,
+                         Factory factory) {
   if (key.empty()) throw std::logic_error("solver key must not be empty");
   if (key.find(':') != std::string::npos) {
     throw std::logic_error("solver key '" + key +
@@ -83,7 +90,8 @@ void SolverRegistry::add(std::string key, std::string params,
     }
   }
   entries_.push_back(Entry{std::move(key), std::move(params),
-                           std::move(description), std::move(factory)});
+                           std::move(description), std::move(channels),
+                           std::move(factory)});
 }
 
 std::unique_ptr<Solver> SolverRegistry::make(std::string_view name) const {
@@ -120,7 +128,8 @@ std::vector<SolverListing> SolverRegistry::listings() const {
   std::vector<SolverListing> rows;
   rows.reserve(entries_.size());
   for (const Entry& entry : entries_) {
-    rows.push_back(SolverListing{entry.key, entry.params, entry.description});
+    rows.push_back(SolverListing{entry.key, entry.params, entry.description,
+                                 entry.channels});
   }
   return rows;
 }

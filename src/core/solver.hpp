@@ -243,6 +243,13 @@ struct SolverListing {
   std::string name;         ///< registry key, e.g. "auto-batch"
   std::string params;       ///< accepted arguments, e.g. "[:BATCH]"
   std::string description;
+  /// Channel support the solver declares: "any" (every built-in — the
+  /// engine keeps one clock per copy engine and the exact searches
+  /// enumerate per-channel orders) or "single" for a strategy that models
+  /// one link and rejects duplex requests. `dts solvers` lists this
+  /// column; the differential suite derives its per-solver expectations
+  /// from it.
+  std::string channels = "any";
 };
 
 /// String-keyed factory registry. Factories self-register via the
@@ -258,9 +265,12 @@ class SolverRegistry {
   [[nodiscard]] static SolverRegistry& global();
 
   /// Registers a factory under `key`. Throws std::logic_error when the key
-  /// is already taken or empty.
+  /// is already taken or empty. `channels` declares channel support for
+  /// the listings ("any" by default; "single" for one-link-only models).
   void add(std::string key, std::string params, std::string description,
            Factory factory);
+  void add(std::string key, std::string params, std::string description,
+           std::string channels, Factory factory);
 
   /// Instantiates the solver a (possibly parameterized) name refers to.
   /// Throws std::invalid_argument for an unknown base key — the message
@@ -280,6 +290,7 @@ class SolverRegistry {
     std::string key;
     std::string params;
     std::string description;
+    std::string channels;
     Factory factory;
   };
   std::vector<Entry> entries_;  // small; linear lookup, stable order

@@ -1,9 +1,9 @@
 /// \file solvers_builtin.cpp
 /// Adapters that put every strategy of the library behind the unified
 /// Solver interface: the 14 paper heuristics, the auto-scheduler (full and
-/// batched), local search, the exact solvers and the window heuristic.
-/// Each adapter delegates to the legacy free function, so solve()
-/// reproduces the legacy makespans bit-for-bit.
+/// batched), local search, the duplex-aware balance order, the exact
+/// solvers and the window heuristic. Each adapter delegates to the legacy
+/// free function, so solve() reproduces the legacy makespans bit-for-bit.
 
 #include <algorithm>
 #include <memory>
@@ -18,7 +18,9 @@
 #include "core/solver.hpp"
 #include "exact/branch_bound.hpp"
 #include "exact/exhaustive.hpp"
+#include "exact/lower_bounds.hpp"
 #include "exact/window_solver.hpp"
+#include "heuristics/duplex_balance.hpp"
 #include "heuristics/local_search.hpp"
 #include "support/parallel_for.hpp"
 
@@ -239,10 +241,11 @@ class LocalSearchSolver final : public Solver {
   }
 };
 
-/// Exact search over independent (comm, comp) order pairs — the MILP's
-/// solution space. Honors the deadline/cancellation token; when stopped
-/// before the first incumbent it falls back to the submission order so the
-/// result is always a complete feasible schedule.
+/// Exact search over independent (transfer, comp) order pairs — the
+/// MILP's solution space, per-channel transfer orders included. Honors
+/// the deadline/cancellation token; when stopped before the first
+/// incumbent it falls back to the submission order so the result is
+/// always a complete feasible schedule.
 class BranchBoundSolver final : public Solver {
  public:
   explicit BranchBoundSolver(std::size_t max_n) : max_n_(max_n) {}
@@ -256,6 +259,13 @@ class BranchBoundSolver final : public Solver {
     reject_batch(request, name());
     PairOrderOptions search;
     search.max_n = max_n_;
+    if (!request.instance.empty()) {
+      // Channel-aware combined lower bound: reaching it proves the
+      // incumbent optimal and ends the search without scanning the
+      // remaining (n!)^2 pairs.
+      search.lower_bound =
+          capacity_aware_bounds(request.instance, request.capacity).combined;
+    }
     const StopCondition stop(options);
     if (stop.armed()) {
       search.should_stop = [&stop] { return stop.stop_requested(); };
@@ -277,6 +287,7 @@ class BranchBoundSolver final : public Solver {
       result.makespan = res.makespan;
       std::ostringstream detail;
       detail << res.pairs_simulated << " order pairs simulated";
+      if (res.proved_optimal) detail << "; matched the lower bound";
       result.detail = detail.str();
     }
     return result;
@@ -284,6 +295,29 @@ class BranchBoundSolver final : public Solver {
 
  private:
   std::size_t max_n_;
+};
+
+/// Duplex-aware order heuristic (heuristics/duplex_balance.hpp):
+/// per-channel Johnson sequences merged by least committed per-engine
+/// load. A RegisterSolver-style drop-in — no enum edits, the strategy
+/// lives entirely behind the registry key.
+class DuplexBalanceSolver final : public Solver {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "duplex-balance";
+  }
+
+  [[nodiscard]] SolveResult run(const SolveRequest& request,
+                                const SolveOptions& /*options*/) const override {
+    reject_batch(request, name());
+    SolveResult result;
+    result.winner = "duplex-balance";
+    result.schedule =
+        schedule_duplex_balance(request.instance, request.capacity);
+    result.makespan = makespan_of(request, result.schedule);
+    result.evaluations = 1;
+    return result;
+  }
 };
 
 /// Exact search over permutation (common-order) schedules.
@@ -416,9 +450,17 @@ void register_builtin_solvers(SolverRegistry& registry) {
                  expect_no_args(spec);
                  return std::make_unique<LocalSearchSolver>();
                });
+  registry.add("duplex-balance", "",
+               "per-channel Johnson orders merged by least committed "
+               "engine load (duplex-aware static order)",
+               [](const SolverSpec& spec) {
+                 expect_no_args(spec);
+                 return std::make_unique<DuplexBalanceSolver>();
+               });
   registry.add("branch-bound", "[:MAX_N]",
-               "exact search over independent comm/comp order pairs "
-               "(the MILP's space; default max n = 7)",
+               "exact search over independent transfer/comp order pairs, "
+               "per-channel orders included (the MILP's space; default "
+               "max n = 7)",
                [](const SolverSpec& spec) {
                  if (spec.args.size() > 1) {
                    throw std::invalid_argument(

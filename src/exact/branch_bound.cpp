@@ -8,8 +8,16 @@ namespace dts {
 
 namespace {
 
-std::tuple<Time, Time, Mem> value_key(const Task& t) {
-  return {t.comm, t.comp, t.mem};
+std::tuple<Time, Time, Mem, ChannelId> value_key(const Task& t) {
+  return {t.comm, t.comp, t.mem, t.channel};
+}
+
+/// Channel count the co-simulation tracks: every engine the instance's
+/// tasks reference plus every clock the carried snapshot holds (an idle
+/// carried engine must keep its clock through the window).
+std::size_t tracked_channels(const Instance& inst,
+                             const ExecutionState::Snapshot& initial) {
+  return std::max(inst.num_channels(), initial.comm_available.size());
 }
 
 }  // namespace
@@ -24,13 +32,16 @@ std::optional<Time> simulate_pair_order(const Instance& inst,
   if (comm_order.size() != n || comp_order.size() != n || out.size() != n) {
     throw std::invalid_argument("simulate_pair_order: size mismatch");
   }
-  if (!inst.single_channel()) {
-    throw std::invalid_argument(
-        "simulate_pair_order: the pair-order model assumes one link; "
-        "multi-channel instances use the simulation-based solvers");
-  }
 
-  Time link_free = initial.single_link_available();
+  const std::size_t nch = tracked_channels(inst, initial);
+  // One availability clock per copy engine; engines the snapshot does not
+  // cover become free at the snapshot's decision instant.
+  std::vector<Time> link_free(initial.comm_available);
+  link_free.resize(nch, initial.now);
+  // comm_order is the chronological order of transfer starts: each start
+  // is >= the previous one (and >= the snapshot instant, before which the
+  // snapshot no longer tracks released memory).
+  Time frontier = initial.now;
   Time proc_free = initial.comp_available;
 
   // Memory bookkeeping. A task holds memory from its transfer start; its
@@ -47,11 +58,16 @@ std::optional<Time> simulate_pair_order(const Instance& inst,
     return used;
   };
 
-  // Suffix loads for pruning.
-  std::vector<Time> comm_suffix(n + 1, 0.0);
+  // Suffix loads for pruning: remaining transfer time per copy engine
+  // (transfers sharing an engine serialize) and remaining computation.
+  std::vector<Time> comm_suffix((n + 1) * nch, 0.0);
   std::vector<Time> comp_suffix(n + 1, 0.0);
   for (std::size_t k = n; k-- > 0;) {
-    comm_suffix[k] = comm_suffix[k + 1] + inst[comm_order[k]].comm;
+    for (std::size_t ch = 0; ch < nch; ++ch) {
+      comm_suffix[k * nch + ch] = comm_suffix[(k + 1) * nch + ch];
+    }
+    comm_suffix[k * nch + inst[comm_order[k]].channel] +=
+        inst[comm_order[k]].comm;
     comp_suffix[k] = comp_suffix[k + 1] + inst[comp_order[k]].comp;
   }
 
@@ -85,26 +101,36 @@ std::optional<Time> simulate_pair_order(const Instance& inst,
       }
     }
 
-    // The link serves its sequence at the earliest memory-feasible instant
-    // computable from what is known now.
+    // Each engine serves its induced sequence at the earliest
+    // memory-feasible instant computable from what is known now; the
+    // global order fixes which engine commits next.
     if (i < n) {
       const TaskId u = comm_order[i];
       const Task& task = inst[u];
-      if (approx_leq(abort_at, link_free + comm_suffix[i])) {
-        return std::nullopt;
+      for (std::size_t ch = 0; ch < nch; ++ch) {
+        const Time remaining = comm_suffix[i * nch + ch];
+        // A remaining transfer on `ch` starts >= both the engine clock and
+        // the chronological frontier; its computation ends even later.
+        if (remaining > 0.0 &&
+            approx_leq(abort_at,
+                       std::max(link_free[ch], frontier) + remaining)) {
+          return std::nullopt;
+        }
       }
+      const Time lower = std::max(link_free[task.channel], frontier);
       candidate_times.clear();
-      candidate_times.push_back(link_free);
+      candidate_times.push_back(lower);
       for (const auto& [end, mem] : releases) {
         (void)mem;
-        if (definitely_less(link_free, end)) candidate_times.push_back(end);
+        if (definitely_less(lower, end)) candidate_times.push_back(end);
       }
       std::sort(candidate_times.begin(), candidate_times.end());
       for (const Time t : candidate_times) {
         if (approx_leq(used_at(t) + task.mem, capacity)) {
           comm_start[u] = t;
           comm_end[u] = t + task.comm;
-          link_free = comm_end[u];
+          link_free[task.channel] = comm_end[u];
+          frontier = t;
           started[u] = true;
           indefinite += task.mem;
           ++i;
@@ -115,8 +141,8 @@ std::optional<Time> simulate_pair_order(const Instance& inst,
     }
 
     if (!progress) {
-      // The link waits on memory that only a computation stuck behind the
-      // link can release: this order pair is infeasible.
+      // The next transfer waits on memory that only a computation stuck
+      // behind it can release: this order pair is infeasible.
       return std::nullopt;
     }
   }
@@ -129,12 +155,6 @@ PairOrderResult best_pair_order(const Instance& inst, Mem capacity,
     throw std::invalid_argument(
         "best_pair_order: instance too large (n=" + std::to_string(inst.size()) +
         ", max=" + std::to_string(options.max_n) + ")");
-  }
-  if (!inst.single_channel()) {
-    throw std::invalid_argument(
-        "best_pair_order: the pair-order branch & bound models a single "
-        "link; use exhaustive/window:K (common order) or the heuristics "
-        "for multi-channel instances");
   }
   for (const Task& t : inst) {
     if (definitely_less(capacity, t.mem)) {
@@ -188,9 +208,16 @@ PairOrderResult best_pair_order(const Instance& inst, Mem capacity,
         result.schedule = scratch;
         result.comm_order = comm;
         result.comp_order = comp;
+        if (options.lower_bound > 0.0 &&
+            approx_leq(result.makespan, options.lower_bound)) {
+          // The incumbent matches a proven lower bound: optimal, the
+          // remaining pairs cannot improve on it.
+          result.proved_optimal = true;
+          break;
+        }
       }
     } while (std::next_permutation(comp.begin(), comp.end(), value_less));
-    if (result.stopped) break;
+    if (result.stopped || result.proved_optimal) break;
   } while (std::next_permutation(comm.begin(), comm.end(), value_less));
 
   if (!found) {
@@ -212,23 +239,29 @@ PairOrderResult best_pair_order(const Instance& inst, Mem capacity,
   // Reconstruct the final engine state of the winning pair.
   {
     ExecutionState::Snapshot snap;
-    Time link_free = initial.single_link_available();
+    snap.comm_available = initial.comm_available;
+    snap.comm_available.resize(tracked_channels(inst, initial), initial.now);
     Time proc_free = initial.comp_available;
     for (TaskId id = 0; id < inst.size(); ++id) {
-      link_free =
-          std::max(link_free, result.schedule[id].comm_start + inst[id].comm);
+      Time& clock = snap.comm_available[inst[id].channel];
+      clock = std::max(clock, result.schedule[id].comm_start + inst[id].comm);
       proc_free =
           std::max(proc_free, result.schedule[id].comp_start + inst[id].comp);
     }
-    snap.comm_available = {link_free};
     snap.comp_available = proc_free;
+    // Resuming from this snapshot issues transfers at or after the
+    // earliest engine-free instant; memory released before it needs no
+    // tracking. (With one channel this is exactly the link clock.)
+    snap.now = std::max(initial.now,
+                        *std::min_element(snap.comm_available.begin(),
+                                          snap.comm_available.end()));
     snap.active = initial.active;
     for (TaskId id = 0; id < inst.size(); ++id) {
       snap.active.emplace_back(result.schedule[id].comp_start + inst[id].comp,
                                inst[id].mem);
     }
     std::erase_if(snap.active, [&](const std::pair<Time, Mem>& a) {
-      return approx_leq(a.first, link_free);
+      return approx_leq(a.first, snap.now);
     });
     result.final_state = std::move(snap);
   }

@@ -8,14 +8,25 @@
 /// Table 2 instance (makespan 22 vs 23) is the canonical witness and a
 /// golden test of this module.
 ///
-/// Method: enumerate value-distinct communication orders x computation
-/// orders; each pair is evaluated with a semi-active co-simulation (both
-/// resources serve their sequence as early as memory and data dependences
-/// allow; for a regular objective like makespan a semi-active schedule is
-/// optimal for its sequences, so scanning all pairs is exact). Two prunes
-/// keep the search practical: a running lower bound (resource load of the
-/// remaining tasks) aborts a pair early, and identical tasks collapse into
-/// one representative ordering.
+/// Multi-channel instances are solved exactly too: the search enumerates
+/// one *global* transfer order — the chronological order in which the
+/// machine's copy engines start their transfers, which induces one
+/// per-channel order per engine — together with an independent computation
+/// order. Any feasible schedule sorts its transfer starts into some global
+/// chronological order and its computations into some service order, and
+/// the semi-active co-simulation of that pair starts every event no later
+/// than the schedule does (each engine serves its induced sequence at the
+/// earliest memory-feasible instant, the processor serves its sequence as
+/// soon as data is present), so scanning all pairs minimizes the makespan
+/// over *all* feasible schedules. With one channel this degenerates
+/// bit-for-bit into the original pair-order search.
+///
+/// Three prunes keep the search practical: a running lower bound per
+/// resource (each copy engine's remaining transfer load and the
+/// processor's remaining computation load) aborts a pair early, identical
+/// tasks collapse into one representative ordering, and a caller-provided
+/// makespan lower bound (exact/lower_bounds.hpp — channel-aware) ends the
+/// whole search as soon as an incumbent provably optimal is found.
 
 #include <functional>
 #include <optional>
@@ -30,11 +41,19 @@ namespace dts {
 struct PairOrderOptions {
   /// Safety valve on instance size (search is ~ (n!)^2 / duplicates).
   std::size_t max_n = 7;
-  /// Optional carried engine state (window solving).
+  /// Optional carried engine state (window solving). May carry one clock
+  /// per channel; channels the snapshot does not cover start free at the
+  /// snapshot's decision instant.
   std::optional<ExecutionState::Snapshot> initial_state;
   /// Stop exploring a pair as soon as its makespan provably reaches the
   /// incumbent; also used as an initial upper bound when finite.
   Time upper_bound = kInfiniteTime;
+  /// Optional proven makespan lower bound (e.g.
+  /// capacity_aware_bounds(...).combined): the search stops as soon as an
+  /// incumbent reaches it, marking the result proved_optimal. Only valid
+  /// for a fresh initial state — a carried state shifts the achievable
+  /// makespan. 0 disables the early exit.
+  Time lower_bound = 0.0;
   /// Cooperative stop (deadline / cancellation): polled every few hundred
   /// simulated pairs; returning true abandons the search, marking the
   /// result stopped. The incumbent found so far is still returned.
@@ -44,6 +63,8 @@ struct PairOrderOptions {
 struct PairOrderResult {
   Time makespan = kInfiniteTime;
   Schedule schedule;
+  /// Global (chronological, cross-channel) transfer order of the winner;
+  /// restricting it to one channel's tasks gives that engine's sequence.
   std::vector<TaskId> comm_order;
   std::vector<TaskId> comp_order;
   ExecutionState::Snapshot final_state;
@@ -51,19 +72,27 @@ struct PairOrderResult {
   /// True when options.should_stop ended the search early; the makespan is
   /// then only an upper bound (kInfiniteTime if nothing feasible was seen).
   bool stopped = false;
+  /// True when the incumbent reached options.lower_bound and the search
+  /// ended with optimality proven without scanning the remaining pairs.
+  bool proved_optimal = false;
 };
 
-/// Minimum makespan over independent (comm order, comp order) pairs.
-/// Throws std::invalid_argument when the instance exceeds options.max_n or
-/// some task cannot fit in `capacity`.
+/// Minimum makespan over independent (global transfer order, computation
+/// order) pairs — exact for any channel count. Throws
+/// std::invalid_argument when the instance exceeds options.max_n or some
+/// task cannot fit in `capacity`.
 [[nodiscard]] PairOrderResult best_pair_order(const Instance& inst, Mem capacity,
                                               const PairOrderOptions& options = {});
 
-/// Semi-active co-simulation of one (comm, comp) order pair. Returns
-/// nullopt when the pair deadlocks under the memory capacity (the link
-/// waits for memory that only a computation blocked behind the link can
-/// release) or when the makespan provably reaches `abort_at`. On success
-/// fills `out` (sized n) with start times.
+/// Semi-active co-simulation of one (global transfer, computation) order
+/// pair: each copy engine serves its induced per-channel sequence at the
+/// earliest memory-feasible instant (transfer starts never decrease along
+/// `comm_order` — it is the chronological order), the processor serves
+/// `comp_order` as soon as data is present. Returns nullopt when the pair
+/// deadlocks under the memory capacity (the next transfer waits for memory
+/// that only a computation blocked behind it can release) or when the
+/// makespan provably reaches `abort_at`. On success fills `out` (sized n)
+/// with start times.
 [[nodiscard]] std::optional<Time> simulate_pair_order(
     const Instance& inst, std::span<const TaskId> comm_order,
     std::span<const TaskId> comp_order, Mem capacity,

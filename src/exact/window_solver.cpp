@@ -21,15 +21,6 @@ WindowedResult solve_windowed(const Instance& inst, Mem capacity,
     throw std::invalid_argument(
         "solve_windowed: window size must be in [1, 8]");
   }
-  if (options.mode == WindowMode::kPairOrder && !inst.single_channel()) {
-    // Rejected here rather than deep in best_pair_order: a window whose
-    // tasks all share channel 0 would pass the per-window guard and then
-    // trip over the carried multi-channel snapshot with an internal-bug
-    // style error.
-    throw std::invalid_argument(
-        "solve_windowed: the pair-order window mode models a single link; "
-        "use the common-order mode (window:K) for multi-channel instances");
-  }
   const std::vector<TaskId> submission = inst.submission_order();
   WindowedResult result;
   result.schedule = Schedule(inst.size());

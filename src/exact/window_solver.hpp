@@ -14,6 +14,12 @@
 ///    fast, k! candidates);
 ///  * kPairOrder — the branch & bound over independent comm/comp orders,
 ///    exactly the MILP's solution space (k!^2 candidates, still exact).
+///
+/// Both modes accept any channel count: the common-order engine keeps one
+/// clock per copy engine, and the pair-order search enumerates the global
+/// chronological transfer order (which induces one sequence per engine)
+/// next to the computation order, carrying the multi-clock snapshot across
+/// window boundaries.
 
 #include <functional>
 #include <string>
@@ -60,9 +66,8 @@ struct WindowedResult {
 
 /// Schedules the instance window-by-window, optimally within each window
 /// given the state carried from the previous ones. Throws
-/// std::invalid_argument for window == 0, window > 8 (search explosion), a
-/// task that exceeds `capacity`, or a multi-channel instance in pair-order
-/// mode (the pair-order model assumes one link).
+/// std::invalid_argument for window == 0, window > 8 (search explosion) or
+/// a task that exceeds `capacity`.
 [[nodiscard]] WindowedResult solve_windowed(const Instance& inst, Mem capacity,
                                             const WindowOptions& options);
 

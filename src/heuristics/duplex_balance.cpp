@@ -1,0 +1,48 @@
+#include "heuristics/duplex_balance.hpp"
+
+#include <algorithm>
+
+#include "core/johnson.hpp"
+#include "core/simulate.hpp"
+
+namespace dts {
+
+std::vector<TaskId> duplex_balance_order(const Instance& inst) {
+  const std::size_t nch = inst.num_channels();
+
+  // One Johnson sequence per copy engine. johnson_order works on a
+  // renumbered sub-instance, so map its local positions back.
+  std::vector<std::vector<TaskId>> queues(nch);
+  for (ChannelId ch = 0; ch < nch; ++ch) {
+    const std::vector<TaskId> ids = inst.tasks_on_channel(ch);
+    if (ids.empty()) continue;
+    for (const TaskId local : johnson_order(inst.subset(ids))) {
+      queues[ch].push_back(ids[local]);
+    }
+  }
+
+  // Merge: always issue from the engine with the least transfer time
+  // committed so far, so both directions advance at comparable pace even
+  // when their per-transfer costs are asymmetric.
+  std::vector<TaskId> order;
+  order.reserve(inst.size());
+  std::vector<Time> committed(nch, 0.0);
+  std::vector<std::size_t> next(nch, 0);
+  while (order.size() < inst.size()) {
+    ChannelId pick = kMaxChannels;
+    for (ChannelId ch = 0; ch < nch; ++ch) {
+      if (next[ch] >= queues[ch].size()) continue;
+      if (pick == kMaxChannels || committed[ch] < committed[pick]) pick = ch;
+    }
+    const TaskId id = queues[pick][next[pick]++];
+    committed[pick] += inst[id].comm;
+    order.push_back(id);
+  }
+  return order;
+}
+
+Schedule schedule_duplex_balance(const Instance& inst, Mem capacity) {
+  return simulate_order(inst, duplex_balance_order(inst), capacity);
+}
+
+}  // namespace dts

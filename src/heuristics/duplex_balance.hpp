@@ -1,0 +1,37 @@
+#pragma once
+
+/// \file duplex_balance.hpp
+/// Duplex-aware static order heuristic: unlike the paper heuristics, which
+/// rank tasks by durations alone and let the engine interleave directions
+/// as a side effect of the induced-idle criterion, this one reasons about
+/// per-channel load explicitly. Each copy engine's tasks are put into
+/// their own Johnson order (optimal per engine with unbounded memory), and
+/// the per-engine sequences are merged by always issuing from the engine
+/// with the least transfer time committed so far — so a slow D2H engine
+/// with few large write-backs and a fast H2D engine with many fetches both
+/// stay fed instead of one direction monopolizing the issue stream.
+///
+/// On a single-channel instance there is only one sequence to merge and
+/// the order degenerates to the Johnson order, i.e. the heuristic equals
+/// OOSIM exactly (pinned by tests). The interesting regime is an
+/// asymmetric duplex machine (`duplex-pcie` with a slowed D2H model);
+/// bench_machine_sweep's asymmetry axis evaluates it against SCMR there.
+
+#include <vector>
+
+#include "core/instance.hpp"
+#include "core/schedule.hpp"
+
+namespace dts {
+
+/// The merged issue order: per-channel Johnson sequences interleaved by
+/// least committed transfer load (ties prefer the lower channel id, then
+/// submission order within a channel — fully deterministic).
+[[nodiscard]] std::vector<TaskId> duplex_balance_order(const Instance& inst);
+
+/// Executes duplex_balance_order under `capacity` on a fresh engine.
+/// Throws std::invalid_argument when some task cannot fit at all.
+[[nodiscard]] Schedule schedule_duplex_balance(const Instance& inst,
+                                               Mem capacity);
+
+}  // namespace dts

@@ -378,27 +378,54 @@ TEST(ChannelSolve, SimulationSolversHandleDuplexRequests) {
   }
 }
 
-TEST(ChannelSolve, PairOrderSolversRejectMultiChannelInstances) {
-  const Instance duplex = symmetric_duplex_workload();
-  EXPECT_THROW((void)best_pair_order(duplex, 4.0, {}),
-               std::invalid_argument);
+TEST(ChannelSolve, PairOrderSolversAcceptMultiChannelInstances) {
+  // Since the per-channel order search, branch-bound and window:K:pair
+  // solve duplex instances instead of rejecting them; the registry
+  // listings report the capability.
+  std::vector<Task> tasks = {channel_task(kChannelH2D, 2, 3, 2),
+                             channel_task(kChannelH2D, 4, 1, 3),
+                             channel_task(kChannelD2H, 3, 0, 2),
+                             channel_task(kChannelD2H, 1, 2, 1),
+                             channel_task(kChannelH2D, 1, 4, 1)};
   SolveRequest request;
-  request.instance = duplex;
-  request.capacity = 4.0;
-  EXPECT_THROW((void)solve(request, "branch-bound:16"),
-               std::invalid_argument);
-  EXPECT_THROW((void)solve(request, "window:3:pair"), std::invalid_argument);
-  // Even when the leading window happens to contain only channel-0 tasks,
-  // the rejection fires upfront as invalid_argument (not a logic_error
-  // from the carried multi-channel snapshot deep in the search).
-  std::vector<Task> tasks = {channel_task(kChannelH2D, 1, 1, 1),
+  request.instance = Instance(std::move(tasks));
+  request.capacity = 5.0;
+  const Bounds bounds = compute_bounds(request.instance);
+  const SolveResult bb = solve(request, "branch-bound");
+  EXPECT_TRUE(
+      testing::feasible(request.instance, bb.schedule, request.capacity));
+  EXPECT_GE(bb.makespan + 1e-9, bounds.omim_lower);
+  // The pair search covers every permutation schedule, so it can only
+  // improve on the exhaustive common-order optimum.
+  const SolveResult ex = solve(request, "exhaustive");
+  EXPECT_LE(bb.makespan, ex.makespan + 1e-9);
+
+  // A leading window containing only channel-0 tasks used to be the
+  // dangerous configuration (carried multi-clock snapshot mid-search);
+  // it now solves cleanly.
+  std::vector<Task> mixed = {channel_task(kChannelH2D, 1, 1, 1),
                              channel_task(kChannelH2D, 2, 1, 1),
                              channel_task(kChannelD2H, 1, 0, 1)};
   SolveRequest mostly_single;
-  mostly_single.instance = Instance(std::move(tasks));
+  mostly_single.instance = Instance(std::move(mixed));
   mostly_single.capacity = 4.0;
-  EXPECT_THROW((void)solve(mostly_single, "window:2:pair"),
-               std::invalid_argument);
+  const SolveResult lp = solve(mostly_single, "window:2:pair");
+  EXPECT_TRUE(testing::feasible(mostly_single.instance, lp.schedule,
+                                mostly_single.capacity));
+}
+
+TEST(ChannelSolve, ListingsReportChannelSupport) {
+  // The capability field is always populated, and the solvers this PR
+  // taught multi-channel solving declare it. (A future solver may
+  // legitimately declare "single" — the differential suite then expects
+  // it to reject duplex requests.)
+  for (const SolverListing& listing : list_solvers()) {
+    EXPECT_FALSE(listing.channels.empty()) << listing.name;
+    if (listing.name == "branch-bound" || listing.name == "window" ||
+        listing.name == "exhaustive" || listing.name == "duplex-balance") {
+      EXPECT_EQ(listing.channels, "any") << listing.name;
+    }
+  }
 }
 
 TEST(ChannelSolve, TasksRejectOutOfRangeChannels) {

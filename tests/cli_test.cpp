@@ -273,6 +273,10 @@ TEST(Cli, ListSolversBothSpellings) {
     EXPECT_NE(r.out.find("auto-batch"), std::string::npos);
     EXPECT_NE(r.out.find("branch-bound"), std::string::npos);
     EXPECT_NE(r.out.find("OOLCMR"), std::string::npos);
+    EXPECT_NE(r.out.find("duplex-balance"), std::string::npos);
+    // Per-solver channel capability column.
+    EXPECT_NE(r.out.find("channels"), std::string::npos);
+    EXPECT_NE(r.out.find("any"), std::string::npos);
   }
 }
 

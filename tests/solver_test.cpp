@@ -336,10 +336,21 @@ TEST(SolveParity, ExactSolversMatchOnTable2) {
       solve(request_for(inst, testing::kTable2Capacity), "branch-bound");
   EXPECT_DOUBLE_EQ(bb.makespan, 22.0);
   EXPECT_FALSE(bb.cancelled);
+  // The adapter passes the capacity-aware lower bound for its
+  // proved-optimal early exit; hand the legacy call the same bound so the
+  // two searches scan the identical pair sequence.
+  PairOrderOptions legacy_options;
+  legacy_options.lower_bound =
+      capacity_aware_bounds(inst, testing::kTable2Capacity).combined;
   const PairOrderResult legacy =
-      best_pair_order(inst, testing::kTable2Capacity);
+      best_pair_order(inst, testing::kTable2Capacity, legacy_options);
   EXPECT_DOUBLE_EQ(bb.makespan, legacy.makespan);
   EXPECT_EQ(bb.evaluations, legacy.pairs_simulated);
+  // On this instance the pair-order optimum (22) matches the combined
+  // capacity-aware bound, so the search proves optimality early instead
+  // of scanning all (6!)^2 pairs.
+  EXPECT_TRUE(legacy.proved_optimal);
+  EXPECT_LT(legacy.pairs_simulated, 518400u);
 
   const SolveResult ex =
       solve(request_for(inst, testing::kTable2Capacity), "exhaustive");

@@ -1,0 +1,135 @@
+#!/usr/bin/env python3
+"""Performance-regression guard for bench_machine_sweep output.
+
+Compares the deterministic makespan columns of a fresh
+BENCH_machine_sweep.json run against the checked-in baseline
+(bench/baselines/machine_sweep_quick.json). Modeled makespans are exact
+functions of the seeded workload and the solver code, so any drift beyond
+a small floating-point tolerance is a behavior change: an increase is a
+performance regression (the job fails), a decrease is an improvement (the
+job passes with a note to refresh the baseline).
+
+Wall-clock columns (solves_per_second) are machine-dependent and ignored.
+
+Usage:
+  tools/check_bench_baseline.py BASELINE CANDIDATE [--tolerance=0.02]
+  tools/check_bench_baseline.py BASELINE CANDIDATE --update
+
+Exit status: 0 ok, 1 regression/missing rows, 2 usage or I/O error.
+"""
+
+import json
+import shutil
+import sys
+
+DEFAULT_TOLERANCE = 0.02  # 2% relative slack for compiler/FP differences
+
+
+def row_key(row):
+    """Identity of a sweep row across runs."""
+    if "machine" in row:
+        return ("sweep", row["kernel"], row["machine"])
+    return ("asymmetry", row["kernel"], row["d2h_slowdown"])
+
+
+def metrics(row):
+    """The deterministic columns compared against the baseline."""
+    if "machine" in row:
+        return {"median_makespan_seconds": row["median_makespan_seconds"]}
+    return {
+        "scmr_median_makespan_seconds": row["scmr_median_makespan_seconds"],
+        "duplex_balance_median_makespan_seconds":
+            row["duplex_balance_median_makespan_seconds"],
+    }
+
+
+def load_rows(path):
+    try:
+        with open(path) as handle:
+            data = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"error: cannot read {path}: {error}", file=sys.stderr)
+        sys.exit(2)
+    rows = {}
+    for row in data.get("rows", []) + data.get("asymmetry", []):
+        rows[row_key(row)] = metrics(row)
+    return rows
+
+
+def main(argv):
+    tolerance = DEFAULT_TOLERANCE
+    update = False
+    positional = []
+    for arg in argv[1:]:
+        if arg == "--update":
+            update = True
+        elif arg.startswith("--tolerance="):
+            tolerance = float(arg.split("=", 1)[1])
+        else:
+            positional.append(arg)
+    if len(positional) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    baseline_path, candidate_path = positional
+
+    if update:
+        shutil.copyfile(candidate_path, baseline_path)
+        print(f"baseline refreshed: {candidate_path} -> {baseline_path}")
+        return 0
+
+    baseline = load_rows(baseline_path)
+    candidate = load_rows(candidate_path)
+
+    regressions, improvements, missing = [], [], []
+    for key, base_metrics in sorted(baseline.items()):
+        cand_metrics = candidate.get(key)
+        if cand_metrics is None:
+            missing.append(key)
+            continue
+        for name, base_value in base_metrics.items():
+            cand_value = cand_metrics.get(name)
+            if cand_value is None:
+                missing.append(key + (name,))
+                continue
+            if base_value <= 0.0:
+                continue
+            delta = (cand_value - base_value) / base_value
+            line = (f"{'/'.join(str(part) for part in key)} {name}: "
+                    f"{base_value:.6g} -> {cand_value:.6g} "
+                    f"({100.0 * delta:+.2f}%)")
+            if delta > tolerance:
+                regressions.append(line)
+            elif delta < -tolerance:
+                improvements.append(line)
+
+    new_rows = sorted(set(candidate) - set(baseline))
+
+    if improvements:
+        print("improvements (refresh the baseline with --update to lock "
+              "them in):")
+        for line in improvements:
+            print(f"  {line}")
+    if new_rows:
+        print("rows not in the baseline (covered after the next --update):")
+        for key in new_rows:
+            print(f"  {'/'.join(str(part) for part in key)}")
+    if missing:
+        print("BASELINE ROWS MISSING FROM THE CANDIDATE RUN:")
+        for key in missing:
+            print(f"  {'/'.join(str(part) for part in key)}")
+    if regressions:
+        print(f"PERFORMANCE REGRESSIONS (> {100.0 * tolerance:.1f}% above "
+              "baseline):")
+        for line in regressions:
+            print(f"  {line}")
+    if regressions or missing:
+        return 1
+
+    checked = sum(len(values) for values in baseline.values())
+    print(f"perf guard ok: {checked} makespan metrics within "
+          f"{100.0 * tolerance:.1f}% of {baseline_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
