@@ -90,6 +90,10 @@ void JobState::finish(JobOutcome outcome) {
 
 void JobState::finish_locked(JobOutcome&& outcome) {
   if (is_terminal(status_)) return;  // first terminal transition wins
+  // The guard above and this flag must agree: a job reaches exactly one
+  // terminal state, ever (the pool's whole lifecycle story rests on it).
+  DTS_ENSURE(!audit_terminal_,
+             "a job must reach exactly one terminal state");
   status_ = outcome.status;
   outcome_ = std::move(outcome);
   if (!is_terminal(status_)) {
@@ -107,6 +111,9 @@ void JobState::finish_locked(JobOutcome&& outcome) {
       default: counters_->failed.fetch_add(1); break;
     }
   }
+  DTS_AUDIT_ONLY(audit_terminal_ = true;)
+  DTS_ENSURE(is_terminal(status_),
+             "finish must leave the job in a terminal state");
   terminal_cv_.notify_all();
   // The terminal hook is fired by the caller after releasing the mutex
   // (cancel()/finish() move it out exactly once).

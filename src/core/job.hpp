@@ -29,6 +29,7 @@
 #include <string_view>
 
 #include "core/solver.hpp"
+#include "support/contract.hpp"
 
 namespace dts {
 
@@ -194,6 +195,9 @@ class JobState {
   mutable std::condition_variable terminal_cv_;
   JobStatus status_ = JobStatus::kQueued;
   JobOutcome outcome_;
+  /// Audit-mode scratch: set by the one permitted terminal transition so
+  /// a second transition trips the contract instead of racing silently.
+  DTS_AUDIT_ONLY(bool audit_terminal_ = false;)
 };
 
 }  // namespace detail

@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "support/contract.hpp"
 #include "support/parallel_for.hpp"
 
 namespace dts {
@@ -219,6 +220,20 @@ void SolverPool::shutdown(DrainMode mode) {
     job->cancel("pool shut down before the job finished");
   }
   for (std::thread& worker : workers_) worker.join();
+  // With every worker joined no thread mutates pool state: a drain must
+  // have run the whole queue, a cancel resolved it, and either way no job
+  // may still be marked running (each is popped off running_ by the
+  // worker that resolved it).
+  DTS_ENSURE(queue_.empty(), "shutdown must leave no queued job behind");
+  DTS_ENSURE(running_.empty(), "shutdown must leave no job marked running");
+  DTS_AUDIT_ONLY({
+    const std::uint64_t resolved = counters_->done.load() +
+                                   counters_->cancelled.load() +
+                                   counters_->failed.load();
+    DTS_AUDIT(resolved == counters_->submitted.load(),
+              "shutdown must resolve every submitted job to exactly one "
+              "terminal state");
+  });
   joined_ = true;
 }
 
@@ -298,6 +313,9 @@ SolverPool::Stats SolverPool::stats() const {
         return !is_terminal(q.job->status());
       }));
   stats.peak_queued = peak_queued_;
+  DTS_AUDIT(stats.done + stats.cancelled + stats.failed <= stats.submitted,
+            "more terminal transitions than submissions — a job resolved "
+            "twice");
   return stats;
 }
 

@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "support/contract.hpp"
+
 namespace dts {
 
 ExecutionState::ExecutionState(Mem capacity, std::size_t n_channels)
@@ -47,6 +49,24 @@ ExecutionState::Snapshot ExecutionState::snapshot() const {
   snap.now = now_;
   snap.active.reserve(active_.size());
   for (const ActiveTask& a : active_) snap.active.emplace_back(a.comp_end, a.mem);
+  // Save -> restore must be the identity: the window solver and the
+  // pair-order branch & bound resume engines from snapshots, and a lossy
+  // capture silently corrupts time or memory accounting downstream (the
+  // bug class tests/differential_test.cpp caught in PR 3: `now` was not
+  // recorded, so multi-channel restores regressed the decision instant).
+  DTS_AUDIT_ONLY({
+    const ExecutionState restored(capacity_, snap);
+    DTS_AUDIT(restored.now_ == now_,
+              "snapshot restore must resume at the captured instant");
+    DTS_AUDIT(restored.comm_avail_ == comm_avail_,
+              "snapshot restore must keep every channel clock");
+    DTS_AUDIT(restored.comp_avail_ == comp_avail_,
+              "snapshot restore must keep the processor clock");
+    DTS_AUDIT(restored.active_.size() == active_.size(),
+              "snapshot restore must keep every in-flight task");
+    DTS_AUDIT(approx_equal(restored.used_, used_),
+              "snapshot restore must keep the memory footprint");
+  });
   return snap;
 }
 
@@ -96,9 +116,16 @@ void ExecutionState::advance_decision_instant() {
   now_ = std::max(now_, *std::min_element(comm_avail_.begin(),
                                           comm_avail_.end()));
   release_until(now_);
+  // Standing invariant the snapshot round-trip relies on: the decision
+  // instant never trails the earliest free engine.
+  DTS_ENSURE(now_ >= *std::min_element(comm_avail_.begin(), comm_avail_.end()),
+             "decision instant must cover the earliest free channel");
 }
 
 TaskTimes ExecutionState::start(const Task& t) {
+  DTS_AUDIT_ONLY(const Time audit_now = now_;
+                 const Time audit_channel = comm_avail_.at(t.channel);
+                 const Time audit_comp = comp_avail_;)
   const Time comm_start = earliest_comm_start(t);  // checks the channel id
   if (comm_start > now_) {
     // The task's engine is busy past the decision instant (only possible
@@ -124,6 +151,14 @@ TaskTimes ExecutionState::start(const Task& t) {
   comm_avail_[t.channel] = comm_end;
   comp_avail_ = comp_end;
   advance_decision_instant();
+  // Clocks only move forward (per-channel monotonicity along the issue
+  // order) and the admission check above keeps the footprint bounded.
+  DTS_ENSURE(now_ >= audit_now, "decision instant must never decrease");
+  DTS_ENSURE(comm_avail_[t.channel] >= audit_channel,
+             "channel clock must be monotone along the issue order");
+  DTS_ENSURE(comp_avail_ >= audit_comp, "processor clock must be monotone");
+  DTS_AUDIT(approx_leq(used_, capacity_),
+            "memory bound exceeded mid-simulate");
   return TaskTimes{comm_start, comp_start};
 }
 

@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <tuple>
 
+#include "support/contract.hpp"
+
 namespace dts {
 
 namespace {
@@ -127,6 +129,18 @@ std::optional<Time> simulate_pair_order(const Instance& inst,
       std::sort(candidate_times.begin(), candidate_times.end());
       for (const Time t : candidate_times) {
         if (approx_leq(used_at(t) + task.mem, capacity)) {
+          // The exactness argument hinges on comm_order being the
+          // chronological order of transfer starts: each committed start
+          // may never precede the frontier, and the task's engine clock
+          // only moves forward.
+          DTS_ENSURE(t >= frontier,
+                     "transfer starts must be monotone along the "
+                     "chronological order");
+          DTS_ENSURE(t >= link_free[task.channel],
+                     "per-channel clock must be monotone along the "
+                     "chronological order");
+          DTS_AUDIT(approx_leq(used_at(t) + task.mem, capacity),
+                    "memory bound exceeded at a committed transfer start");
           comm_start[u] = t;
           comm_end[u] = t + task.comm;
           link_free[task.channel] = comm_end[u];
@@ -263,6 +277,17 @@ PairOrderResult best_pair_order(const Instance& inst, Mem capacity,
     std::erase_if(snap.active, [&](const std::pair<Time, Mem>& a) {
       return approx_leq(a.first, snap.now);
     });
+    // The carried-over state may only move forward relative to what was
+    // carried in — the window solver chains these snapshots, and a
+    // regressed clock would issue later windows in the past.
+    DTS_ENSURE(snap.now >= initial.now,
+               "reconstructed state must not regress the decision instant");
+    DTS_AUDIT_ONLY(
+        for (std::size_t ch = 0; ch < initial.comm_available.size(); ++ch) {
+          DTS_AUDIT(snap.comm_available[ch] >= initial.comm_available[ch],
+                    "reconstructed channel clock must not regress");
+        } DTS_AUDIT(snap.comp_available >= initial.comp_available,
+                    "reconstructed processor clock must not regress");)
     result.final_state = std::move(snap);
   }
   return result;

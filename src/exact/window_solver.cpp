@@ -6,6 +6,7 @@
 #include "core/simulate.hpp"
 #include "exact/branch_bound.hpp"
 #include "exact/exhaustive.hpp"
+#include "support/contract.hpp"
 
 namespace dts {
 
@@ -48,6 +49,7 @@ WindowedResult solve_windowed(const Instance& inst, Mem capacity,
     }
 
     const Instance sub = inst.subset(ids);
+    DTS_AUDIT_ONLY(const ExecutionState::Snapshot audit_carried = carried;)
     if (options.mode == WindowMode::kCommonOrder) {
       ExhaustiveOptions ex;
       ex.max_n = options.window;
@@ -84,6 +86,23 @@ WindowedResult solve_windowed(const Instance& inst, Mem capacity,
         continue;  // incumbent kept; remaining windows drain above
       }
     }
+    // Chained snapshots carry the engine forward window to window; a
+    // clock regressing past the previous carried state would let a later
+    // window schedule transfers before memory this state no longer
+    // tracks was released (the PR 3 snapshot bug class, at window scope).
+    DTS_ENSURE(carried.now >= audit_carried.now,
+               "carried decision instant must not regress across windows");
+    DTS_AUDIT_ONLY(
+        for (std::size_t ch = 0;
+             ch < audit_carried.comm_available.size(); ++ch) {
+          DTS_AUDIT(carried.comm_available.size() > ch &&
+                        carried.comm_available[ch] >=
+                            audit_carried.comm_available[ch],
+                    "carried channel clock must not regress across windows");
+        } for (TaskId local = 0; local < sub.size(); ++local) {
+          DTS_AUDIT(result.schedule[ids[local]].comm_start >= 0.0,
+                    "every task of an optimized window must be scheduled");
+        })
     ++result.windows_optimized;
   }
   return result;

@@ -1,0 +1,76 @@
+#pragma once
+
+/// \file contract.hpp
+/// Compiled-in contract audits: the invariants the static layer
+/// (tools/dts_lint.py, clang-tidy, cppcheck) cannot see because they only
+/// hold at runtime — per-channel clocks monotone along the chronological
+/// order, the memory bound never exceeded mid-simulate, snapshot
+/// save->restore round-trip identity, pool jobs reaching exactly one
+/// terminal state.
+///
+/// Three macros, all active only when the library is built with the
+/// DTS_AUDIT CMake option (which defines DTS_ENABLE_AUDITS=1):
+///
+///   DTS_EXPECT(cond, msg)  precondition at a function's entry
+///   DTS_ENSURE(cond, msg)  postcondition / invariant after a mutation
+///   DTS_AUDIT(cond, msg)   expensive audit (O(n) scans, re-simulation)
+///
+/// A violated contract is a programming error, never an input error: the
+/// handler prints the condition, location and message to stderr and
+/// aborts, so a CI Debug+DTS_AUDIT ctest run fails loudly at the exact
+/// broken invariant. Input validation stays exception-based and always
+/// on; contracts guard what correct code must already guarantee, which
+/// is why release builds compile them out entirely (the CI perf guard
+/// sees zero overhead).
+///
+/// Audit-only scratch state (e.g. capturing a clock before a mutation to
+/// assert monotonicity after it) goes inside DTS_AUDIT_ONLY(...) so the
+/// non-audit build does not even evaluate it.
+
+#if defined(DTS_ENABLE_AUDITS) && DTS_ENABLE_AUDITS
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace dts::contract {
+
+/// Prints the violated contract and aborts. Out of line in the header so
+/// the library keeps zero .cpp dependencies on the audit mode.
+[[noreturn]] inline void fail(const char* kind, const char* condition,
+                              const char* file, int line,
+                              const char* message) noexcept {
+  std::fprintf(stderr, "%s:%d: %s violated: (%s) — %s\n", file, line, kind,
+               condition, message);
+  std::abort();
+}
+
+}  // namespace dts::contract
+
+#define DTS_CONTRACT_CHECK(kind, cond, msg)                         \
+  do {                                                              \
+    if (!(cond)) {                                                  \
+      ::dts::contract::fail(kind, #cond, __FILE__, __LINE__, msg);  \
+    }                                                               \
+  } while (false)
+
+#define DTS_EXPECT(cond, msg) DTS_CONTRACT_CHECK("precondition", cond, msg)
+#define DTS_ENSURE(cond, msg) DTS_CONTRACT_CHECK("postcondition", cond, msg)
+#define DTS_AUDIT(cond, msg) DTS_CONTRACT_CHECK("audit", cond, msg)
+#define DTS_AUDIT_ONLY(...) __VA_ARGS__
+
+namespace dts {
+inline constexpr bool kAuditsEnabled = true;
+}  // namespace dts
+
+#else  // audits compiled out: zero code, zero evaluation
+
+#define DTS_EXPECT(cond, msg) static_cast<void>(0)
+#define DTS_ENSURE(cond, msg) static_cast<void>(0)
+#define DTS_AUDIT(cond, msg) static_cast<void>(0)
+#define DTS_AUDIT_ONLY(...)
+
+namespace dts {
+inline constexpr bool kAuditsEnabled = false;
+}  // namespace dts
+
+#endif
