@@ -70,13 +70,7 @@ SolverRegistry& SolverRegistry::global() {
 }
 
 void SolverRegistry::add(std::string key, std::string params,
-                         std::string description, Factory factory) {
-  add(std::move(key), std::move(params), std::move(description), "any",
-      std::move(factory));
-}
-
-void SolverRegistry::add(std::string key, std::string params,
-                         std::string description, std::string channels,
+                         std::string description, SolverChannels channels,
                          Factory factory) {
   if (key.empty()) throw std::logic_error("solver key must not be empty");
   if (key.find(':') != std::string::npos) {
@@ -90,7 +84,8 @@ void SolverRegistry::add(std::string key, std::string params,
     }
   }
   entries_.push_back(Entry{std::move(key), std::move(params),
-                           std::move(description), std::move(channels),
+                           std::move(description),
+                           std::string(to_string(channels)),
                            std::move(factory)});
 }
 

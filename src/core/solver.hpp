@@ -16,8 +16,13 @@
 /// edits, no new entry points:
 ///
 ///   namespace { const dts::RegisterSolver reg{
-///       "my-solver", "", "one-line description",
+///       "my-solver", "", "one-line description", dts::SolverChannels::kAny,
 ///       [](const dts::SolverSpec&) { return std::make_unique<MySolver>(); }}; }
+///
+/// Every registration declares its channel capability up front
+/// (SolverChannels below) — the listings, `dts solvers` and the
+/// differential suite's per-solver expectations are derived from it, so
+/// an undeclared capability is a compile error, not a silent "any".
 ///
 /// Names are parameterized with ':' — "auto-batch:16" is the base key
 /// "auto-batch" with argument "16". The legacy free functions
@@ -238,6 +243,23 @@ class Solver {
                                         const SolveOptions& options) const = 0;
 };
 
+/// Channel capability a solver declares when it registers: every
+/// registration site states explicitly whether the strategy handles any
+/// channel count or models one link only (tools/dts_lint.py enforces the
+/// declaration is present at the site). The differential suite derives
+/// its per-solver expectations from this column, so a wrong declaration
+/// fails CI rather than silently skipping coverage.
+enum class SolverChannels {
+  kAny,     ///< per-channel clocks handled; accepts duplex requests
+  kSingle,  ///< models one link; rejects multi-channel requests
+};
+
+/// The listings string for a capability ("any" / "single").
+[[nodiscard]] constexpr std::string_view to_string(
+    SolverChannels channels) noexcept {
+  return channels == SolverChannels::kSingle ? "single" : "any";
+}
+
 /// One row of SolverRegistry::listings().
 struct SolverListing {
   std::string name;         ///< registry key, e.g. "auto-batch"
@@ -265,12 +287,11 @@ class SolverRegistry {
   [[nodiscard]] static SolverRegistry& global();
 
   /// Registers a factory under `key`. Throws std::logic_error when the key
-  /// is already taken or empty. `channels` declares channel support for
-  /// the listings ("any" by default; "single" for one-link-only models).
+  /// is already taken or empty. `channels` is the capability the solver
+  /// declares — required at every site; there is deliberately no
+  /// defaulting overload.
   void add(std::string key, std::string params, std::string description,
-           Factory factory);
-  void add(std::string key, std::string params, std::string description,
-           std::string channels, Factory factory);
+           SolverChannels channels, Factory factory);
 
   /// Instantiates the solver a (possibly parameterized) name refers to.
   /// Throws std::invalid_argument for an unknown base key — the message
@@ -300,9 +321,10 @@ class SolverRegistry {
 /// any linked translation unit adds the factory before main() runs.
 struct RegisterSolver {
   RegisterSolver(std::string key, std::string params, std::string description,
-                 SolverRegistry::Factory factory) {
+                 SolverChannels channels, SolverRegistry::Factory factory) {
     SolverRegistry::global().add(std::move(key), std::move(params),
-                                 std::move(description), std::move(factory));
+                                 std::move(description), channels,
+                                 std::move(factory));
   }
 };
 

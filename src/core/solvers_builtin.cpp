@@ -416,6 +416,7 @@ namespace detail {
 void register_builtin_solvers(SolverRegistry& registry) {
   for (const HeuristicInfo& h : all_heuristics()) {
     registry.add(std::string(h.name), "", std::string(h.description),
+                 SolverChannels::kAny,
                  [id = h.id](const SolverSpec& spec) {
                    expect_no_args(spec);
                    return std::make_unique<HeuristicSolver>(id, spec.full);
@@ -424,7 +425,7 @@ void register_builtin_solvers(SolverRegistry& registry) {
   registry.add(
       "auto", "[:all|baseline|static|dynamic|corrected]",
       "evaluate every candidate heuristic, keep the best schedule",
-      [](const SolverSpec& spec) {
+      SolverChannels::kAny, [](const SolverSpec& spec) {
         if (spec.args.size() > 1) {
           throw std::invalid_argument("solver '" + spec.full +
                                       "': expected at most one argument");
@@ -436,7 +437,7 @@ void register_builtin_solvers(SolverRegistry& registry) {
       "auto-batch", "[:BATCH]",
       "auto-selecting batch runtime: per batch, commit the candidate "
       "finishing earliest (default batch 16)",
-      [](const SolverSpec& spec) {
+      SolverChannels::kAny, [](const SolverSpec& spec) {
         if (spec.args.size() > 1) {
           throw std::invalid_argument("solver '" + spec.full +
                                       "': expected at most one argument");
@@ -446,14 +447,14 @@ void register_builtin_solvers(SolverRegistry& registry) {
       });
   registry.add("local-search", "",
                "hill climbing over orders, seeded with the best heuristic",
-               [](const SolverSpec& spec) {
+               SolverChannels::kAny, [](const SolverSpec& spec) {
                  expect_no_args(spec);
                  return std::make_unique<LocalSearchSolver>();
                });
   registry.add("duplex-balance", "",
                "per-channel Johnson orders merged by least committed "
                "engine load (duplex-aware static order)",
-               [](const SolverSpec& spec) {
+               SolverChannels::kAny, [](const SolverSpec& spec) {
                  expect_no_args(spec);
                  return std::make_unique<DuplexBalanceSolver>();
                });
@@ -461,7 +462,7 @@ void register_builtin_solvers(SolverRegistry& registry) {
                "exact search over independent transfer/comp order pairs, "
                "per-channel orders included (the MILP's space; default "
                "max n = 7)",
-               [](const SolverSpec& spec) {
+               SolverChannels::kAny, [](const SolverSpec& spec) {
                  if (spec.args.size() > 1) {
                    throw std::invalid_argument(
                        "solver '" + spec.full +
@@ -472,7 +473,7 @@ void register_builtin_solvers(SolverRegistry& registry) {
                });
   registry.add("exhaustive", "[:MAX_N]",
                "exact search over permutation schedules (default max n = 10)",
-               [](const SolverSpec& spec) {
+               SolverChannels::kAny, [](const SolverSpec& spec) {
                  if (spec.args.size() > 1) {
                    throw std::invalid_argument(
                        "solver '" + spec.full +
@@ -483,7 +484,7 @@ void register_builtin_solvers(SolverRegistry& registry) {
                });
   registry.add("window", "[:K[:common|pair]]",
                "iterative window optimization, the paper's lp.k (default k=4)",
-               [](const SolverSpec& spec) {
+               SolverChannels::kAny, [](const SolverSpec& spec) {
                  return std::make_unique<WindowedSolver>(
                      parse_window_spec(spec));
                });

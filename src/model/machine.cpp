@@ -85,26 +85,33 @@ MachineRegistry& MachineRegistry::global() {
   return registry;
 }
 
-void MachineRegistry::add(std::string key, std::string description,
-                          Factory factory) {
+void MachineRegistry::add(std::string key, MachineChannels channels,
+                          std::string description, Factory factory) {
   if (key.empty()) throw std::logic_error("machine key must not be empty");
+  if (channels.labels.empty()) {
+    throw std::logic_error("machine '" + key +
+                           "' must declare its channels (e.g. \"link\", "
+                           "\"H2D+D2H\")");
+  }
   const std::lock_guard<std::mutex> lock(machine_registry_mutex());
   for (const Entry& entry : entries_) {
     if (entry.key == key) {
       throw std::logic_error("machine '" + key + "' registered twice");
     }
   }
-  entries_.push_back(
-      Entry{std::move(key), std::move(description), std::move(factory)});
+  entries_.push_back(Entry{std::move(key), std::move(channels.labels),
+                           std::move(description), std::move(factory)});
 }
 
 Machine MachineRegistry::make(std::string_view name) const {
   Factory factory;
+  std::string declared;
   {
     const std::lock_guard<std::mutex> lock(machine_registry_mutex());
     for (const Entry& entry : entries_) {
       if (entry.key == name) {
         factory = entry.factory;
+        declared = entry.channels;
         break;
       }
     }
@@ -115,7 +122,16 @@ Machine MachineRegistry::make(std::string_view name) const {
     for (const std::string& key : keys()) message << " " << key;
     throw std::invalid_argument(message.str());
   }
-  return factory();
+  Machine machine = factory();
+  // The declaration the listings print must be the machine the factory
+  // actually builds — catch drift at the first construction, loudly.
+  const std::string built = MachineChannels::of(machine).labels;
+  if (built != declared) {
+    throw std::logic_error("machine '" + std::string(name) +
+                           "': registration declares channels '" + declared +
+                           "' but the factory built '" + built + "'");
+  }
+  return machine;
 }
 
 bool MachineRegistry::contains(std::string_view key) const {
@@ -127,22 +143,15 @@ bool MachineRegistry::contains(std::string_view key) const {
 }
 
 std::vector<MachineListing> MachineRegistry::listings() const {
-  std::vector<Entry> entries;
-  {
-    const std::lock_guard<std::mutex> lock(machine_registry_mutex());
-    entries = entries_;
-  }
+  // The channels column is the registration's declaration: listing the
+  // registry never instantiates a factory (make() verifies the
+  // declaration against the built machine, so the column cannot drift).
+  const std::lock_guard<std::mutex> lock(machine_registry_mutex());
   std::vector<MachineListing> rows;
-  rows.reserve(entries.size());
-  for (const Entry& entry : entries) {
-    const Machine machine = entry.factory();
-    std::string channels;
-    for (const MachineChannel& ch : machine.channels()) {
-      if (!channels.empty()) channels += "+";
-      channels += ch.name;
-    }
-    rows.push_back(
-        MachineListing{entry.key, std::move(channels), entry.description});
+  rows.reserve(entries_.size());
+  for (const Entry& entry : entries_) {
+    rows.push_back(MachineListing{entry.key, entry.channels,
+                                  entry.description});
   }
   return rows;
 }

@@ -112,6 +112,27 @@ struct MachineListing {
   std::string description;
 };
 
+/// The channel capability a machine registration declares up front: the
+/// '+'-joined channel names, in ChannelId order ("link", "H2D+D2H").
+/// Listings print the declaration without instantiating any factory, and
+/// MachineRegistry::make() verifies the built machine against it — a
+/// drifting declaration is a std::logic_error the first time the machine
+/// is built, not a silently wrong `dts machines` row. Every registration
+/// site states it explicitly (tools/dts_lint.py enforces the presence).
+struct MachineChannels {
+  std::string labels;
+
+  /// The declaration `machine` actually satisfies.
+  [[nodiscard]] static MachineChannels of(const Machine& machine) {
+    MachineChannels channels;
+    for (const MachineChannel& ch : machine.channels()) {
+      if (!channels.labels.empty()) channels.labels += '+';
+      channels.labels += ch.name;
+    }
+    return channels;
+  }
+};
+
 /// String-keyed machine factory registry, mirroring SolverRegistry.
 /// Factories self-register via RegisterMachine; the built-in presets are
 /// registered on first access so a static-library link never loses them.
@@ -122,13 +143,17 @@ class MachineRegistry {
   /// The process-wide registry.
   [[nodiscard]] static MachineRegistry& global();
 
-  /// Registers a factory under `key`. Throws std::logic_error when the
-  /// key is already taken or empty.
-  void add(std::string key, std::string description, Factory factory);
+  /// Registers a factory under `key` with its declared channel layout.
+  /// Throws std::logic_error when the key is already taken or empty.
+  /// The declaration is required at every site; there is deliberately no
+  /// defaulting overload.
+  void add(std::string key, MachineChannels channels, std::string description,
+           Factory factory);
 
   /// Instantiates the machine `name` refers to. Throws
   /// std::invalid_argument for an unknown key — the message lists every
-  /// available machine.
+  /// available machine — and std::logic_error when the factory builds a
+  /// machine whose channels do not match the registration's declaration.
   [[nodiscard]] Machine make(std::string_view name) const;
 
   [[nodiscard]] bool contains(std::string_view key) const;
@@ -142,6 +167,7 @@ class MachineRegistry {
  private:
   struct Entry {
     std::string key;
+    std::string channels;  ///< declared '+'-joined channel names
     std::string description;
     Factory factory;
   };
@@ -151,10 +177,10 @@ class MachineRegistry {
 /// Self-registration helper: a namespace-scope `const RegisterMachine` in
 /// any linked translation unit adds the factory before main() runs.
 struct RegisterMachine {
-  RegisterMachine(std::string key, std::string description,
-                  MachineRegistry::Factory factory) {
-    MachineRegistry::global().add(std::move(key), std::move(description),
-                                  std::move(factory));
+  RegisterMachine(std::string key, MachineChannels channels,
+                  std::string description, MachineRegistry::Factory factory) {
+    MachineRegistry::global().add(std::move(key), std::move(channels),
+                                  std::move(description), std::move(factory));
   }
 };
 

@@ -30,20 +30,21 @@ void register_builtin_machines(MachineRegistry& registry) {
     return MachineModel::cascade().to_machine(
         name, "Cascade node slice, single half-duplex link");
   };
-  registry.add("paper",
+  registry.add("paper", MachineChannels{"link"},
                "the paper's testbed: one process's share of a PNNL Cascade "
                "node (shared FDR link, one-sided transfers)",
                [cascade_machine] { return cascade_machine("paper"); });
-  registry.add("cascade", "alias of 'paper' (the Cascade testbed)",
+  registry.add("cascade", MachineChannels{"link"},
+               "alias of 'paper' (the Cascade testbed)",
                [cascade_machine] { return cascade_machine("cascade"); });
-  registry.add("pcie-gpu",
+  registry.add("pcie-gpu", MachineChannels{"link"},
                "CPU->GPU offload over one PCIe 3.0 x16 DMA engine "
                "(half duplex)",
                [] {
                  return MachineModel::pcie_gpu().to_machine(
                      "pcie-gpu", "PCIe 3.0 x16, single DMA engine");
                });
-  registry.add("duplex-pcie",
+  registry.add("duplex-pcie", MachineChannels{"H2D+D2H"},
                "CPU<->GPU offload with both PCIe 3.0 x16 DMA engines "
                "(H2D + slightly slower D2H)",
                [] {
@@ -52,7 +53,7 @@ void register_builtin_machines(MachineRegistry& registry) {
                      "PCIe 3.0 x16, one DMA engine per direction");
                });
   registry.add(
-      "summit-node",
+      "summit-node", MachineChannels{"H2D+D2H"},
       "Summit-like node: NVLink2 CPU<->GPU bricks, duplex, with the "
       "measured small/large-message protocol switch (piecewise model)",
       [] {
@@ -73,7 +74,7 @@ void register_builtin_machines(MachineRegistry& registry) {
                        {MachineChannel{"H2D", nvlink2()},
                         MachineChannel{"D2H", nvlink2()}});
       });
-  registry.add("nvlink",
+  registry.add("nvlink", MachineChannels{"H2D+D2H"},
                "NVLink3-class CPU<->GPU attachment: duplex, ~150 GB/s per "
                "direction, sub-microsecond startup",
                [] {

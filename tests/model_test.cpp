@@ -124,17 +124,46 @@ TEST(MachineRegistry, ListsPresetsAndRejectsUnknownNames) {
 
 TEST(MachineRegistry, RejectsDuplicateAndEmptyKeys) {
   EXPECT_THROW(MachineRegistry::global().add(
-                   "paper", "dup",
+                   "paper", MachineChannels{"link"}, "dup",
                    [] { return machine_from_name("paper"); }),
                std::logic_error);
   EXPECT_THROW(MachineRegistry::global().add(
-                   "", "empty", [] { return machine_from_name("paper"); }),
+                   "", MachineChannels{"link"}, "empty",
+                   [] { return machine_from_name("paper"); }),
+               std::logic_error);
+  // The declaration itself is mandatory: an empty channel layout is a
+  // registration error, not a default.
+  EXPECT_THROW(MachineRegistry::global().add(
+                   "model-test-undeclared", MachineChannels{}, "no channels",
+                   [] { return machine_from_name("paper"); }),
+               std::logic_error);
+}
+
+TEST(MachineRegistry, DeclaredChannelsMismatchIsCaughtAtMake) {
+  static const RegisterMachine reg{
+      "model-test-misdeclared", MachineChannels{"H2D+D2H"},
+      "declares duplex, builds a single link", [] {
+        return Machine("model-test-misdeclared", "test",
+                       {affine_channel("link", 1.0e-6, 2.0e9)});
+      }};
+  // Listing shows the declaration without building anything...
+  bool listed = false;
+  for (const MachineListing& row : list_machines()) {
+    if (row.name == "model-test-misdeclared") {
+      listed = true;
+      EXPECT_EQ(row.channels, "H2D+D2H");
+    }
+  }
+  EXPECT_TRUE(listed);
+  // ...and the first construction trips the declared-vs-built audit.
+  EXPECT_THROW((void)machine_from_name("model-test-misdeclared"),
                std::logic_error);
 }
 
 TEST(MachineRegistry, CustomMachinesPlugIn) {
   static const RegisterMachine reg{
-      "model-test-custom", "a custom test machine", [] {
+      "model-test-custom", MachineChannels{"link"}, "a custom test machine",
+      [] {
         return Machine("model-test-custom", "test",
                        {affine_channel("link", 1.0e-6, 2.0e9)});
       }};
