@@ -53,8 +53,8 @@ TEST_P(BatchHeuristicsTest, FeasibleForSmallBatches) {
 
 INSTANTIATE_TEST_SUITE_P(
     Batch, BatchHeuristicsTest, ::testing::ValuesIn(all_heuristic_ids()),
-    [](const ::testing::TestParamInfo<HeuristicId>& info) {
-      return std::string(name_of(info.param));
+    [](const ::testing::TestParamInfo<HeuristicId>& param_info) {
+      return std::string(name_of(param_info.param));
     });
 
 TEST(Batch, BatchOfOneIsSubmissionOrderForStatics) {

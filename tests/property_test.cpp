@@ -130,9 +130,9 @@ INSTANTIATE_TEST_SUITE_P(
                        ::testing::Values(Shape::kUniform, Shape::kCommHeavy,
                                          Shape::kCompHeavy, Shape::kBimodal,
                                          Shape::kDegenerate)),
-    [](const ::testing::TestParamInfo<GridParam>& info) {
-      return std::string(name_of(std::get<0>(info.param))) + "_" +
-             shape_name(std::get<1>(info.param));
+    [](const ::testing::TestParamInfo<GridParam>& param_info) {
+      return std::string(name_of(std::get<0>(param_info.param))) + "_" +
+             shape_name(std::get<1>(param_info.param));
     });
 
 TEST(Property, OosimEqualsOmimWithUnboundedMemory) {
