@@ -1,0 +1,4 @@
+// lint-as: src/core/fixture.cpp
+double cost(double bytes, double latency, double bandwidth) {
+  return latency + bytes / bandwidth;
+}

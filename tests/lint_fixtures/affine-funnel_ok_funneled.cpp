@@ -1,0 +1,4 @@
+// lint-as: src/core/fixture.cpp
+double cost(double bytes, double latency, double bandwidth) {
+  return affine_transfer_time(latency, bandwidth, bytes);
+}

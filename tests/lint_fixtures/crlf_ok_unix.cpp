@@ -1,0 +1,3 @@
+int answer() {
+  return 42;
+}

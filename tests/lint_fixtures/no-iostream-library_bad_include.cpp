@@ -1,0 +1,3 @@
+// lint-as: src/report/fixture.cpp
+#include <iostream>
+void dump() { std::cout << "x\n"; }

@@ -1,0 +1,3 @@
+// lint-as: src/report/fixture.cpp
+#include <ostream>
+void dump(std::ostream& out) { out << "x\n"; }

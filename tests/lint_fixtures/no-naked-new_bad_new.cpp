@@ -1,0 +1,3 @@
+// lint-as: src/core/fixture.cpp
+struct Node { Node* next; };
+Node* grow() { return new Node{nullptr}; }

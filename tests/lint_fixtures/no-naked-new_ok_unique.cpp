@@ -1,0 +1,4 @@
+// lint-as: src/core/fixture.cpp
+#include <memory>
+struct Node {};
+std::unique_ptr<Node> grow() { return std::make_unique<Node>(); }

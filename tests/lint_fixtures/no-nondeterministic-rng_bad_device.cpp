@@ -1,0 +1,3 @@
+// lint-as: src/heuristics/fixture.cpp
+#include <random>
+unsigned seed() { return std::random_device{}(); }

@@ -1,0 +1,3 @@
+// lint-as: src/heuristics/fixture.cpp
+#include "support/rng.hpp"
+double draw(SplitMix64& rng) { return rng.next_double(); }

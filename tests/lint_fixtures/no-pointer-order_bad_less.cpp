@@ -1,0 +1,4 @@
+// lint-as: src/core/fixture.cpp
+#include <memory>
+#include <set>
+std::set<int*, std::less<int*>> by_address;

@@ -1,0 +1,3 @@
+// lint-as: src/core/fixture.cpp
+struct Job { int id; };
+bool before(const Job& a, const Job& b) { return a.id < b.id; }

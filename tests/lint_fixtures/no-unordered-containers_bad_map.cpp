@@ -1,0 +1,3 @@
+// lint-as: src/exact/fixture.cpp
+#include <unordered_map>
+std::unordered_map<int, double> lower_bounds;

@@ -1,0 +1,3 @@
+// lint-as: src/exact/fixture.cpp
+#include <map>
+std::map<int, double> lower_bounds;

@@ -1,0 +1,2 @@
+#pragma once
+using namespace std;

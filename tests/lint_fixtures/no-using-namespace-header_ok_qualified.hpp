@@ -1,0 +1,3 @@
+#pragma once
+#include <string>
+std::string label();

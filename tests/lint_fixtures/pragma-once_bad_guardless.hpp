@@ -1,0 +1,2 @@
+// lint-as: src/core/fixture.hpp
+struct Fixture {};

@@ -1,0 +1,3 @@
+// lint-as: src/core/fixture.hpp
+#pragma once
+struct Fixture {};
