@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Formatting drift gate for the .clang-format profile.
+#
+#   tools/check_format.sh         report files that clang-format would
+#                                 change; exit 1 if any
+#   tools/check_format.sh --fix   rewrite them in place
+#
+# Exit codes: 0 clean, 1 drift found, 2 clang-format not installed
+# (callers that treat the tool as optional key off 2).
+set -u
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+MODE="check"
+[ "${1:-}" = "--fix" ] && MODE="fix"
+
+if ! command -v clang-format >/dev/null 2>&1; then
+  echo "check_format: clang-format not installed" >&2
+  exit 2
+fi
+
+mapfile -t files < <(cd "$ROOT" && git ls-files \
+  'src/*.cpp' 'src/*.hpp' 'bench/*.cpp' 'bench/*.hpp' \
+  'examples/*.cpp' 'tests/*.cpp' 'tests/*.hpp' 'tools/*.cpp' \
+  | grep -v '^tests/lint_fixtures/')
+
+if [ "$MODE" = "fix" ]; then
+  (cd "$ROOT" && clang-format -i "${files[@]}")
+  echo "check_format: reformatted ${#files[@]} files"
+  exit 0
+fi
+
+drift=0
+for f in "${files[@]}"; do
+  if ! (cd "$ROOT" && clang-format --dry-run --Werror "$f" >/dev/null 2>&1)
+  then
+    echo "needs formatting: $f"
+    drift=1
+  fi
+done
+[ "$drift" = 0 ] && echo "check_format: ${#files[@]} files clean"
+exit "$drift"

@@ -1,0 +1,91 @@
+#!/usr/bin/env bash
+# Runs the full static-analysis gate: dts-lint, clang-format drift,
+# clang-tidy and cppcheck. Everything keys off the repo root, so it runs
+# the same from a checkout or from CI.
+#
+#   tools/run_static_analysis.sh            best effort: external tools
+#                                           that are not installed are
+#                                           reported and skipped
+#   tools/run_static_analysis.sh --strict   a missing external tool is a
+#                                           failure (the CI job installs
+#                                           them all and runs this)
+#
+# Environment:
+#   BUILD_DIR   build tree holding compile_commands.json for clang-tidy
+#               (default: build; configure with cmake first)
+set -u
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${BUILD_DIR:-$ROOT/build}"
+STRICT=0
+[ "${1:-}" = "--strict" ] && STRICT=1
+
+failures=0
+skipped=0
+
+note()  { printf '\n== %s\n' "$*"; }
+fail()  { printf 'FAIL: %s\n' "$*"; failures=$((failures + 1)); }
+skip()  {
+  printf 'SKIP: %s\n' "$*"
+  skipped=$((skipped + 1))
+  [ "$STRICT" = 1 ] && failures=$((failures + 1))
+}
+
+note "dts-lint (project invariants)"
+if command -v python3 >/dev/null 2>&1; then
+  python3 "$ROOT/tools/dts_lint.py" --root "$ROOT" || fail "dts-lint"
+  python3 "$ROOT/tools/dts_lint.py" --root "$ROOT" --self-test \
+    || fail "dts-lint self-test"
+else
+  fail "python3 not found (dts-lint is not optional)"
+fi
+
+note "clang-format (drift check)"
+"$ROOT/tools/check_format.sh" || {
+  # check_format.sh exits 2 when clang-format itself is missing.
+  if [ $? = 2 ]; then skip "clang-format not installed"; else
+    fail "formatting drift (tools/check_format.sh --fix rewrites in place)"
+  fi
+}
+
+note "clang-tidy (.clang-tidy profile)"
+if ! command -v clang-tidy >/dev/null 2>&1; then
+  skip "clang-tidy not installed"
+elif [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+  skip "no $BUILD_DIR/compile_commands.json (configure with cmake first)"
+else
+  # Project TUs only: the vendored googletest build is not ours to tidy.
+  mapfile -t tus < <(python3 - "$BUILD_DIR/compile_commands.json" <<'EOF'
+import json, sys
+for entry in json.load(open(sys.argv[1])):
+    f = entry["file"]
+    if "_googletest" not in f and "/usr/src/" not in f:
+        print(f)
+EOF
+  )
+  if command -v run-clang-tidy >/dev/null 2>&1; then
+    run-clang-tidy -quiet -p "$BUILD_DIR" "${tus[@]}" || fail "clang-tidy"
+  else
+    tidy_bad=0
+    for tu in "${tus[@]}"; do
+      clang-tidy -quiet -p "$BUILD_DIR" "$tu" || tidy_bad=1
+    done
+    [ "$tidy_bad" = 0 ] || fail "clang-tidy"
+  fi
+fi
+
+note "cppcheck (second engine)"
+if ! command -v cppcheck >/dev/null 2>&1; then
+  skip "cppcheck not installed"
+else
+  # Directly over the sources (not compile_commands) so the result does
+  # not depend on which optional targets the build tree configured.
+  cppcheck --std=c++20 --language=c++ \
+    --enable=warning,performance,portability \
+    --inline-suppr --error-exitcode=1 --quiet \
+    -I "$ROOT/src" "$ROOT/src" || fail "cppcheck"
+fi
+
+printf '\nstatic analysis: %d failure(s), %d skipped tool(s)%s\n' \
+  "$failures" "$skipped" "$([ "$STRICT" = 1 ] && echo ' (strict)')"
+exit "$((failures > 0))"
