@@ -1,0 +1,281 @@
+/// Solve-engine throughput — the data-oriented fast path's report card.
+/// For HF and CCSD corpora in both single-channel (paper machine) and
+/// duplex-PCIe mixes, measures:
+///
+///  * candidate evaluations/second over a local-search-style neighborhood
+///    (every adjacent swap of the Johnson order), on BOTH engines:
+///      - legacy: the pre-fast-path scoring loop — a fresh ExecutionState
+///        plus Schedule per candidate, execute_order, Schedule::makespan;
+///      - fast path: one CompiledInstance + PrefixResumeEvaluator, the
+///        loop every solver now runs.
+///    The two passes evaluate the identical candidate stream and their
+///    makespans are cross-checked bitwise before any number is reported.
+///  * candidate_eval_speedup = fastpath / legacy — a machine-robust ratio
+///    (both passes run on the same machine seconds apart).
+///  * end-to-end local-search solves/second over the corpus, plus the
+///    median solved makespan (deterministic, baseline-guarded tightly).
+///
+/// Output lands in BENCH_solve_throughput.json; CI guards the columns via
+/// tools/check_bench_baseline.py (throughput columns use the asymmetric
+/// lower-is-regression rule with a lax tolerance, the makespan column the
+/// strict one).
+///
+///   bench_solve_throughput [--quick] [--traces=N] [--seed=S]
+///                          [--json=FILE]  (default BENCH_solve_throughput.json)
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/compiled.hpp"
+#include "core/johnson.hpp"
+#include "core/simulate.hpp"
+#include "core/solver.hpp"
+#include "report/stats.hpp"
+#include "trace/generators.hpp"
+
+namespace {
+
+using namespace dts;
+
+std::string take_json_flag(int& argc, char** argv) {
+  std::string json = "BENCH_solve_throughput.json";
+  int w = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--json=", 0) == 0) {
+      json = arg.substr(7);
+    } else {
+      argv[w++] = argv[i];
+    }
+  }
+  argc = w;
+  return json;
+}
+
+struct ThroughputRow {
+  std::string kernel;
+  std::string mode;  // "single" or "duplex"
+  std::size_t median_tasks = 0;
+  std::uint64_t candidates = 0;
+  double legacy_candidate_evals_per_sec = 0.0;
+  double fastpath_candidate_evals_per_sec = 0.0;
+  double candidate_eval_speedup = 0.0;
+  double solves_per_sec = 0.0;
+  double median_makespan_seconds = 0.0;
+};
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// The pre-fast-path candidate scoring step, verbatim: fresh engine and
+/// schedule per candidate, full simulation, makespan scan.
+Time legacy_candidate_eval(const Instance& inst,
+                           std::span<const TaskId> order, Mem capacity) {
+  ExecutionState state(capacity, inst.num_channels());
+  Schedule sched(inst.size());
+  execute_order(inst, order, state, sched);
+  return sched.makespan(inst);
+}
+
+/// One (kernel, mode) row: neighborhood-eval throughput on both engines
+/// plus end-to-end solves. Returns false on a bitwise makespan mismatch
+/// between the two engines (the bench then fails).
+bool measure(const std::vector<Instance>& corpus, ThroughputRow& row,
+             bool quick) {
+  // The candidate sweep uses a slice of the corpus; repeats scale the
+  // stream to enough evaluations for a stable clock on both engines.
+  const std::size_t sweep_traces = std::min<std::size_t>(corpus.size(),
+                                                         quick ? 4 : 12);
+  std::vector<std::vector<TaskId>> bases(sweep_traces);
+  std::vector<Mem> capacities(sweep_traces);
+  std::size_t sweep_size = 0;
+  std::vector<std::size_t> tasks;
+  for (const Instance& inst : corpus) tasks.push_back(inst.size());
+  for (std::size_t t = 0; t < sweep_traces; ++t) {
+    bases[t] = johnson_order(corpus[t]);
+    capacities[t] = 1.5 * corpus[t].min_capacity();
+    sweep_size += bases[t].size() - 1;
+  }
+  const std::uint64_t target = quick ? 20000 : 60000;
+  const std::uint64_t repeats = std::max<std::uint64_t>(
+      1, target / std::max<std::size_t>(sweep_size, 1));
+  row.candidates = repeats * sweep_size;
+  {
+    std::vector<double> sorted_tasks(tasks.begin(), tasks.end());
+    row.median_tasks = static_cast<std::size_t>(summarize(sorted_tasks).median);
+  }
+
+  // Pass 1: legacy engine. Makespans of the first repeat are kept for the
+  // bitwise cross-check.
+  std::vector<Time> legacy_ms;
+  legacy_ms.reserve(sweep_size);
+  const auto legacy_start = std::chrono::steady_clock::now();
+  for (std::uint64_t rep = 0; rep < repeats; ++rep) {
+    for (std::size_t t = 0; t < sweep_traces; ++t) {
+      std::vector<TaskId>& order = bases[t];
+      for (std::size_t i = 0; i + 1 < order.size(); ++i) {
+        std::swap(order[i], order[i + 1]);
+        const Time ms = legacy_candidate_eval(corpus[t], order,
+                                              capacities[t]);
+        std::swap(order[i], order[i + 1]);
+        if (rep == 0) legacy_ms.push_back(ms);
+      }
+    }
+  }
+  const double legacy_wall = seconds_since(legacy_start);
+
+  // Pass 2: the fast path, identical candidate stream.
+  std::size_t check = 0;
+  bool match = true;
+  const auto fast_start = std::chrono::steady_clock::now();
+  for (std::size_t t = 0; t < sweep_traces && match; ++t) {
+    const CompiledInstance compiled(corpus[t]);
+    PrefixResumeEvaluator evaluator(compiled, capacities[t]);
+    (void)evaluator.set_reference(bases[t]);
+    std::vector<TaskId>& order = bases[t];
+    for (std::uint64_t rep = 0; rep < repeats && match; ++rep) {
+      for (std::size_t i = 0; i + 1 < order.size(); ++i) {
+        std::swap(order[i], order[i + 1]);
+        const Time ms = evaluator.evaluate(order);
+        std::swap(order[i], order[i + 1]);
+        if (rep == 0 && ms != legacy_ms[check + i]) {
+          std::fprintf(stderr,
+                       "BITWISE MISMATCH trace %zu candidate %zu: "
+                       "legacy %.17g fast %.17g\n",
+                       t, i, legacy_ms[check + i], ms);
+          match = false;
+          break;
+        }
+      }
+    }
+    check += order.size() - 1;
+  }
+  const double fast_wall = seconds_since(fast_start);
+  if (!match) return false;
+
+  const double evals = static_cast<double>(row.candidates);
+  row.legacy_candidate_evals_per_sec =
+      legacy_wall > 0.0 ? evals / legacy_wall : 0.0;
+  row.fastpath_candidate_evals_per_sec =
+      fast_wall > 0.0 ? evals / fast_wall : 0.0;
+  row.candidate_eval_speedup =
+      legacy_wall > 0.0 && fast_wall > 0.0 ? legacy_wall / fast_wall : 0.0;
+
+  // End-to-end local-search solves over the whole corpus (deterministic
+  // seed, so the median makespan doubles as a correctness guard).
+  std::vector<double> makespans;
+  const auto solve_start = std::chrono::steady_clock::now();
+  for (const Instance& inst : corpus) {
+    SolveRequest request;
+    request.instance = inst;
+    request.capacity = 1.5 * inst.min_capacity();
+    SolveOptions options;
+    options.compute_bounds = false;
+    makespans.push_back(solve(request, "local-search", options).makespan);
+  }
+  const double solve_wall = seconds_since(solve_start);
+  row.solves_per_sec =
+      solve_wall > 0.0 ? static_cast<double>(corpus.size()) / solve_wall : 0.0;
+  row.median_makespan_seconds = summarize(makespans).median;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string json_path = take_json_flag(argc, argv);
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--quick") quick = true;
+  }
+  const bench::Options options = bench::Options::parse(argc, argv);
+
+  std::printf("solve-engine throughput — %zu traces/kernel, legacy vs "
+              "fast-path candidate scoring\n\n",
+              options.traces);
+
+  std::vector<ThroughputRow> rows;
+  TextTable table({"kernel", "mode", "median n", "candidates", "legacy evals/s",
+                   "fastpath evals/s", "speedup", "solves/s",
+                   "median makespan"});
+
+  for (ChemistryKernel kernel : {ChemistryKernel::kHartreeFock,
+                                 ChemistryKernel::kCoupledClusterSD}) {
+    for (const bool duplex : {false, true}) {
+      std::vector<Instance> corpus;
+      if (duplex) {
+        TraceConfig config;
+        config.machine = MachineModel::duplex_pcie();
+        corpus = generate_process_traces(kernel, options.traces, options.seed,
+                                         config);
+      } else {
+        corpus = bench::corpus(kernel, options);
+      }
+
+      ThroughputRow row;
+      row.kernel = std::string(to_string(kernel));
+      row.mode = duplex ? "duplex" : "single";
+      if (!measure(corpus, row, quick)) {
+        std::fprintf(stderr,
+                     "fast path disagrees with the reference engine on "
+                     "%s/%s — refusing to report throughput\n",
+                     row.kernel.c_str(), row.mode.c_str());
+        return 1;
+      }
+      rows.push_back(row);
+
+      char n_text[16], cand_text[24], legacy_text[24], fast_text[24],
+          speedup_text[16], solve_text[16], ms_text[32];
+      std::snprintf(n_text, sizeof n_text, "%zu", row.median_tasks);
+      std::snprintf(cand_text, sizeof cand_text, "%llu",
+                    static_cast<unsigned long long>(row.candidates));
+      std::snprintf(legacy_text, sizeof legacy_text, "%.3g",
+                    row.legacy_candidate_evals_per_sec);
+      std::snprintf(fast_text, sizeof fast_text, "%.3g",
+                    row.fastpath_candidate_evals_per_sec);
+      std::snprintf(speedup_text, sizeof speedup_text, "%.1fx",
+                    row.candidate_eval_speedup);
+      std::snprintf(solve_text, sizeof solve_text, "%.1f",
+                    row.solves_per_sec);
+      std::snprintf(ms_text, sizeof ms_text, "%.6g s",
+                    row.median_makespan_seconds);
+      table.add_row({row.kernel, row.mode, n_text, cand_text, legacy_text,
+                     fast_text, speedup_text, solve_text, ms_text});
+    }
+  }
+
+  std::printf("%s", table.to_ascii().c_str());
+
+  std::ofstream json(json_path);
+  if (!json) {
+    std::fprintf(stderr, "cannot open %s\n", json_path.c_str());
+    return 1;
+  }
+  json << "{\n  \"bench\": \"solve_throughput\",\n  \"traces_per_kernel\": "
+       << options.traces << ",\n  \"rows\": [\n";
+  json.precision(12);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const ThroughputRow& row = rows[i];
+    json << "    {\"kernel\": \"" << row.kernel << "\", \"mode\": \""
+         << row.mode << "\", \"median_tasks\": " << row.median_tasks
+         << ", \"candidates\": " << row.candidates
+         << ", \"legacy_candidate_evals_per_sec\": "
+         << row.legacy_candidate_evals_per_sec
+         << ", \"fastpath_candidate_evals_per_sec\": "
+         << row.fastpath_candidate_evals_per_sec
+         << ", \"candidate_eval_speedup\": " << row.candidate_eval_speedup
+         << ", \"solves_per_sec\": " << row.solves_per_sec
+         << ", \"median_makespan_seconds\": " << row.median_makespan_seconds
+         << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+  std::printf("\nwrote %s (%zu rows)\n", json_path.c_str(), rows.size());
+  return 0;
+}

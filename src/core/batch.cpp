@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "core/compiled.hpp"
 #include "core/job.hpp"
 #include "core/johnson.hpp"
 #include "core/simulate.hpp"
@@ -60,10 +61,13 @@ std::vector<TaskId> order_for_batch(HeuristicId id, const Instance& inst,
 
 namespace {
 
-/// Schedules one batch with `id`, continuing from `state`.
+/// Schedules one batch with `id`, continuing from `state`. `ci` is the
+/// compiled form of `inst`, built once per solve so the dynamic and
+/// corrected branches score candidates over the SoA arrays instead of
+/// recompiling (or chasing Task records) per batch.
 void run_batch(HeuristicId id, const Instance& inst,
-               std::span<const TaskId> ids, Mem capacity,
-               ExecutionState& state, Schedule& sched) {
+               const CompiledInstance& ci, std::span<const TaskId> ids,
+               Mem capacity, ExecutionState& state, Schedule& sched) {
   switch (info(id).category) {
     case HeuristicCategory::kBaseline:
     case HeuristicCategory::kStatic: {
@@ -76,7 +80,7 @@ void run_batch(HeuristicId id, const Instance& inst,
           id == HeuristicId::kLCMR   ? DynamicCriterion::kLargestComm
           : id == HeuristicId::kSCMR ? DynamicCriterion::kSmallestComm
                                      : DynamicCriterion::kMaxAcceleration;
-      execute_dynamic(inst, ids, crit, state, sched);
+      execute_dynamic(ci, ids, crit, state, sched);
       break;
     }
     case HeuristicCategory::kCorrected: {
@@ -87,7 +91,7 @@ void run_batch(HeuristicId id, const Instance& inst,
       // Base order: Johnson restricted to this batch.
       const std::vector<TaskId> base =
           order_for_batch(HeuristicId::kOOSIM, inst, ids, capacity);
-      execute_corrected(inst, base, crit, state, sched);
+      execute_corrected(ci, base, crit, state, sched);
       break;
     }
   }
@@ -101,13 +105,14 @@ Schedule schedule_in_batches(HeuristicId id, const Instance& inst, Mem capacity,
     throw std::invalid_argument("schedule_in_batches: batch_size must be > 0");
   }
   const std::vector<TaskId> submission = inst.submission_order();
+  const CompiledInstance compiled(inst);
   ExecutionState state(capacity, inst.num_channels());
   Schedule sched(inst.size());
 
   for (std::size_t lo = 0; lo < submission.size(); lo += batch_size) {
     const std::size_t hi = std::min(lo + batch_size, submission.size());
     const std::span<const TaskId> ids(&submission[lo], hi - lo);
-    run_batch(id, inst, ids, capacity, state, sched);
+    run_batch(id, inst, compiled, ids, capacity, state, sched);
   }
   return sched;
 }
@@ -124,6 +129,7 @@ BatchAutoResult schedule_in_batches_auto(
         "schedule_in_batches_auto: need at least one candidate");
   }
   const std::vector<TaskId> submission = inst.submission_order();
+  const CompiledInstance compiled(inst);
   BatchAutoResult result;
   result.schedule = Schedule(inst.size());
   ExecutionState::Snapshot carried;
@@ -131,7 +137,10 @@ BatchAutoResult schedule_in_batches_auto(
 
   /// One candidate's simulation of the current batch from the carried
   /// state — independent of every other trial, so they may run
-  /// concurrently on an executor.
+  /// concurrently on an executor. Each trial's schedule is sized once and
+  /// reused across batches: a batch only writes its own ids, and only
+  /// those ids are folded into the committed schedule, so the stale
+  /// entries from losing trials of earlier batches are never read.
   struct Trial {
     Schedule schedule;
     Time end = kInfiniteTime;
@@ -139,6 +148,7 @@ BatchAutoResult schedule_in_batches_auto(
     ExecutionState::Snapshot state;
   };
   std::vector<Trial> trials(candidates.size());
+  for (Trial& trial : trials) trial.schedule = Schedule(inst.size());
 
   for (std::size_t lo = 0; lo < submission.size(); lo += batch_size) {
     const std::size_t hi = std::min(lo + batch_size, submission.size());
@@ -147,8 +157,8 @@ BatchAutoResult schedule_in_batches_auto(
     const auto evaluate = [&](std::size_t k) {
       ExecutionState state(capacity, carried);
       Trial& trial = trials[k];
-      trial.schedule = result.schedule;
-      run_batch(candidates[k], inst, ids, capacity, state, trial.schedule);
+      run_batch(candidates[k], inst, compiled, ids, capacity, state,
+                trial.schedule);
       trial.end = state.comp_available();
       trial.link = state.comm_available();
       trial.state = state.snapshot();
@@ -169,7 +179,7 @@ BatchAutoResult schedule_in_batches_auto(
            definitely_less(trials[k].link, trials[best].link));
       if (better) best = k;
     }
-    result.schedule = std::move(trials[best].schedule);
+    for (TaskId id : ids) result.schedule[id] = trials[best].schedule[id];
     result.winners.push_back(candidates[best]);
     carried = std::move(trials[best].state);
   }

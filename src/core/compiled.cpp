@@ -1,0 +1,379 @@
+#include "core/compiled.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <stdexcept>
+#include <string>
+
+namespace dts {
+
+namespace {
+
+// Error paths live in cold [[noreturn]] helpers so the hot loops contain
+// no string construction (enforced by the dts-lint hot-path-noalloc rule).
+
+[[noreturn]] void throw_negative_capacity() {
+  throw std::invalid_argument("evaluate_order: capacity must be >= 0");
+}
+
+[[noreturn]] void throw_no_channels() {
+  throw std::invalid_argument("evaluate_order: need at least one channel");
+}
+
+[[noreturn]] void throw_negative_availability() {
+  throw std::invalid_argument("evaluate_order: negative availability");
+}
+
+[[noreturn]] void throw_unknown_task(TaskId id, std::size_t n) {
+  throw std::out_of_range("evaluate_order: task id " + std::to_string(id) +
+                          " out of range (instance has " + std::to_string(n) +
+                          " tasks)");
+}
+
+[[noreturn]] void throw_unknown_channel(TaskId id, ChannelId ch,
+                                        std::size_t nch) {
+  throw std::out_of_range("evaluate_order: task " + std::to_string(id) +
+                          " names channel " + std::to_string(ch) +
+                          " but the engine tracks " + std::to_string(nch));
+}
+
+[[noreturn]] void throw_never_fits(TaskId id, Mem mem, Mem capacity) {
+  // Same message shape as execute_order so callers and logs stay familiar.
+  throw std::invalid_argument(
+      "execute_order: task " + std::to_string(id) + " requires " +
+      std::to_string(mem) + " bytes but capacity is " +
+      std::to_string(capacity));
+}
+
+}  // namespace
+
+// ----------------------------------------------------------------------
+// CompiledInstance
+
+CompiledInstance::CompiledInstance(const Instance& inst)
+    : n_channels_(inst.num_channels()), min_capacity_(inst.min_capacity()) {
+  const std::size_t n = inst.size();
+  comm_.reserve(n);
+  comp_.reserve(n);
+  mem_.reserve(n);
+  channel_.reserve(n);
+  std::vector<std::size_t> per_channel(n_channels_, 0);
+  for (const Task& t : inst) {
+    comm_.push_back(t.comm);
+    comp_.push_back(t.comp);
+    mem_.push_back(t.mem);
+    channel_.push_back(t.channel);
+    ++per_channel[t.channel];
+  }
+  channel_offsets_.assign(n_channels_ + 1, 0);
+  for (std::size_t ch = 0; ch < n_channels_; ++ch) {
+    channel_offsets_[ch + 1] = channel_offsets_[ch] + per_channel[ch];
+  }
+  channel_tasks_.resize(n);
+  std::vector<std::size_t> cursor(channel_offsets_.begin(),
+                                  channel_offsets_.end() - 1);
+  for (std::size_t id = 0; id < n; ++id) {
+    channel_tasks_[cursor[channel_[id]]++] = static_cast<TaskId>(id);
+  }
+}
+
+std::span<const TaskId> CompiledInstance::tasks_on_channel(ChannelId ch) const {
+  if (ch >= n_channels_) {
+    throw std::out_of_range("CompiledInstance::tasks_on_channel: channel " +
+                            std::to_string(ch) + " out of range");
+  }
+  return std::span<const TaskId>(channel_tasks_)
+      .subspan(channel_offsets_[ch],
+               channel_offsets_[ch + 1] - channel_offsets_[ch]);
+}
+
+// ----------------------------------------------------------------------
+// EvalScratch
+
+Time EvalScratch::comm_available() const noexcept {
+  Time latest = comm_avail_[0];
+  for (std::size_t c = 1; c < comm_avail_.size(); ++c) {
+    latest = std::max(latest, comm_avail_[c]);
+  }
+  return latest;
+}
+
+void EvalScratch::reset(const CompiledInstance& ci, Mem capacity,
+                        const ExecutionState::Snapshot* initial) {
+  if (!(capacity >= 0.0)) throw_negative_capacity();  // also rejects NaN
+  capacity_ = capacity;
+  makespan_ = 0.0;
+  used_ = 0.0;
+  active_.clear();
+  if (initial == nullptr) {
+    comm_avail_.assign(ci.num_channels(), 0.0);
+    now_ = 0.0;
+    comp_avail_ = 0.0;
+  } else {
+    // Mirrors ExecutionState(Mem, Snapshot) exactly: the engine's channel
+    // count is the snapshot's clock count, the decision instant resumes
+    // at max(captured instant, earliest free channel), and entries whose
+    // computation already finished carry no memory.
+    const ExecutionState::Snapshot& snap = *initial;
+    if (snap.comm_available.empty()) throw_no_channels();
+    for (Time avail : snap.comm_available) {
+      if (avail < 0.0) throw_negative_availability();
+    }
+    if (snap.comp_available < 0.0 || snap.now < 0.0) {
+      throw_negative_availability();
+    }
+    comm_avail_.assign(snap.comm_available.begin(), snap.comm_available.end());
+    comp_avail_ = snap.comp_available;
+    now_ = std::max(snap.now, *std::min_element(comm_avail_.begin(),
+                                                comm_avail_.end()));
+    active_.reserve(snap.active.size() + ci.size());
+    for (const auto& [comp_end, mem] : snap.active) {
+      if (approx_leq(comp_end, now_)) continue;
+      used_ += mem;
+      active_.push_back(Active{comp_end, mem});
+    }
+    std::make_heap(active_.begin(), active_.end(), std::greater<>{});
+  }
+  // After warm-up these reserves are no-ops: issuing can add at most one
+  // active entry per task, so the hot loop's push_back never reallocates.
+  active_.reserve(active_.size() + ci.size());
+}
+
+// dts-lint: hot-path
+void EvalScratch::release_until(Time t) {
+  while (!active_.empty() && approx_leq(active_.front().comp_end, t)) {
+    used_ -= active_.front().mem;
+    std::pop_heap(active_.begin(), active_.end(), std::greater<>{});
+    active_.pop_back();
+  }
+  if (active_.empty()) used_ = 0.0;  // snap away accumulated rounding
+}
+
+// The inner kernel: one iteration replicates execute_order's
+// fits/advance loop plus ExecutionState::start operation for operation
+// (same std::max chains, same approx_leq checks, same heap ops), so every
+// intermediate double is bit-identical to the reference engine's.
+// dts-lint: hot-path
+void EvalScratch::issue(const CompiledInstance& ci,
+                        std::span<const TaskId> order, std::size_t first,
+                        std::size_t last, Schedule* record) {
+  const Time* const comm = ci.comms().data();
+  const Time* const comp = ci.comps().data();
+  const Mem* const mem = ci.mems().data();
+  const ChannelId* const channel = ci.channels().data();
+  const std::size_t n_tasks = ci.size();
+  const std::size_t nch = comm_avail_.size();
+  Time* const clocks = comm_avail_.data();
+
+  for (std::size_t k = first; k < last; ++k) {
+    const TaskId id = order[k];
+    if (id >= n_tasks) throw_unknown_task(id, n_tasks);
+    const Mem m = mem[id];
+    // execute_order's admission loop: wait for computation-finish events
+    // until the task fits (memory is only released at those instants).
+    while (!approx_leq(used_ + m, capacity_)) {
+      if (active_.empty()) throw_never_fits(id, m, capacity_);
+      now_ = std::max(now_, active_.front().comp_end);
+      release_until(now_);
+    }
+    const ChannelId ch = channel[id];
+    if (ch >= nch) throw_unknown_channel(id, ch, nch);
+    const Time comm_start = std::max(now_, clocks[ch]);
+    if (comm_start > now_) {
+      // The task's engine is busy past the decision instant; memory
+      // finishing in the gap is released (it only shrinks the footprint,
+      // so the admission check above still holds).
+      now_ = comm_start;
+      release_until(now_);
+    }
+    const Time comm_end = comm_start + comm[id];
+    const Time comp_start = std::max(comm_end, comp_avail_);
+    const Time comp_end = comp_start + comp[id];
+
+    used_ += m;
+    active_.push_back(Active{comp_end, m});
+    std::push_heap(active_.begin(), active_.end(), std::greater<>{});
+
+    clocks[ch] = comm_end;
+    comp_avail_ = comp_end;
+    // Computation ends are monotone along the issue order, so the last
+    // one is the running makespan.
+    makespan_ = comp_end;
+
+    // advance_decision_instant: now := max(now, earliest free channel).
+    Time min_clock = clocks[0];
+    for (std::size_t c = 1; c < nch; ++c) {
+      min_clock = std::min(min_clock, clocks[c]);
+    }
+    now_ = std::max(now_, min_clock);
+    release_until(now_);
+
+    if (record != nullptr) record->set(id, comm_start, comp_start);
+  }
+}
+
+Time evaluate_order(const CompiledInstance& ci, std::span<const TaskId> order,
+                    Mem capacity, EvalScratch& scratch,
+                    const ExecutionState::Snapshot* initial) {
+  scratch.reset(ci, capacity, initial);
+  scratch.issue(ci, order, 0, order.size(), nullptr);
+  return scratch.makespan_;
+}
+
+Time evaluate_order(const CompiledInstance& ci, std::span<const TaskId> order,
+                    Mem capacity, EvalScratch& scratch, Schedule& out,
+                    const ExecutionState::Snapshot* initial) {
+  scratch.reset(ci, capacity, initial);
+  scratch.issue(ci, order, 0, order.size(), &out);
+  return scratch.makespan_;
+}
+
+// ----------------------------------------------------------------------
+// PrefixResumeEvaluator
+
+PrefixResumeEvaluator::PrefixResumeEvaluator(const CompiledInstance& ci,
+                                             Mem capacity)
+    : ci_(&ci), capacity_(capacity) {
+  scratch_.reset(ci, capacity, nullptr);
+  checkpoints_.resize(1);
+  save_checkpoint(0);
+}
+
+PrefixResumeEvaluator::PrefixResumeEvaluator(
+    const CompiledInstance& ci, Mem capacity,
+    const ExecutionState::Snapshot& initial)
+    : ci_(&ci), capacity_(capacity), has_initial_(true), initial_(initial) {
+  scratch_.reset(ci, capacity, &initial_);
+  checkpoints_.resize(1);
+  save_checkpoint(0);
+}
+
+void PrefixResumeEvaluator::save_checkpoint(std::size_t k) {
+  Checkpoint& cp = checkpoints_[k];
+  cp.now = scratch_.now_;
+  cp.comp_avail = scratch_.comp_avail_;
+  cp.makespan = scratch_.makespan_;
+  cp.used = scratch_.used_;
+  cp.comm_avail.assign(scratch_.comm_avail_.begin(),
+                       scratch_.comm_avail_.end());
+  cp.active.assign(scratch_.active_.begin(), scratch_.active_.end());
+}
+
+// dts-lint: hot-path
+void PrefixResumeEvaluator::load_checkpoint(std::size_t k) {
+  const Checkpoint& cp = checkpoints_[k];
+  scratch_.now_ = cp.now;
+  scratch_.comp_avail_ = cp.comp_avail;
+  scratch_.makespan_ = cp.makespan;
+  scratch_.used_ = cp.used;
+  scratch_.comm_avail_.assign(cp.comm_avail.begin(), cp.comm_avail.end());
+  scratch_.active_.assign(cp.active.begin(), cp.active.end());
+}
+
+std::size_t PrefixResumeEvaluator::common_prefix(
+    std::span<const TaskId> order) const noexcept {
+  const std::size_t limit = std::min(order.size(), reference_.size());
+  std::size_t k = 0;
+  while (k < limit && order[k] == reference_[k]) ++k;
+  return k;
+}
+
+Time PrefixResumeEvaluator::set_reference(std::span<const TaskId> order) {
+  const std::size_t keep = common_prefix(order);
+  load_checkpoint(keep);
+  if (checkpoints_.size() < order.size() + 1) {
+    checkpoints_.resize(order.size() + 1);
+  }
+  reference_.assign(order.begin(), order.end());
+  try {
+    for (std::size_t k = keep; k < order.size(); ++k) {
+      scratch_.issue(*ci_, order, k, k + 1, nullptr);
+      save_checkpoint(k + 1);
+    }
+  } catch (...) {
+    // Checkpoints past `keep` are stale; dropping the reference forces
+    // the next call to rebuild from the base state.
+    reference_.clear();
+    throw;
+  }
+  ++evaluations_;
+  tasks_simulated_ += order.size() - keep;
+  tasks_resumed_ += keep;
+  return scratch_.makespan_;
+}
+
+// dts-lint: hot-path
+bool PrefixResumeEvaluator::state_matches(const Checkpoint& cp) const noexcept {
+  // comp_avail_ carries a swap's perturbation the longest on comp-bound
+  // workloads, so it is the most discriminating scalar — check it first.
+  if (scratch_.comp_avail_ != cp.comp_avail || scratch_.now_ != cp.now ||
+      scratch_.makespan_ != cp.makespan || scratch_.used_ != cp.used) {
+    return false;
+  }
+  if (scratch_.comm_avail_.size() != cp.comm_avail.size() ||
+      scratch_.active_.size() != cp.active.size()) {
+    return false;
+  }
+  for (std::size_t c = 0; c < cp.comm_avail.size(); ++c) {
+    if (scratch_.comm_avail_[c] != cp.comm_avail[c]) return false;
+  }
+  // Element order matters (heap layout drives release tie-breaks), so the
+  // comparison is over the raw arrays, not the multisets.
+  for (std::size_t a = 0; a < cp.active.size(); ++a) {
+    if (scratch_.active_[a].comp_end != cp.active[a].comp_end ||
+        scratch_.active_[a].mem != cp.active[a].mem) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// dts-lint: hot-path
+Time PrefixResumeEvaluator::evaluate(std::span<const TaskId> order) {
+  ++evaluations_;
+  const std::size_t keep = common_prefix(order);
+  load_checkpoint(keep);
+
+  // Longest common suffix with the reference, disjoint from the kept
+  // prefix. Past `merge_from` the candidate issues exactly the
+  // reference's remaining tasks, so the engine evolutions can MERGE: the
+  // instant the whole engine state bitwise re-equals the reference
+  // checkpoint at the same position, every later operation is identical
+  // and the reference's final makespan is the candidate's (computation
+  // ends are monotone along the issue order, so the final comp_end — a
+  // pure function of the merged state and the shared suffix — is the
+  // makespan). A local-search swap then costs the divergent window plus
+  // a few merge probes instead of the whole suffix.
+  std::size_t tail = 0;
+  if (order.size() == reference_.size()) {
+    const std::size_t room = order.size() - keep;
+    while (tail < room && order[order.size() - 1 - tail] ==
+                              reference_[order.size() - 1 - tail]) {
+      ++tail;
+    }
+  }
+  const std::size_t merge_from = order.size() - tail;
+
+  scratch_.issue(*ci_, order, keep, merge_from, nullptr);
+  // Once the states match at some position they match at every later one
+  // (identical state + identical next task → identical next state), so a
+  // strided probe still catches the merge — it just overshoots by at most
+  // kProbeStride - 1 simulated tasks while paying the per-issue overhead
+  // kProbeStride times less often.
+  constexpr std::size_t kProbeStride = 4;
+  for (std::size_t k = merge_from; k < order.size();) {
+    if (state_matches(checkpoints_[k])) {
+      tasks_simulated_ += k - keep;
+      tasks_resumed_ += keep + (order.size() - k);
+      return checkpoints_[reference_.size()].makespan;
+    }
+    const std::size_t next = std::min(k + kProbeStride, order.size());
+    scratch_.issue(*ci_, order, k, next, nullptr);
+    k = next;
+  }
+  tasks_simulated_ += order.size() - keep;
+  tasks_resumed_ += keep;
+  return scratch_.makespan_;
+}
+
+}  // namespace dts

@@ -1,0 +1,284 @@
+#pragma once
+
+/// \file compiled.hpp
+/// Data-oriented evaluation core: the allocation-free fast path every
+/// candidate-scoring loop in the library runs on.
+///
+/// The `ExecutionState` engine (simulate.hpp) is the semantic reference:
+/// one availability clock per copy engine, one processor clock, memory
+/// held from transfer start to computation end. It is also the inner
+/// kernel of local search, batch-auto trials, the exhaustive and
+/// pair-order exact searches and the differential suite — paths that
+/// evaluate thousands to millions of candidate orders and only need the
+/// makespan, not a `Schedule`. This header provides that hot path:
+///
+///  * `CompiledInstance` — a structure-of-arrays compilation of an
+///    `Instance`: contiguous `comm[]`, `comp[]`, `mem[]`, `channel[]`
+///    arrays (no per-task `std::string` name pulling cold bytes through
+///    the cache) plus per-channel task index lists. Built once, shared by
+///    every candidate evaluation.
+///  * `EvalScratch` + `evaluate_order()` — computes the makespan of an
+///    order with *bit-identical* arithmetic to
+///    `simulate_order(...).makespan(...)` (same operation sequence, same
+///    epsilon comparisons, same heap discipline) but with zero heap
+///    allocation per call after warm-up, no `Schedule` construction and
+///    no string-building error paths in the loop. A recording overload
+///    fills a `Schedule`; `simulate_order`/`makespan_of_order` are
+///    re-expressed on top of these.
+///  * `PrefixResumeEvaluator` — caches the engine state after every
+///    prefix of a reference order so that candidates sharing a prefix
+///    (local-search adjacent swaps, `next_permutation` scans in the
+///    exact searches) resimulate only the suffix.
+///
+/// Parity with the reference engine is pinned bit-for-bit by
+/// tests/fast_path_parity_test.cpp across channel counts, memory
+/// regimes and carried snapshots.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/instance.hpp"
+#include "core/schedule.hpp"
+#include "core/simulate.hpp"
+
+namespace dts {
+
+/// Structure-of-arrays view of an `Instance`, built once and shared by
+/// all candidate evaluations. Tasks keep their ids (array index == id).
+class CompiledInstance {
+ public:
+  CompiledInstance() = default;
+  explicit CompiledInstance(const Instance& inst);
+
+  [[nodiscard]] std::size_t size() const noexcept { return comm_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return comm_.empty(); }
+  [[nodiscard]] std::size_t num_channels() const noexcept {
+    return n_channels_;
+  }
+  /// Largest single-task footprint (the instance's mc).
+  [[nodiscard]] Mem min_capacity() const noexcept { return min_capacity_; }
+
+  [[nodiscard]] Time comm(TaskId id) const noexcept { return comm_[id]; }
+  [[nodiscard]] Time comp(TaskId id) const noexcept { return comp_[id]; }
+  [[nodiscard]] Mem mem(TaskId id) const noexcept { return mem_[id]; }
+  [[nodiscard]] ChannelId channel(TaskId id) const noexcept {
+    return channel_[id];
+  }
+  /// CP_i / CM_i with the same zero-communication convention as
+  /// Task::acceleration (a free transfer is infinitely accelerated).
+  [[nodiscard]] Time acceleration(TaskId id) const noexcept {
+    if (comm_[id] <= 0.0) return kInfiniteTime;
+    return comp_[id] / comm_[id];
+  }
+
+  [[nodiscard]] std::span<const Time> comms() const noexcept { return comm_; }
+  [[nodiscard]] std::span<const Time> comps() const noexcept { return comp_; }
+  [[nodiscard]] std::span<const Mem> mems() const noexcept { return mem_; }
+  [[nodiscard]] std::span<const ChannelId> channels() const noexcept {
+    return channel_;
+  }
+
+  /// Ids of the tasks whose transfer runs on `ch`, in submission order
+  /// (same contents as Instance::tasks_on_channel, zero-allocation view).
+  [[nodiscard]] std::span<const TaskId> tasks_on_channel(ChannelId ch) const;
+
+ private:
+  std::vector<Time> comm_;
+  std::vector<Time> comp_;
+  std::vector<Mem> mem_;
+  std::vector<ChannelId> channel_;
+  /// Per-channel task index lists: channel `ch` owns
+  /// channel_tasks_[channel_offsets_[ch] .. channel_offsets_[ch + 1]).
+  std::vector<TaskId> channel_tasks_;
+  std::vector<std::size_t> channel_offsets_;
+  std::size_t n_channels_ = 1;
+  Mem min_capacity_ = 0.0;
+};
+
+class PrefixResumeEvaluator;
+
+/// Reusable engine state for `evaluate_order`. All buffers persist across
+/// calls, so a warm scratch evaluates orders with zero heap allocation.
+/// The arithmetic replicates `ExecutionState` operation for operation —
+/// same `std::max` chains, same epsilon comparisons, same binary-heap
+/// discipline on the active set — so makespans are bit-identical to the
+/// reference engine.
+class EvalScratch {
+ public:
+  EvalScratch() = default;
+
+  /// Results of the last evaluation run on this scratch.
+  [[nodiscard]] Time makespan() const noexcept { return makespan_; }
+  [[nodiscard]] Time now() const noexcept { return now_; }
+  [[nodiscard]] Time comp_available() const noexcept { return comp_avail_; }
+  /// Instant at which *every* channel is free (max clock) — the value
+  /// `ExecutionState::comm_available()` reports, used by exact-search
+  /// tie-breaks.
+  [[nodiscard]] Time comm_available() const noexcept;
+  [[nodiscard]] Mem used_memory() const noexcept { return used_; }
+  [[nodiscard]] std::size_t active_tasks() const noexcept {
+    return active_.size();
+  }
+
+ private:
+  friend class PrefixResumeEvaluator;
+  friend Time evaluate_order(const CompiledInstance& ci,
+                             std::span<const TaskId> order, Mem capacity,
+                             EvalScratch& scratch,
+                             const ExecutionState::Snapshot* initial);
+  friend Time evaluate_order(const CompiledInstance& ci,
+                             std::span<const TaskId> order, Mem capacity,
+                             EvalScratch& scratch, Schedule& out,
+                             const ExecutionState::Snapshot* initial);
+
+  struct Active {
+    Time comp_end;
+    Mem mem;
+    /// Min-heap on comp_end — identical comparator to
+    /// ExecutionState::ActiveTask so the release order (and therefore the
+    /// floating-point accumulation order of `used_`) matches exactly.
+    [[nodiscard]] bool operator>(const Active& o) const noexcept {
+      return comp_end > o.comp_end;
+    }
+  };
+
+  /// Rebuilds the engine start state: fresh clocks, or a carried
+  /// snapshot (mirroring ExecutionState(Mem, Snapshot) exactly).
+  void reset(const CompiledInstance& ci, Mem capacity,
+             const ExecutionState::Snapshot* initial);
+  /// Issues order[first..last) on the current state; the hot loop.
+  /// `record` is null on the scoring path.
+  void issue(const CompiledInstance& ci, std::span<const TaskId> order,
+             std::size_t first, std::size_t last, Schedule* record);
+  void release_until(Time t);
+
+  Mem capacity_ = 0.0;
+  Time now_ = 0.0;
+  Time comp_avail_ = 0.0;
+  /// End of the last computation issued (0 before any issue). Computation
+  /// ends are monotone along the issue order, so this equals
+  /// Schedule::makespan over the issued tasks.
+  Time makespan_ = 0.0;
+  Mem used_ = 0.0;
+  std::vector<Time> comm_avail_;  // one availability clock per channel
+  std::vector<Active> active_;    // binary min-heap via std::*_heap
+};
+
+/// Makespan of `order` (ids into `ci`), bit-identical to
+/// `simulate_order(inst, order, capacity).makespan(inst)` but without
+/// constructing a Schedule and without heap allocation once `scratch` is
+/// warm. `initial` (optional) carries a previous engine state exactly as
+/// `ExecutionState(capacity, *initial)` would. Unlike simulate_order, the
+/// order may cover any subset of the instance (the exact searches score
+/// window suffixes). Throws the same exception types as the reference
+/// path: std::invalid_argument when capacity is negative or a task can
+/// never fit, std::out_of_range for an unknown task or channel.
+[[nodiscard]] Time evaluate_order(
+    const CompiledInstance& ci, std::span<const TaskId> order, Mem capacity,
+    EvalScratch& scratch, const ExecutionState::Snapshot* initial = nullptr);
+
+/// Recording overload: additionally writes each issued task's start times
+/// into `out` (same values execute_order records).
+Time evaluate_order(const CompiledInstance& ci, std::span<const TaskId> order,
+                    Mem capacity, EvalScratch& scratch, Schedule& out,
+                    const ExecutionState::Snapshot* initial = nullptr);
+
+/// Candidate scorer that caches the engine state after every prefix of a
+/// reference order, so evaluating a candidate resimulates only the part
+/// after its longest common prefix with the reference:
+///
+///   PrefixResumeEvaluator eval(ci, capacity);
+///   Time best = eval.set_reference(order);        // full simulation
+///   Time ms = eval.evaluate(adjacent_swap);       // suffix only
+///   best = eval.set_reference(improved_order);    // re-checkpoints the
+///                                                 // changed suffix only
+///
+/// `set_reference` itself resumes from the previous reference's common
+/// prefix, which makes `next_permutation` scans (exhaustive search,
+/// branch-and-bound child expansions) nearly O(1) per permutation on
+/// average. Results are bit-identical to from-scratch evaluation: a
+/// checkpoint is a complete value copy of the engine (including the heap
+/// layout of the active set), so the resumed suffix performs exactly the
+/// operations a full rerun would.
+class PrefixResumeEvaluator {
+ public:
+  PrefixResumeEvaluator(const CompiledInstance& ci, Mem capacity);
+  /// Carried-state variant: every evaluation starts from `initial`
+  /// exactly as ExecutionState(capacity, initial) would.
+  PrefixResumeEvaluator(const CompiledInstance& ci, Mem capacity,
+                        const ExecutionState::Snapshot& initial);
+
+  /// Full-accuracy makespan of `order`; records checkpoints so later
+  /// calls resume after the common prefix. On failure (a task that can
+  /// never fit) the reference is invalidated and the exception rethrown.
+  Time set_reference(std::span<const TaskId> order);
+
+  /// Makespan of `order`, resuming from the checkpoint at its longest
+  /// common prefix with the current reference. When the candidate also
+  /// shares a suffix with the reference (local-search swaps do), the
+  /// engine additionally *reconverges*: after the divergent window it
+  /// compares its state to the reference checkpoint at each position and
+  /// returns the reference's final makespan the moment they bitwise
+  /// match, since the remaining evolution is then identical. Does not
+  /// move the reference — ideal for scoring a neighborhood around it.
+  [[nodiscard]] Time evaluate(std::span<const TaskId> order);
+
+  /// The order checkpoints are recorded for (empty until the first
+  /// successful set_reference).
+  [[nodiscard]] std::span<const TaskId> reference() const noexcept {
+    return reference_;
+  }
+
+  /// State of the engine after the most recent set_reference/evaluate.
+  [[nodiscard]] const EvalScratch& last_state() const noexcept {
+    return scratch_;
+  }
+
+  /// Instrumentation: candidate evaluations served, tasks actually
+  /// simulated, and tasks skipped by resuming from a checkpoint.
+  [[nodiscard]] std::uint64_t evaluations() const noexcept {
+    return evaluations_;
+  }
+  [[nodiscard]] std::uint64_t tasks_simulated() const noexcept {
+    return tasks_simulated_;
+  }
+  [[nodiscard]] std::uint64_t tasks_resumed() const noexcept {
+    return tasks_resumed_;
+  }
+
+ private:
+  /// Complete value copy of the engine after a prefix. Buffers are
+  /// assigned in place on save/load, so steady-state checkpointing does
+  /// not allocate.
+  struct Checkpoint {
+    Time now = 0.0;
+    Time comp_avail = 0.0;
+    Time makespan = 0.0;
+    Mem used = 0.0;
+    std::vector<Time> comm_avail;
+    std::vector<EvalScratch::Active> active;
+  };
+
+  void save_checkpoint(std::size_t k);
+  void load_checkpoint(std::size_t k);
+  [[nodiscard]] std::size_t common_prefix(
+      std::span<const TaskId> order) const noexcept;
+  /// True when the live engine state bitwise equals `cp` (including the
+  /// heap layout of the active set) — the reconvergence test evaluate()
+  /// uses to merge a candidate back onto the reference trajectory.
+  [[nodiscard]] bool state_matches(const Checkpoint& cp) const noexcept;
+
+  const CompiledInstance* ci_;
+  Mem capacity_;
+  bool has_initial_ = false;
+  ExecutionState::Snapshot initial_;
+  EvalScratch scratch_;
+  std::vector<TaskId> reference_;
+  std::vector<Checkpoint> checkpoints_;  // [k] = state after k tasks
+  std::uint64_t evaluations_ = 0;
+  std::uint64_t tasks_simulated_ = 0;
+  std::uint64_t tasks_resumed_ = 0;
+};
+
+}  // namespace dts

@@ -16,6 +16,7 @@ Instance::Instance(std::vector<Task> tasks) : tasks_(std::move(tasks)) {
     // could ever wrap the +1.
     num_channels_ = std::max(
         num_channels_, static_cast<std::size_t>(tasks_[i].channel) + 1);
+    min_capacity_ = std::max(min_capacity_, tasks_[i].mem);
     fully_bound_ = fully_bound_ && tasks_[i].time_bound();
     fully_byte_annotated_ = fully_byte_annotated_ && tasks_[i].has_comm_bytes();
   }
@@ -37,12 +38,6 @@ Instance Instance::from_comm_comp(std::initializer_list<Pair> pairs) {
     tasks.push_back(Task{.id = 0, .comm = p.comm, .comp = p.comp, .mem = p.comm, .name = {}});
   }
   return Instance(std::move(tasks));
-}
-
-Mem Instance::min_capacity() const noexcept {
-  Mem mc = 0.0;
-  for (const Task& t : tasks_) mc = std::max(mc, t.mem);
-  return mc;
 }
 
 InstanceStats Instance::stats() const {

@@ -71,8 +71,9 @@ class Instance {
 
   /// mc — the smallest capacity for which any schedule exists (the largest
   /// single-task footprint). All evaluation sweeps run capacities in
-  /// [mc, 2mc].
-  [[nodiscard]] Mem min_capacity() const noexcept;
+  /// [mc, 2mc]. Cached at construction (tasks are immutable afterwards),
+  /// so capacity-sweep and solver hot loops read a field, not an O(n) scan.
+  [[nodiscard]] Mem min_capacity() const noexcept { return min_capacity_; }
 
   /// Number of copy engines the instance's tasks reference: 1 + the
   /// largest Task::channel (1 for an empty instance). The execution engine
@@ -116,6 +117,7 @@ class Instance {
  private:
   std::vector<Task> tasks_;
   std::size_t num_channels_ = 1;
+  Mem min_capacity_ = 0.0;
   bool fully_bound_ = true;
   bool fully_byte_annotated_ = true;
 };

@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "core/compiled.hpp"
+
 #include "support/contract.hpp"
 
 namespace dts {
@@ -103,6 +105,10 @@ bool ExecutionState::fits(const Task& t) const noexcept {
   return approx_leq(used_ + t.mem, capacity_);
 }
 
+bool ExecutionState::fits(Mem mem) const noexcept {
+  return approx_leq(used_ + mem, capacity_);
+}
+
 void ExecutionState::release_until(Time t) {
   while (!active_.empty() && approx_leq(active_.front().comp_end, t)) {
     used_ -= active_.front().mem;
@@ -194,20 +200,32 @@ void execute_order(const Instance& inst, std::span<const TaskId> order,
   }
 }
 
+// Both conveniences run on the data-oriented fast path (core/compiled.hpp)
+// — bit-identical timings to the ExecutionState reference loop above,
+// pinned by tests/fast_path_parity_test.cpp — so one-shot callers benefit
+// from the SoA layout too; repeated scorers should hold a CompiledInstance
+// and an EvalScratch themselves.
 Schedule simulate_order(const Instance& inst, std::span<const TaskId> order,
                         Mem capacity) {
   if (order.size() != inst.size()) {
     throw std::invalid_argument("simulate_order: order must cover all tasks");
   }
-  ExecutionState state(capacity, inst.num_channels());
+  const CompiledInstance ci(inst);
+  EvalScratch scratch;
   Schedule sched(inst.size());
-  execute_order(inst, order, state, sched);
+  evaluate_order(ci, order, capacity, scratch, sched);
   return sched;
 }
 
 Time makespan_of_order(const Instance& inst, std::span<const TaskId> order,
                        Mem capacity) {
-  return simulate_order(inst, order, capacity).makespan(inst);
+  if (order.size() != inst.size()) {
+    // Same message as simulate_order historically raised for short orders.
+    throw std::invalid_argument("simulate_order: order must cover all tasks");
+  }
+  const CompiledInstance ci(inst);
+  EvalScratch scratch;
+  return evaluate_order(ci, order, capacity, scratch);
 }
 
 }  // namespace dts

@@ -84,6 +84,10 @@ class ExecutionState {
   /// Would `t` fit in memory if its transfer started right now?
   [[nodiscard]] bool fits(const Task& t) const noexcept;
 
+  /// Footprint-only overload for SoA callers (compiled.hpp) that carry
+  /// the memory requirement without materializing a Task.
+  [[nodiscard]] bool fits(Mem mem) const noexcept;
+
   /// Earliest instant the transfer of `t` could start if issued now:
   /// max(now, its channel's free time). Throws std::out_of_range when the
   /// task names a channel this state does not have.

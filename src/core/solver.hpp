@@ -121,6 +121,9 @@ struct SolveOptions {
   CancellationToken cancel;
   /// Iteration budget for anytime solvers (local search candidates).
   std::size_t max_iterations = 20000;
+  /// Stop local search after this many consecutive rejected candidates
+  /// (LocalSearchOptions::max_no_improve).
+  std::size_t max_no_improve = 2000;
   /// Seed for randomized solvers (local search neighborhood order).
   std::uint64_t seed = 1;
   /// Evaluate independent candidates of the auto-scheduler with

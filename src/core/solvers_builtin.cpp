@@ -218,6 +218,7 @@ class LocalSearchSolver final : public Solver {
     reject_batch(request, name());
     LocalSearchOptions search;
     search.max_iterations = options.max_iterations;
+    search.max_no_improve = options.max_no_improve;
     search.seed = options.seed;
     const StopCondition stop(options);
     if (stop.armed()) {

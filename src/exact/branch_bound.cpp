@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <tuple>
 
+#include "core/compiled.hpp"
 #include "support/contract.hpp"
 
 namespace dts {
@@ -22,24 +23,37 @@ std::size_t tracked_channels(const Instance& inst,
   return std::max(inst.num_channels(), initial.comm_available.size());
 }
 
-}  // namespace
+/// Reusable buffers for the pair co-simulation. best_pair_order runs it
+/// ~(n!)^2 times; assign() below reuses capacity, so a warm scratch makes
+/// each pair allocation-free.
+struct PairScratch {
+  std::vector<Time> link_free;
+  std::vector<std::pair<Time, Mem>> releases;
+  std::vector<Time> comm_suffix;
+  std::vector<Time> comp_suffix;
+  std::vector<Time> comm_start;
+  std::vector<Time> comm_end;
+  std::vector<unsigned char> started;
+  std::vector<Time> candidate_times;
+};
 
-std::optional<Time> simulate_pair_order(const Instance& inst,
-                                        std::span<const TaskId> comm_order,
-                                        std::span<const TaskId> comp_order,
-                                        Mem capacity,
-                                        const ExecutionState::Snapshot& initial,
-                                        Time abort_at, Schedule& out) {
-  const std::size_t n = inst.size();
-  if (comm_order.size() != n || comp_order.size() != n || out.size() != n) {
-    throw std::invalid_argument("simulate_pair_order: size mismatch");
-  }
+/// The co-simulation itself, over the SoA arrays with caller-owned
+/// buffers. Arithmetic is identical to the original per-Task formulation;
+/// only the data layout changed.
+std::optional<Time> simulate_pair_order_impl(
+    const CompiledInstance& ci, std::span<const TaskId> comm_order,
+    std::span<const TaskId> comp_order, Mem capacity,
+    const ExecutionState::Snapshot& initial, Time abort_at, Schedule& out,
+    PairScratch& s) {
+  const std::size_t n = ci.size();
+  const std::size_t nch =
+      std::max(ci.num_channels(), initial.comm_available.size());
 
-  const std::size_t nch = tracked_channels(inst, initial);
   // One availability clock per copy engine; engines the snapshot does not
   // cover become free at the snapshot's decision instant.
-  std::vector<Time> link_free(initial.comm_available);
-  link_free.resize(nch, initial.now);
+  s.link_free.assign(initial.comm_available.begin(),
+                     initial.comm_available.end());
+  s.link_free.resize(nch, initial.now);
   // comm_order is the chronological order of transfer starts: each start
   // is >= the previous one (and >= the snapshot instant, before which the
   // snapshot no longer tracks released memory).
@@ -49,12 +63,12 @@ std::optional<Time> simulate_pair_order(const Instance& inst,
   // Memory bookkeeping. A task holds memory from its transfer start; its
   // release instant becomes known once its computation is scheduled.
   // Carried-in tasks arrive with known release instants.
-  std::vector<std::pair<Time, Mem>> releases = initial.active;
+  s.releases.assign(initial.active.begin(), initial.active.end());
   Mem indefinite = 0.0;  // transfers started, computation not yet scheduled
 
   const auto used_at = [&](Time t) {
     Mem used = indefinite;
-    for (const auto& [end, mem] : releases) {
+    for (const auto& [end, mem] : s.releases) {
       if (definitely_less(t, end)) used += mem;
     }
     return used;
@@ -62,43 +76,42 @@ std::optional<Time> simulate_pair_order(const Instance& inst,
 
   // Suffix loads for pruning: remaining transfer time per copy engine
   // (transfers sharing an engine serialize) and remaining computation.
-  std::vector<Time> comm_suffix((n + 1) * nch, 0.0);
-  std::vector<Time> comp_suffix(n + 1, 0.0);
+  s.comm_suffix.assign((n + 1) * nch, 0.0);
+  s.comp_suffix.assign(n + 1, 0.0);
   for (std::size_t k = n; k-- > 0;) {
     for (std::size_t ch = 0; ch < nch; ++ch) {
-      comm_suffix[k * nch + ch] = comm_suffix[(k + 1) * nch + ch];
+      s.comm_suffix[k * nch + ch] = s.comm_suffix[(k + 1) * nch + ch];
     }
-    comm_suffix[k * nch + inst[comm_order[k]].channel] +=
-        inst[comm_order[k]].comm;
-    comp_suffix[k] = comp_suffix[k + 1] + inst[comp_order[k]].comp;
+    s.comm_suffix[k * nch + ci.channel(comm_order[k])] +=
+        ci.comm(comm_order[k]);
+    s.comp_suffix[k] = s.comp_suffix[k + 1] + ci.comp(comp_order[k]);
   }
 
-  std::vector<Time> comm_start(n, -1.0);
-  std::vector<Time> comm_end(n, -1.0);
-  std::vector<bool> started(n, false);
+  s.comm_start.assign(n, -1.0);
+  s.comm_end.assign(n, -1.0);
+  s.started.assign(n, 0);
 
   Time makespan = 0.0;
   std::size_t i = 0;  // next transfer in comm_order
   std::size_t j = 0;  // next computation in comp_order
-  std::vector<Time> candidate_times;
 
   while (i < n || j < n) {
     bool progress = false;
 
     // The processor serves its sequence as soon as data is present.
-    while (j < n && started[comp_order[j]]) {
+    while (j < n && s.started[comp_order[j]]) {
       const TaskId v = comp_order[j];
-      const Time s = std::max(proc_free, comm_end[v]);
-      const Time e = s + inst[v].comp;
-      out.set(v, comm_start[v], s);
+      const Time start = std::max(proc_free, s.comm_end[v]);
+      const Time e = start + ci.comp(v);
+      out.set(v, s.comm_start[v], start);
       proc_free = e;
       makespan = std::max(makespan, e);
-      indefinite -= inst[v].mem;
-      releases.emplace_back(e, inst[v].mem);
+      indefinite -= ci.mem(v);
+      s.releases.emplace_back(e, ci.mem(v));
       ++j;
       progress = true;
       if (approx_leq(abort_at, makespan) ||
-          approx_leq(abort_at, proc_free + comp_suffix[j])) {
+          approx_leq(abort_at, proc_free + s.comp_suffix[j])) {
         return std::nullopt;  // cannot beat the incumbent
       }
     }
@@ -108,27 +121,28 @@ std::optional<Time> simulate_pair_order(const Instance& inst,
     // global order fixes which engine commits next.
     if (i < n) {
       const TaskId u = comm_order[i];
-      const Task& task = inst[u];
+      const ChannelId u_ch = ci.channel(u);
+      const Mem u_mem = ci.mem(u);
       for (std::size_t ch = 0; ch < nch; ++ch) {
-        const Time remaining = comm_suffix[i * nch + ch];
+        const Time remaining = s.comm_suffix[i * nch + ch];
         // A remaining transfer on `ch` starts >= both the engine clock and
         // the chronological frontier; its computation ends even later.
         if (remaining > 0.0 &&
             approx_leq(abort_at,
-                       std::max(link_free[ch], frontier) + remaining)) {
+                       std::max(s.link_free[ch], frontier) + remaining)) {
           return std::nullopt;
         }
       }
-      const Time lower = std::max(link_free[task.channel], frontier);
-      candidate_times.clear();
-      candidate_times.push_back(lower);
-      for (const auto& [end, mem] : releases) {
+      const Time lower = std::max(s.link_free[u_ch], frontier);
+      s.candidate_times.clear();
+      s.candidate_times.push_back(lower);
+      for (const auto& [end, mem] : s.releases) {
         (void)mem;
-        if (definitely_less(lower, end)) candidate_times.push_back(end);
+        if (definitely_less(lower, end)) s.candidate_times.push_back(end);
       }
-      std::sort(candidate_times.begin(), candidate_times.end());
-      for (const Time t : candidate_times) {
-        if (approx_leq(used_at(t) + task.mem, capacity)) {
+      std::sort(s.candidate_times.begin(), s.candidate_times.end());
+      for (const Time t : s.candidate_times) {
+        if (approx_leq(used_at(t) + u_mem, capacity)) {
           // The exactness argument hinges on comm_order being the
           // chronological order of transfer starts: each committed start
           // may never precede the frontier, and the task's engine clock
@@ -136,17 +150,17 @@ std::optional<Time> simulate_pair_order(const Instance& inst,
           DTS_ENSURE(t >= frontier,
                      "transfer starts must be monotone along the "
                      "chronological order");
-          DTS_ENSURE(t >= link_free[task.channel],
+          DTS_ENSURE(t >= s.link_free[u_ch],
                      "per-channel clock must be monotone along the "
                      "chronological order");
-          DTS_AUDIT(approx_leq(used_at(t) + task.mem, capacity),
+          DTS_AUDIT(approx_leq(used_at(t) + u_mem, capacity),
                     "memory bound exceeded at a committed transfer start");
-          comm_start[u] = t;
-          comm_end[u] = t + task.comm;
-          link_free[task.channel] = comm_end[u];
+          s.comm_start[u] = t;
+          s.comm_end[u] = t + ci.comm(u);
+          s.link_free[u_ch] = s.comm_end[u];
           frontier = t;
-          started[u] = true;
-          indefinite += task.mem;
+          s.started[u] = 1;
+          indefinite += u_mem;
           ++i;
           progress = true;
           break;
@@ -161,6 +175,24 @@ std::optional<Time> simulate_pair_order(const Instance& inst,
     }
   }
   return makespan;
+}
+
+}  // namespace
+
+std::optional<Time> simulate_pair_order(const Instance& inst,
+                                        std::span<const TaskId> comm_order,
+                                        std::span<const TaskId> comp_order,
+                                        Mem capacity,
+                                        const ExecutionState::Snapshot& initial,
+                                        Time abort_at, Schedule& out) {
+  const std::size_t n = inst.size();
+  if (comm_order.size() != n || comp_order.size() != n || out.size() != n) {
+    throw std::invalid_argument("simulate_pair_order: size mismatch");
+  }
+  const CompiledInstance ci(inst);
+  PairScratch scratch;
+  return simulate_pair_order_impl(ci, comm_order, comp_order, capacity,
+                                  initial, abort_at, out, scratch);
 }
 
 PairOrderResult best_pair_order(const Instance& inst, Mem capacity,
@@ -198,6 +230,10 @@ PairOrderResult best_pair_order(const Instance& inst, Mem capacity,
   std::sort(comm.begin(), comm.end(), value_less);
 
   Schedule scratch(inst.size());
+  // Compile once; the pair buffers warm up on the first simulation and
+  // every later pair runs allocation-free.
+  const CompiledInstance compiled(inst);
+  PairScratch pair_scratch;
   // Deadline/cancellation poll, amortized to every 256 simulated pairs
   // (the callback may read a clock). Polling at pair 0 makes an
   // already-fired token return before any work.
@@ -214,8 +250,9 @@ PairOrderResult best_pair_order(const Instance& inst, Mem capacity,
         break;
       }
       ++result.pairs_simulated;
-      const std::optional<Time> ms = simulate_pair_order(
-          inst, comm, comp, capacity, initial, result.makespan, scratch);
+      const std::optional<Time> ms =
+          simulate_pair_order_impl(compiled, comm, comp, capacity, initial,
+                                   result.makespan, scratch, pair_scratch);
       if (ms && definitely_less(*ms, result.makespan)) {
         found = true;
         result.makespan = *ms;

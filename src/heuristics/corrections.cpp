@@ -20,15 +20,33 @@ void execute_corrected(const Instance& inst,
                        std::span<const TaskId> base_order,
                        DynamicCriterion criterion, ExecutionState& state,
                        Schedule& out) {
+  const CompiledInstance ci(inst);
+  execute_corrected(ci, base_order, criterion, state, out);
+}
+
+void execute_corrected(const CompiledInstance& ci,
+                       std::span<const TaskId> base_order,
+                       DynamicCriterion criterion, ExecutionState& state,
+                       Schedule& out) {
   std::vector<TaskId> pending(base_order.begin(), base_order.end());
   std::vector<TaskId> fitting;
   fitting.reserve(pending.size());
 
+  // Timing-relevant fields only; the engine's start() never reads names.
+  const auto task_of = [&ci](TaskId id) {
+    return Task{.id = id,
+                .comm = ci.comm(id),
+                .comp = ci.comp(id),
+                .mem = ci.mem(id),
+                .channel = ci.channel(id),
+                .name = {}};
+  };
+
   while (!pending.empty()) {
     const TaskId head = pending.front();
-    if (state.fits(inst[head])) {
+    if (state.fits(ci.mem(head))) {
       // The static plan remains viable: follow it.
-      const TaskTimes tt = state.start(inst[head]);
+      const TaskTimes tt = state.start(task_of(head));
       out.set(head, tt.comm_start, tt.comp_start);
       pending.erase(pending.begin());
       continue;
@@ -36,7 +54,7 @@ void execute_corrected(const Instance& inst,
     // The head is blocked by memory: dynamic correction.
     fitting.clear();
     for (TaskId id : pending) {
-      if (state.fits(inst[id])) fitting.push_back(id);
+      if (state.fits(ci.mem(id))) fitting.push_back(id);
     }
     if (fitting.empty()) {
       if (!state.advance_to_next_release()) {
@@ -45,8 +63,8 @@ void execute_corrected(const Instance& inst,
       }
       continue;
     }
-    const TaskId chosen = pick_candidate(inst, state, fitting, criterion);
-    const TaskTimes tt = state.start(inst[chosen]);
+    const TaskId chosen = pick_candidate(ci, state, fitting, criterion);
+    const TaskTimes tt = state.start(task_of(chosen));
     out.set(chosen, tt.comm_start, tt.comp_start);
     pending.erase(std::find(pending.begin(), pending.end(), chosen));
   }

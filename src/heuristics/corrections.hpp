@@ -36,6 +36,14 @@ void execute_corrected(const Instance& inst,
                        DynamicCriterion criterion, ExecutionState& state,
                        Schedule& out);
 
+/// SoA fast path (core/compiled.hpp): fit-scans and correction scoring
+/// read the compiled arrays. Identical schedules to the Instance variant;
+/// repeated callers compile once and reuse.
+void execute_corrected(const CompiledInstance& ci,
+                       std::span<const TaskId> base_order,
+                       DynamicCriterion criterion, ExecutionState& state,
+                       Schedule& out);
+
 /// Corrected policy on a fresh engine with an explicit base order (the
 /// paper's Fig. 6 examples feed a specific OMIM order).
 [[nodiscard]] Schedule schedule_corrected_with_order(

@@ -27,6 +27,30 @@ bool criterion_better(const Task& a, const Task& b, DynamicCriterion c) {
   return false;
 }
 
+/// SoA twin of criterion_better — same comparisons over the compiled
+/// arrays (CompiledInstance::acceleration replicates Task::acceleration).
+bool criterion_better(const CompiledInstance& ci, TaskId a, TaskId b,
+                      DynamicCriterion c) {
+  switch (c) {
+    case DynamicCriterion::kLargestComm: return ci.comm(a) > ci.comm(b);
+    case DynamicCriterion::kSmallestComm: return ci.comm(a) < ci.comm(b);
+    case DynamicCriterion::kMaxAcceleration:
+      return ci.acceleration(a) > ci.acceleration(b);
+  }
+  return false;
+}
+
+/// Rebuilds the timing-relevant fields of a task from the SoA arrays (the
+/// engine's start() only reads these; the name stays empty).
+Task soa_task(const CompiledInstance& ci, TaskId id) {
+  return Task{.id = id,
+              .comm = ci.comm(id),
+              .comp = ci.comp(id),
+              .mem = ci.mem(id),
+              .channel = ci.channel(id),
+              .name = {}};
+}
+
 }  // namespace
 
 TaskId pick_candidate(const Instance& inst, const ExecutionState& state,
@@ -50,7 +74,39 @@ TaskId pick_candidate(const Instance& inst, const ExecutionState& state,
   return best;
 }
 
+TaskId pick_candidate(const CompiledInstance& ci, const ExecutionState& state,
+                      std::span<const TaskId> candidates,
+                      DynamicCriterion criterion) {
+  const Time now = state.now();
+  const Time comp_avail = state.comp_available();
+  TaskId best = kInvalidTask;
+  Time best_idle = kInfiniteTime;
+  for (TaskId id : candidates) {
+    // induced_comp_idle over the SoA arrays, same operation order:
+    // max(0, max(now, channel clock) + comm - processor-free).
+    const Time start = std::max(now, state.comm_available(ci.channel(id)));
+    const Time idle = std::max(0.0, start + ci.comm(id) - comp_avail);
+    const bool strictly_less_idle = best != kInvalidTask && definitely_less(idle, best_idle);
+    const bool tied_idle = best != kInvalidTask &&
+                           !definitely_less(idle, best_idle) &&
+                           !definitely_less(best_idle, idle);
+    if (best == kInvalidTask || strictly_less_idle ||
+        (tied_idle && criterion_better(ci, id, best, criterion))) {
+      best = id;
+      best_idle = idle;
+    }
+  }
+  return best;
+}
+
 void execute_dynamic(const Instance& inst, std::span<const TaskId> ids,
+                     DynamicCriterion criterion, ExecutionState& state,
+                     Schedule& out) {
+  const CompiledInstance ci(inst);
+  execute_dynamic(ci, ids, criterion, state, out);
+}
+
+void execute_dynamic(const CompiledInstance& ci, std::span<const TaskId> ids,
                      DynamicCriterion criterion, ExecutionState& state,
                      Schedule& out) {
   std::vector<TaskId> pending(ids.begin(), ids.end());
@@ -60,7 +116,7 @@ void execute_dynamic(const Instance& inst, std::span<const TaskId> ids,
   while (!pending.empty()) {
     fitting.clear();
     for (TaskId id : pending) {
-      if (state.fits(inst[id])) fitting.push_back(id);
+      if (state.fits(ci.mem(id))) fitting.push_back(id);
     }
     if (fitting.empty()) {
       if (!state.advance_to_next_release()) {
@@ -69,8 +125,8 @@ void execute_dynamic(const Instance& inst, std::span<const TaskId> ids,
       }
       continue;
     }
-    const TaskId chosen = pick_candidate(inst, state, fitting, criterion);
-    const TaskTimes tt = state.start(inst[chosen]);
+    const TaskId chosen = pick_candidate(ci, state, fitting, criterion);
+    const TaskTimes tt = state.start(soa_task(ci, chosen));
     out.set(chosen, tt.comm_start, tt.comp_start);
     pending.erase(std::find(pending.begin(), pending.end(), chosen));
   }

@@ -17,6 +17,7 @@
 #include <string_view>
 #include <vector>
 
+#include "core/compiled.hpp"
 #include "core/instance.hpp"
 #include "core/schedule.hpp"
 #include "core/simulate.hpp"
@@ -41,10 +42,25 @@ enum class DynamicCriterion {
                                     std::span<const TaskId> candidates,
                                     DynamicCriterion criterion);
 
+/// Batch-scored variant over the SoA arrays of a compiled instance —
+/// identical selection (same induced-idle arithmetic and tie-breaks),
+/// without pulling whole `Task` records through the cache per candidate.
+[[nodiscard]] TaskId pick_candidate(const CompiledInstance& ci,
+                                    const ExecutionState& state,
+                                    std::span<const TaskId> candidates,
+                                    DynamicCriterion criterion);
+
 /// Schedules every id in `ids` on `state` using dynamic selection, writing
 /// start times into `out`. `ids` supplies the tie-breaking priority (its
 /// order is the submission order within a batch).
 void execute_dynamic(const Instance& inst, std::span<const TaskId> ids,
+                     DynamicCriterion criterion, ExecutionState& state,
+                     Schedule& out);
+
+/// SoA fast path: the candidate fit-scans and idle scoring read the
+/// compiled arrays. Repeated callers (the batch scheduler) compile the
+/// instance once and reuse it across batches.
+void execute_dynamic(const CompiledInstance& ci, std::span<const TaskId> ids,
                      DynamicCriterion criterion, ExecutionState& state,
                      Schedule& out);
 

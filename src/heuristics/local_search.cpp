@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "core/auto_scheduler.hpp"
+#include "core/compiled.hpp"
 #include "core/simulate.hpp"
 #include "support/rng.hpp"
 
@@ -51,7 +52,15 @@ LocalSearchResult improve_order(const Instance& inst, Mem capacity,
   }
   LocalSearchResult result;
   result.order.assign(initial.begin(), initial.end());
-  result.initial_makespan = makespan_of_order(inst, result.order, capacity);
+  // All candidate scoring runs on the data-oriented fast path: one SoA
+  // compilation of the instance, checkpoints along the incumbent order,
+  // and per-candidate resimulation of only the suffix after the move
+  // (bit-identical makespans to the full engine — the search trajectory
+  // is unchanged, it just stops paying a Schedule + full resimulation
+  // per candidate).
+  const CompiledInstance compiled(inst);
+  PrefixResumeEvaluator evaluator(compiled, capacity);
+  result.initial_makespan = evaluator.set_reference(result.order);
   result.makespan = result.initial_makespan;
 
   if (inst.size() < 2) {
@@ -80,10 +89,13 @@ LocalSearchResult improve_order(const Instance& inst, Mem capacity,
       continue;
     }
     ++result.iterations;
-    const Time ms = makespan_of_order(inst, candidate, capacity);
+    const Time ms = evaluator.evaluate(candidate);
     if (definitely_less(ms, result.makespan)) {
       result.makespan = ms;
       result.order = std::move(candidate);
+      // Re-checkpoint along the new incumbent; only the suffix past the
+      // move's first changed position is resimulated.
+      evaluator.set_reference(result.order);
       ++result.improvements;
       since_improve = 0;
     } else {

@@ -95,6 +95,7 @@ TEST(Cancellation, ShortDeadlineStopsLocalSearchPromptly) {
   SolveOptions options;
   options.time_limit_seconds = 0.05;
   options.max_iterations = 100000000;
+  options.max_no_improve = 100000000;
   SolveResult res;
   const double elapsed = run_seconds([&] {
     res = solve({.instance = inst, .capacity = capacity}, "local-search",

@@ -1,0 +1,337 @@
+/// \file fast_path_parity_test.cpp
+/// Bit-for-bit parity of the data-oriented fast path (core/compiled.hpp)
+/// against the reference engine. Every comparison here is EXACT double
+/// equality, not epsilon-based: the fast path promises the same
+/// floating-point operation sequence as ExecutionState, so even the last
+/// ulp must agree.
+///
+/// The oracle is always the raw reference engine — ExecutionState +
+/// execute_order + Schedule::makespan. It must NOT be simulate_order /
+/// makespan_of_order: those are re-expressed on top of evaluate_order, so
+/// comparing against them would be circular.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "core/compiled.hpp"
+#include "core/instance.hpp"
+#include "core/schedule.hpp"
+#include "core/simulate.hpp"
+#include "support/rng.hpp"
+#include "test_util.hpp"
+
+namespace dts {
+namespace {
+
+/// Random instance across `channels` engines, memory decoupled from the
+/// communication time, with the same tie/zero edge cases the differential
+/// suite uses.
+Instance random_channel_instance(Rng& rng, std::size_t n,
+                                 std::size_t channels) {
+  std::vector<Task> tasks;
+  tasks.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    Task t;
+    t.comm = rng.uniform(0.0, 10.0);
+    t.comp = rng.uniform(0.0, 10.0);
+    if (rng.chance(0.1)) t.comm = 0.0;
+    if (rng.chance(0.1)) t.comp = 0.0;
+    if (rng.chance(0.25)) t.comm = std::floor(t.comm);
+    if (rng.chance(0.25)) t.comp = std::floor(t.comp);
+    t.mem = rng.uniform(0.1, 10.0);
+    t.channel = static_cast<ChannelId>(rng.index(channels));
+    tasks.push_back(std::move(t));
+  }
+  return Instance(std::move(tasks));
+}
+
+std::vector<TaskId> shuffled_order(Rng& rng, const Instance& inst) {
+  std::vector<TaskId> order = inst.submission_order();
+  for (std::size_t i = order.size(); i > 1; --i) {
+    std::swap(order[i - 1], order[rng.index(i)]);
+  }
+  return order;
+}
+
+/// Capacity regimes the corpus sweeps: the tightest feasible, a mildly
+/// constrained one, and effectively unconstrained.
+Mem capacity_for(const Instance& inst, int regime) {
+  const Mem mc = std::max(inst.min_capacity(), 0.1);
+  switch (regime) {
+    case 0: return mc;              // tightest: admission waits dominate
+    case 1: return 1.5 * mc;        // constrained
+    default: return 1e9;            // effectively infinite
+  }
+}
+
+/// Reference makespan + engine: raw ExecutionState path, independent of
+/// the fast path under test.
+Time oracle_makespan(const Instance& inst, std::span<const TaskId> order,
+                     ExecutionState& state, Schedule& sched) {
+  execute_order(inst, order, state, sched);
+  return sched.makespan(inst);
+}
+
+TEST(FastPathParity, EvaluateOrderMatchesReferenceEngineBitForBit) {
+  Rng rng(2026);
+  EvalScratch scratch;
+  for (int iter = 0; iter < 400; ++iter) {
+    const std::size_t channels = 1 + rng.index(3);
+    const std::size_t n = 1 + rng.index(14);
+    const Instance inst = random_channel_instance(rng, n, channels);
+    const Mem capacity = capacity_for(inst, static_cast<int>(rng.index(3)));
+    const std::vector<TaskId> order = shuffled_order(rng, inst);
+
+    ExecutionState state(capacity, inst.num_channels());
+    Schedule sched(inst.size());
+    const Time want = oracle_makespan(inst, order, state, sched);
+
+    const CompiledInstance ci(inst);
+    const Time got = evaluate_order(ci, order, capacity, scratch);
+    ASSERT_EQ(want, got) << "iter " << iter;
+
+    // The full engine state must match, not just the makespan: batch and
+    // exact callers read these for carried state and tie-breaks.
+    ASSERT_EQ(state.comp_available(), scratch.comp_available()) << iter;
+    ASSERT_EQ(state.comm_available(), scratch.comm_available()) << iter;
+    ASSERT_EQ(state.now(), scratch.now()) << iter;
+    ASSERT_EQ(state.used_memory(), scratch.used_memory()) << iter;
+    ASSERT_EQ(state.active_tasks(), scratch.active_tasks()) << iter;
+  }
+}
+
+TEST(FastPathParity, RecordingOverloadMatchesExecuteOrderSchedules) {
+  Rng rng(777);
+  EvalScratch scratch;
+  for (int iter = 0; iter < 200; ++iter) {
+    const std::size_t channels = 1 + rng.index(3);
+    const Instance inst = random_channel_instance(rng, 2 + rng.index(12),
+                                                  channels);
+    const Mem capacity = capacity_for(inst, static_cast<int>(rng.index(3)));
+    const std::vector<TaskId> order = shuffled_order(rng, inst);
+
+    ExecutionState state(capacity, inst.num_channels());
+    Schedule want(inst.size());
+    execute_order(inst, order, state, want);
+
+    const CompiledInstance ci(inst);
+    Schedule got(inst.size());
+    const Time ms = evaluate_order(ci, order, capacity, scratch, got);
+    ASSERT_EQ(want.makespan(inst), ms) << iter;
+    for (TaskId id = 0; id < inst.size(); ++id) {
+      ASSERT_EQ(want[id].comm_start, got[id].comm_start) << iter << " " << id;
+      ASSERT_EQ(want[id].comp_start, got[id].comp_start) << iter << " " << id;
+    }
+  }
+}
+
+TEST(FastPathParity, CarriedSnapshotsMatchMidStream) {
+  // Split an order in two, run the first half on the reference engine,
+  // snapshot, and verify the fast path replays the second half from that
+  // snapshot exactly as a restored ExecutionState does.
+  Rng rng(31337);
+  EvalScratch scratch;
+  for (int iter = 0; iter < 200; ++iter) {
+    const std::size_t channels = 1 + rng.index(3);
+    const Instance inst = random_channel_instance(rng, 4 + rng.index(10),
+                                                  channels);
+    const Mem capacity = capacity_for(inst, static_cast<int>(rng.index(3)));
+    const std::vector<TaskId> order = shuffled_order(rng, inst);
+    const std::size_t cut = 1 + rng.index(order.size() - 1);
+    const std::span<const TaskId> head(order.data(), cut);
+    const std::span<const TaskId> tail(order.data() + cut,
+                                       order.size() - cut);
+
+    ExecutionState warmup(capacity, inst.num_channels());
+    Schedule partial(inst.size());
+    execute_order(inst, head, warmup, partial);
+    const ExecutionState::Snapshot snap = warmup.snapshot();
+
+    ExecutionState resumed(capacity, snap);
+    Schedule want(inst.size());
+    execute_order(inst, tail, resumed, want);
+
+    const CompiledInstance ci(inst);
+    Schedule got(inst.size());
+    (void)evaluate_order(ci, tail, capacity, scratch, got, &snap);
+    for (const TaskId id : tail) {
+      ASSERT_EQ(want[id].comm_start, got[id].comm_start) << iter << " " << id;
+      ASSERT_EQ(want[id].comp_start, got[id].comp_start) << iter << " " << id;
+    }
+    ASSERT_EQ(resumed.comp_available(), scratch.comp_available()) << iter;
+    ASSERT_EQ(resumed.comm_available(), scratch.comm_available()) << iter;
+    ASSERT_EQ(resumed.now(), scratch.now()) << iter;
+    ASSERT_EQ(resumed.used_memory(), scratch.used_memory()) << iter;
+  }
+}
+
+TEST(FastPathParity, PrefixResumeMatchesFromScratchOnSwapNeighborhoods) {
+  Rng rng(90210);
+  EvalScratch scratch;
+  for (int rep = 0; rep < 40; ++rep) {
+    const std::size_t channels = 1 + rng.index(3);
+    const Instance inst = random_channel_instance(rng, 6 + rng.index(10),
+                                                  channels);
+    const Mem capacity = capacity_for(inst, static_cast<int>(rng.index(3)));
+    const CompiledInstance ci(inst);
+    PrefixResumeEvaluator evaluator(ci, capacity);
+
+    std::vector<TaskId> reference = shuffled_order(rng, inst);
+    ASSERT_EQ(evaluate_order(ci, reference, capacity, scratch),
+              evaluator.set_reference(reference))
+        << rep;
+
+    std::vector<TaskId> candidate;
+    for (int move = 0; move < 50; ++move) {
+      candidate = reference;
+      const std::size_t n = candidate.size();
+      if (rng.chance(0.5)) {  // adjacent swap — the local-search hot case
+        const std::size_t i = rng.index(n - 1);
+        std::swap(candidate[i], candidate[i + 1]);
+      } else {  // arbitrary pair swap
+        std::swap(candidate[rng.index(n)], candidate[rng.index(n)]);
+      }
+      const Time from_scratch = evaluate_order(ci, candidate, capacity,
+                                               scratch);
+      ASSERT_EQ(from_scratch, evaluator.evaluate(candidate))
+          << rep << " move " << move;
+      // Occasionally move the reference — exercises the incremental
+      // re-checkpointing path local search takes on every improvement.
+      if (rng.chance(0.2)) {
+        ASSERT_EQ(from_scratch, evaluator.set_reference(candidate))
+            << rep << " move " << move;
+        reference = candidate;
+      }
+    }
+    // The whole point: checkpoints must actually be resumed from.
+    EXPECT_GT(evaluator.tasks_resumed(), 0u) << rep;
+  }
+}
+
+TEST(FastPathParity, PrefixResumeMatchesWithCarriedSnapshot) {
+  Rng rng(4242);
+  EvalScratch scratch;
+  for (int rep = 0; rep < 40; ++rep) {
+    const std::size_t channels = 1 + rng.index(3);
+    const Instance inst = random_channel_instance(rng, 6 + rng.index(8),
+                                                  channels);
+    const Mem capacity = capacity_for(inst, static_cast<int>(rng.index(3)));
+
+    // Any engine state reached by real execution is a valid carried state.
+    ExecutionState warmup(capacity, inst.num_channels());
+    Schedule partial(inst.size());
+    const std::vector<TaskId> all = shuffled_order(rng, inst);
+    const std::size_t cut = 1 + rng.index(all.size() - 2);
+    execute_order(inst, std::span<const TaskId>(all.data(), cut), warmup,
+                  partial);
+    const ExecutionState::Snapshot snap = warmup.snapshot();
+    const std::vector<TaskId> rest(all.begin() +
+                                       static_cast<std::ptrdiff_t>(cut),
+                                   all.end());
+
+    const CompiledInstance ci(inst);
+    PrefixResumeEvaluator evaluator(ci, capacity, snap);
+    ASSERT_EQ(evaluate_order(ci, rest, capacity, scratch, &snap),
+              evaluator.set_reference(rest))
+        << rep;
+    std::vector<TaskId> candidate = rest;
+    for (int move = 0; move < 20 && candidate.size() > 1; ++move) {
+      const std::size_t i = rng.index(candidate.size() - 1);
+      std::swap(candidate[i], candidate[i + 1]);
+      ASSERT_EQ(evaluate_order(ci, candidate, capacity, scratch, &snap),
+                evaluator.evaluate(candidate))
+          << rep << " move " << move;
+    }
+  }
+}
+
+TEST(FastPathParity, NextPermutationScanMatchesFromScratch) {
+  // The exhaustive solver moves the reference once per permutation; the
+  // resumed stream must track a from-scratch evaluation bit for bit.
+  Rng rng(555);
+  EvalScratch scratch;
+  for (std::size_t channels = 1; channels <= 3; ++channels) {
+    const Instance inst = random_channel_instance(rng, 5, channels);
+    const Mem capacity = capacity_for(inst, 1);
+    const CompiledInstance ci(inst);
+    PrefixResumeEvaluator evaluator(ci, capacity);
+    std::vector<TaskId> order = inst.submission_order();
+    do {
+      ASSERT_EQ(evaluate_order(ci, order, capacity, scratch),
+                evaluator.set_reference(order));
+    } while (std::next_permutation(order.begin(), order.end()));
+    EXPECT_GT(evaluator.tasks_resumed(), 0u);
+  }
+}
+
+TEST(FastPathParity, ErrorPathsMatchTheReferenceEngine) {
+  const Instance inst = Instance::from_comm_comp({{2, 3}, {4, 1}});
+  const CompiledInstance ci(inst);
+  const std::vector<TaskId> order = inst.submission_order();
+  EvalScratch scratch;
+
+  // Negative capacity: same exception type as ExecutionState's ctor.
+  EXPECT_THROW((void)evaluate_order(ci, order, -1.0, scratch),
+               std::invalid_argument);
+
+  // A task that can never fit: identical type AND message (callers print
+  // these; the fast path must not degrade the diagnostics).
+  const Mem tiny = 3.0;  // task 1 needs mem 4 (mem == comm here)
+  std::string want;
+  try {
+    ExecutionState state(tiny, inst.num_channels());
+    Schedule sched(inst.size());
+    execute_order(inst, order, state, sched);
+    FAIL() << "reference engine accepted an infeasible task";
+  } catch (const std::invalid_argument& e) {
+    want = e.what();
+  }
+  try {
+    (void)evaluate_order(ci, order, tiny, scratch);
+    FAIL() << "fast path accepted an infeasible task";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_EQ(want, e.what());
+  }
+
+  // Unknown task id: out_of_range, as the reference path's .at() throws.
+  const std::vector<TaskId> bogus = {0, 7};
+  EXPECT_THROW((void)evaluate_order(ci, bogus, 100.0, scratch),
+               std::out_of_range);
+
+  // A failed set_reference invalidates the reference instead of leaving
+  // half-recorded checkpoints behind.
+  PrefixResumeEvaluator evaluator(ci, tiny);
+  EXPECT_THROW((void)evaluator.set_reference(order), std::invalid_argument);
+  EXPECT_TRUE(evaluator.reference().empty());
+}
+
+TEST(FastPathParity, ReexpressedEntryPointsStillAgreeWithTheOracle) {
+  // simulate_order/makespan_of_order now run on the fast path; pin them
+  // against the raw engine too so a regression cannot hide behind the
+  // re-expression.
+  Rng rng(8);
+  for (int iter = 0; iter < 50; ++iter) {
+    const Instance inst = random_channel_instance(rng, 2 + rng.index(10),
+                                                  1 + rng.index(3));
+    const Mem capacity = capacity_for(inst, static_cast<int>(rng.index(3)));
+    const std::vector<TaskId> order = shuffled_order(rng, inst);
+
+    ExecutionState state(capacity, inst.num_channels());
+    Schedule want(inst.size());
+    const Time oracle = oracle_makespan(inst, order, state, want);
+
+    ASSERT_EQ(oracle, makespan_of_order(inst, order, capacity)) << iter;
+    const Schedule got = simulate_order(inst, order, capacity);
+    for (TaskId id = 0; id < inst.size(); ++id) {
+      ASSERT_EQ(want[id].comm_start, got[id].comm_start) << iter << " " << id;
+      ASSERT_EQ(want[id].comp_start, got[id].comp_start) << iter << " " << id;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dts

@@ -1,0 +1,32 @@
+// lint-as: src/core/hot_fixture.cpp
+// Violations: a marked hot-path function that declares a container,
+// grows a buffer, builds a string for an inline throw — every class of
+// per-candidate cost the rule exists to keep out of the scoring loop.
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace dts {
+
+struct BadScratch {
+  std::vector<double> heap;
+
+  // dts-lint: hot-path
+  double score(const double* cost, const int* order, int n) {
+    std::vector<double> local(static_cast<std::size_t>(n));
+    heap.reserve(static_cast<std::size_t>(n));
+    double total = 0.0;
+    for (int k = 0; k < n; ++k) {
+      const int id = order[k];
+      if (id < 0) {
+        throw std::invalid_argument("bad candidate " + std::to_string(id));
+      }
+      total += cost[id];
+      local[static_cast<std::size_t>(k)] = total;
+    }
+    return total;
+  }
+};
+
+}  // namespace dts

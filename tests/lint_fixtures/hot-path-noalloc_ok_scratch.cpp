@@ -1,0 +1,40 @@
+// lint-as: src/core/hot_fixture.cpp
+// Clean hot path: pre-reserved buffers, heap ops on them, cold error
+// funnel — nothing the rule bans. The unmarked helper below it may
+// allocate freely.
+
+#include <algorithm>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace dts {
+
+[[noreturn]] void throw_bad_candidate(int id);
+
+struct Scratch {
+  std::vector<double> clocks;
+  std::vector<double> heap;
+
+  // dts-lint: hot-path
+  double score(const double* cost, const int* order, int n) {
+    double total = 0.0;
+    for (int k = 0; k < n; ++k) {
+      const int id = order[k];
+      if (id < 0) throw_bad_candidate(id);
+      total += cost[id];
+      heap.push_back(total);
+      std::push_heap(heap.begin(), heap.end(), std::greater<>{});
+    }
+    return total;
+  }
+
+  // Not marked: cold setup code is free to size buffers and build text.
+  std::string describe(int n) {
+    clocks.resize(static_cast<std::size_t>(n));
+    heap.reserve(static_cast<std::size_t>(n));
+    return "scratch for " + std::to_string(n) + " tasks";
+  }
+};
+
+}  // namespace dts

@@ -46,6 +46,7 @@ JobRequest long_running_job() {
   job.solver = "local-search";
   job.options = quiet_options();
   job.options.max_iterations = 100000000;
+  job.options.max_no_improve = 100000000;  // never stop on its own
   job.tag = "long-running";
   return job;
 }

@@ -32,6 +32,13 @@ ones that otherwise live only in reviewers' heads:
                            std::cout/cerr or pay for their static init.
   no-naked-new             no naked new/delete in src/ — ownership goes
                            through containers and smart pointers.
+  hot-path-noalloc         functions marked `// dts-lint: hot-path` in
+                           src/core/ (the candidate-scoring inner loops)
+                           never allocate, build strings, declare
+                           containers, grow buffers (.reserve/.resize/
+                           .shrink_to_fit) or throw inline — error paths
+                           funnel through cold [[noreturn]] helpers so
+                           the makespan loop stays allocation-free.
   trailing-whitespace, tabs, final-newline, crlf
                            mechanical hygiene on every scanned file.
 
@@ -326,6 +333,56 @@ def check_naked_new(path: str, raw: str, code: str):
             "`= delete` declarations are fine (and not matched)")
 
 
+HOT_PATH_MARKER_RE = re.compile(r"//\s*dts-lint:\s*hot-path\b")
+
+# Constructs that cost a heap round-trip, a string build, or an exception
+# object in a loop that scores thousands of candidates per millisecond.
+# push_back/pop_back/push_heap on pre-reserved buffers are fine (and
+# load-bearing); growing or reshaping a buffer is not.
+HOT_PATH_BANNED = (
+    (re.compile(r"(?<![\w.:>])new\s+[A-Za-z_(]"), "a `new` expression"),
+    (re.compile(r"\bstd::make_(unique|shared)\b"), "a heap allocation"),
+    (re.compile(r"\bstd::(string|to_string|ostringstream|stringstream|"
+                r"format)\b"),
+     "string building"),
+    (re.compile(r"\bstd::(vector|map|set|multimap|multiset|deque|list|"
+                r"basic_string|unordered_\w+)\s*<"),
+     "a container declaration"),
+    (re.compile(r"\.\s*(reserve|resize|shrink_to_fit)\s*\("),
+     "buffer growth"),
+    (re.compile(r"\bthrow\s+std::"), "an inline throw"),
+)
+
+
+def check_hot_path_noalloc(path: str, raw: str, code: str):
+    """`// dts-lint: hot-path` functions in src/core/ stay allocation-free."""
+    if not path.startswith("src/core/"):
+        return
+    for marker in HOT_PATH_MARKER_RE.finditer(raw):
+        start = code.find("{", marker.end())
+        if start < 0:
+            continue
+        depth, end = 0, len(code)
+        for i in range(start, len(code)):
+            if code[i] == "{":
+                depth += 1
+            elif code[i] == "}":
+                depth -= 1
+                if depth == 0:
+                    end = i + 1
+                    break
+        block = code[start:end]
+        for pattern, what in HOT_PATH_BANNED:
+            for m in pattern.finditer(block):
+                yield Finding(
+                    "hot-path-noalloc", path,
+                    line_of(code, start + m.start()),
+                    f"{what} in a `dts-lint: hot-path` function — the "
+                    "candidate-scoring loops must stay allocation-free; "
+                    "hoist buffers into the scratch object and funnel "
+                    "errors through a cold [[noreturn]] helper")
+
+
 def check_whitespace(path: str, raw: str, code: str):
     lines = raw.split("\n")
     for idx, line in enumerate(lines, start=1):
@@ -354,6 +411,7 @@ RULES = {
     "no-using-namespace-header": check_using_namespace_header,
     "no-iostream-library": check_iostream_library,
     "no-naked-new": check_naked_new,
+    "hot-path-noalloc": check_hot_path_noalloc,
     "trailing-whitespace": check_whitespace,  # also emits tabs/crlf/newline
 }
 
