@@ -20,6 +20,8 @@
 #include "model/calibrate.hpp"
 #include "model/machine.hpp"
 #include "report/csv.hpp"
+#include "service/serve.hpp"
+#include "service/service.hpp"
 #include "report/gantt.hpp"
 #include "report/schedule_stats.hpp"
 #include "report/table.hpp"
@@ -78,7 +80,17 @@ constexpr std::string_view kUsage =
     "  machines                      list every registered machine model\n"
     "                                (also available as dts --list-machines)\n"
     "  solvers                       list every registered solver\n"
-    "                                (also available as dts --list-solvers)\n";
+    "                                (also available as dts --list-solvers)\n"
+    "  serve     [--workers=N] [--queue=N] [--cache=N] [--max-inflight=N]\n"
+    "            [--solver=NAME] [--socket=PATH] [--stats]\n"
+    "                                run the long-lived solver service: speaks\n"
+    "                                the dts1 request protocol on stdin/stdout\n"
+    "                                (and, with --socket, on a local AF_UNIX\n"
+    "                                socket) with a canonical-instance result\n"
+    "                                cache, single-flight coalescing and\n"
+    "                                admission control; drains on stdin EOF or\n"
+    "                                a quit frame (--stats then prints the\n"
+    "                                service counters)\n";
 
 /// Full-string numeric parse with a flag-specific error message.
 double parse_double_flag(std::string_view key, const std::string& text) {
@@ -591,6 +603,47 @@ int cmd_recost(const CommandLine& cmd, std::ostream& out, std::istream& in) {
   return 0;
 }
 
+int cmd_serve(const CommandLine& cmd, std::ostream& out, std::ostream& err,
+              std::istream& in) {
+  ServiceOptions options;
+  options.workers = cmd.count_or("workers", 0);
+  options.queue_capacity = std::max<std::size_t>(1, cmd.count_or("queue", 64));
+  options.cache_capacity = cmd.count_or("cache", 4096);
+  options.max_inflight =
+      std::max<std::size_t>(1, cmd.count_or("max-inflight", 256));
+  if (const auto solver = cmd.flag("solver")) options.default_solver = *solver;
+
+  SolverService service(options);
+  std::optional<SocketServer> socket;
+  if (const auto path = cmd.flag("socket")) {
+    socket.emplace(service, *path);
+    socket->start();
+    err << "listening on " << *path << "\n";
+  }
+
+  // The stdin pump doubles as the lifetime control: EOF or a quit frame
+  // ends the service, which then drains in-flight work gracefully.
+  serve_stream(service, in, out);
+  if (socket) socket->stop();
+  service.drain();
+
+  if (cmd.flag("stats")) {
+    const ServiceCounters c = service.counters();
+    out << "requests " << c.received << "\n"
+        << "ok " << c.ok << "\n"
+        << "shed " << c.shed << "\n"
+        << "draining " << c.draining << "\n"
+        << "errors " << c.errors << "\n"
+        << "hits " << c.cache.hits << "\n"
+        << "misses " << c.cache.misses << "\n"
+        << "coalesced " << c.cache.coalesced << "\n"
+        << "inserts " << c.cache.inserts << "\n"
+        << "evictions " << c.cache.evictions << "\n"
+        << "cache-size " << c.cache_size << "\n";
+  }
+  return 0;
+}
+
 int cmd_calibrate(const CommandLine& cmd, std::ostream& out,
                   std::istream& in) {
   if (cmd.positional.empty()) {
@@ -717,6 +770,7 @@ int run_cli(int argc, const char* const* argv, std::ostream& out,
     if (cmd.command == "improve") return cmd_improve(cmd, out, in);
     if (cmd.command == "recost") return cmd_recost(cmd, out, in);
     if (cmd.command == "calibrate") return cmd_calibrate(cmd, out, in);
+    if (cmd.command == "serve") return cmd_serve(cmd, out, err, in);
     if (cmd.command == "machines") return cmd_machines(out);
     if (cmd.command == "solvers") return cmd_solvers(out);
     err << "unknown command '" << cmd.command << "'\n" << kUsage;

@@ -91,16 +91,27 @@ JobHandle SolverPool::submit(JobRequest request) {
 }
 
 std::optional<JobHandle> SolverPool::try_submit(JobRequest request) {
+  JobHandle handle;
+  if (try_submit(std::move(request), handle) != SubmitStatus::kAccepted) {
+    return std::nullopt;
+  }
+  return handle;
+}
+
+SubmitStatus SolverPool::try_submit(JobRequest request, JobHandle& out) {
   std::shared_ptr<detail::JobState> job;
   {
     const std::lock_guard<std::mutex> lock(mutex_);
-    if (!accepting_) return std::nullopt;
+    if (!accepting_) return SubmitStatus::kShuttingDown;
     if (queue_.size() >= options_.queue_capacity) prune_resolved_locked();
-    if (queue_.size() >= options_.queue_capacity) return std::nullopt;
+    if (queue_.size() >= options_.queue_capacity) {
+      return SubmitStatus::kQueueFull;
+    }
     job = enqueue_locked(std::move(request));
   }
   work_cv_.notify_one();
-  return JobHandle(job);
+  out = JobHandle(job);
+  return SubmitStatus::kAccepted;
 }
 
 std::shared_ptr<detail::JobState> SolverPool::pop_job_locked() {

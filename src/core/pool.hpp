@@ -53,6 +53,18 @@ enum class DrainMode {
   kCancel,  ///< cancel queued jobs, ask running jobs to stop, then stop
 };
 
+/// Outcome of a non-blocking submit. The two refusal reasons are
+/// deliberately distinct: a full queue is transient (back off and retry —
+/// the admission-control "shed" signal), while a shutting-down pool is
+/// terminal (drain the connection — retrying can never succeed). The
+/// optional-returning try_submit() conflated them, which left services
+/// racing shutdown unable to answer "retry or go away?" deterministically.
+enum class SubmitStatus {
+  kAccepted,      ///< job enqueued; the handle is valid
+  kQueueFull,     ///< transient: queue at capacity, retry later
+  kShuttingDown,  ///< terminal: shutdown began, no submit can ever succeed
+};
+
 struct SolverPoolOptions {
   /// Worker threads; 0 means parallel_workers() (hardware concurrency).
   std::size_t workers = 0;
@@ -82,8 +94,16 @@ class SolverPool final : public Executor {
   [[nodiscard]] JobHandle submit(JobRequest request);
 
   /// Non-blocking submit: nullopt when the queue is full or the pool is
-  /// shutting down.
+  /// shutting down. Callers that must distinguish the two (admission
+  /// control vs. drain) use the status-reporting overload below.
   [[nodiscard]] std::optional<JobHandle> try_submit(JobRequest request);
+
+  /// Non-blocking submit with a deterministic refusal reason. On
+  /// kAccepted, `out` holds the job's handle; otherwise `out` is left
+  /// untouched. A pool in shutdown always reports kShuttingDown, even
+  /// when the queue is also full — the terminal condition dominates the
+  /// transient one.
+  [[nodiscard]] SubmitStatus try_submit(JobRequest request, JobHandle& out);
 
   /// Stops accepting work and resolves everything in flight according to
   /// `mode`, then joins the workers. Idempotent; concurrent callers block

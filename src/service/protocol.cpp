@@ -1,0 +1,369 @@
+#include "service/protocol.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <istream>
+#include <ostream>
+
+namespace dts {
+namespace {
+
+/// Reads one line bounded by `max_bytes`. Returns false on EOF with no
+/// characters read. An overlong line drains to its newline (bounded
+/// memory against hostile input) and throws.
+bool read_line(std::istream& in, std::size_t max_bytes, std::string& out) {
+  out.clear();
+  int c = in.get();
+  if (c == std::char_traits<char>::eof()) return false;
+  while (c != std::char_traits<char>::eof() && c != '\n') {
+    if (out.size() >= max_bytes) {
+      while (c != std::char_traits<char>::eof() && c != '\n') c = in.get();
+      throw ProtocolError("line exceeds " + std::to_string(max_bytes) +
+                          " bytes");
+    }
+    out.push_back(static_cast<char>(c));
+    c = in.get();
+  }
+  if (!out.empty() && out.back() == '\r') out.pop_back();
+  return true;
+}
+
+/// Splits on single spaces; empty tokens (doubled spaces, leading or
+/// trailing space) are malformed — the format is machine-generated, so
+/// strictness costs nothing and keeps the fuzz surface small.
+std::vector<std::string> split_tokens(const std::string& line) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= line.size()) {
+    const std::size_t space = line.find(' ', start);
+    const std::size_t end = space == std::string::npos ? line.size() : space;
+    if (end == start) throw ProtocolError("empty token in: " + line);
+    out.push_back(line.substr(start, end - start));
+    if (space == std::string::npos) break;
+    start = space + 1;
+  }
+  return out;
+}
+
+double parse_double(const std::string& token, const char* what) {
+  double value = 0.0;
+  const auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), value);
+  if (ec != std::errc{} || ptr != token.data() + token.size() ||
+      !std::isfinite(value)) {
+    throw ProtocolError(std::string(what) + ": bad number '" + token + "'");
+  }
+  return value;
+}
+
+std::uint64_t parse_u64(const std::string& token, const char* what) {
+  std::uint64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), value);
+  if (ec != std::errc{} || ptr != token.data() + token.size()) {
+    throw ProtocolError(std::string(what) + ": bad count '" + token + "'");
+  }
+  return value;
+}
+
+std::string format_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+/// Consumes input until an `end` line or EOF so the next frame starts
+/// clean. Line contents are discarded unbuffered (hostile lines never
+/// accumulate).
+void resync(std::istream& in) {
+  std::string line;
+  int c = in.get();
+  while (c != std::char_traits<char>::eof()) {
+    if (c == '\n') {
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line == "end") return;
+      line.clear();
+    } else if (line.size() < 8) {
+      line.push_back(static_cast<char>(c));
+    } else {
+      line.push_back('#');  // poisons the comparison; size stays bounded
+      line.erase(4, line.size() - 8);
+    }
+    c = in.get();
+  }
+}
+
+/// Parses from the frame-header line through the `end` line. Throws
+/// mid-frame on malformed content — the caller resyncs. Structural
+/// checks that need the whole frame live in parse_request_frame so their
+/// errors are raised with the frame already consumed (resyncing again
+/// would eat the next frame).
+WireRequest parse_request_headers(std::istream& in,
+                                  const ProtocolLimits& limits,
+                                  const std::string& first_line) {
+  const std::vector<std::string> head = split_tokens(first_line);
+  if (head.size() != 3 || head[0] != "dts1") {
+    throw ProtocolError("bad frame header: " + first_line);
+  }
+  WireRequest req;
+  if (head[1] == "solve") {
+    req.verb = WireRequest::Verb::kSolve;
+  } else if (head[1] == "stats") {
+    req.verb = WireRequest::Verb::kStats;
+  } else if (head[1] == "ping") {
+    req.verb = WireRequest::Verb::kPing;
+  } else if (head[1] == "quit") {
+    req.verb = WireRequest::Verb::kQuit;
+  } else {
+    throw ProtocolError("unknown verb: " + head[1]);
+  }
+  req.id = head[2];
+
+  bool have_trace = false;
+  std::string line;
+  for (std::size_t n_headers = 0;; ++n_headers) {
+    if (n_headers > limits.max_header_lines) {
+      throw ProtocolError("more than " +
+                          std::to_string(limits.max_header_lines) +
+                          " header lines");
+    }
+    if (!read_line(in, limits.max_line_bytes, line)) {
+      throw ProtocolError("stream ended mid-frame (missing 'end')");
+    }
+    if (line == "end") break;
+    const std::vector<std::string> tokens = split_tokens(line);
+    const std::string& key = tokens[0];
+    if (req.verb != WireRequest::Verb::kSolve) {
+      throw ProtocolError("unexpected header for '" + head[1] + "': " + line);
+    }
+    if (key == "solver" && tokens.size() == 2) {
+      req.solver = tokens[1];
+    } else if (key == "capacity" && tokens.size() == 2) {
+      req.capacity = parse_double(tokens[1], "capacity");
+    } else if (key == "capacity-factor" && tokens.size() == 2) {
+      req.capacity_factor = parse_double(tokens[1], "capacity-factor");
+    } else if (key == "machine" && tokens.size() == 2) {
+      req.machine = tokens[1];
+    } else if (key == "seed" && tokens.size() == 2) {
+      req.seed = parse_u64(tokens[1], "seed");
+    } else if (key == "batch" && tokens.size() == 2) {
+      req.batch = parse_u64(tokens[1], "batch");
+    } else if (key == "no-cache" && tokens.size() == 1) {
+      req.no_cache = true;
+    } else if (key == "trace" && tokens.size() == 2) {
+      if (have_trace) throw ProtocolError("duplicate trace payload");
+      const std::uint64_t n_bytes = parse_u64(tokens[1], "trace");
+      if (n_bytes > limits.max_trace_bytes) {
+        throw ProtocolError("trace payload of " + tokens[1] +
+                            " bytes exceeds limit of " +
+                            std::to_string(limits.max_trace_bytes));
+      }
+      req.trace_text.resize(static_cast<std::size_t>(n_bytes));
+      in.read(req.trace_text.data(),
+              static_cast<std::streamsize>(req.trace_text.size()));
+      if (static_cast<std::uint64_t>(in.gcount()) != n_bytes) {
+        throw ProtocolError("stream ended inside trace payload");
+      }
+      have_trace = true;
+    } else {
+      throw ProtocolError("bad header line: " + line);
+    }
+  }
+  return req;
+}
+
+WireRequest parse_request_frame(std::istream& in, const ProtocolLimits& limits,
+                                const std::string& first_line) {
+  WireRequest req;
+  try {
+    req = parse_request_headers(in, limits, first_line);
+  } catch (const ProtocolError&) {
+    resync(in);  // mid-frame failure: skip to the next `end`
+    throw;
+  }
+  // From here the frame is fully consumed (its `end` included): whole-
+  // frame validation must not resync or it would eat the next frame.
+  if (req.verb == WireRequest::Verb::kSolve) {
+    if (req.trace_text.empty()) {
+      throw ProtocolError("solve frame without trace payload");
+    }
+    if (req.capacity.has_value() == req.capacity_factor.has_value()) {
+      throw ProtocolError(
+          "solve frame needs exactly one of capacity / capacity-factor");
+    }
+  }
+  return req;
+}
+
+}  // namespace
+
+std::optional<WireRequest> read_request(std::istream& in,
+                                        const ProtocolLimits& limits) {
+  std::string line;
+  for (;;) {  // skip blank lines between frames
+    try {
+      if (!read_line(in, limits.max_line_bytes, line)) return std::nullopt;
+    } catch (const ProtocolError&) {
+      resync(in);
+      throw;
+    }
+    if (!line.empty()) break;
+  }
+  return parse_request_frame(in, limits, line);
+}
+
+std::string to_string(WireResponse::Status status) {
+  switch (status) {
+    case WireResponse::Status::kOk: return "ok";
+    case WireResponse::Status::kShed: return "shed";
+    case WireResponse::Status::kDraining: return "draining";
+    case WireResponse::Status::kError: return "error";
+  }
+  return "error";
+}
+
+std::string to_string(WireResponse::CacheOutcome outcome) {
+  switch (outcome) {
+    case WireResponse::CacheOutcome::kHit: return "hit";
+    case WireResponse::CacheOutcome::kMiss: return "miss";
+    case WireResponse::CacheOutcome::kCoalesced: return "coalesced";
+    case WireResponse::CacheOutcome::kBypass: return "bypass";
+  }
+  return "miss";
+}
+
+void write_response(std::ostream& out, const WireResponse& response) {
+  out << "dts1 response " << response.id << ' ' << to_string(response.status)
+      << '\n';
+  switch (response.status) {
+    case WireResponse::Status::kOk:
+      if (!response.winner.empty()) {
+        out << "cache " << to_string(response.cache) << '\n';
+        out << "winner " << response.winner << '\n';
+        out << "makespan " << format_double(response.makespan) << '\n';
+        out << "evaluations " << response.evaluations << '\n';
+        out << "order";
+        for (std::uint32_t id : response.order) out << ' ' << id;
+        out << '\n';
+        out << "schedule " << response.schedule.size() << '\n';
+        for (const auto& [comm, comp] : response.schedule) {
+          out << format_double(comm) << ' ' << format_double(comp) << '\n';
+        }
+      }
+      for (const std::string& extra : response.extra) out << extra << '\n';
+      break;
+    case WireResponse::Status::kShed:
+      out << "reason " << response.shed_reason << '\n';
+      break;
+    case WireResponse::Status::kDraining:
+      break;
+    case WireResponse::Status::kError: {
+      std::string message = response.error.empty() ? "request failed"
+                                                   : response.error;
+      for (char& c : message) {
+        if (c == '\n' || c == '\r') c = ' ';
+      }
+      out << "message " << message << '\n';
+      break;
+    }
+  }
+  out << "end\n";
+}
+
+std::optional<WireResponse> read_response(std::istream& in,
+                                          const ProtocolLimits& limits) {
+  std::string line;
+  for (;;) {
+    if (!read_line(in, limits.max_line_bytes, line)) return std::nullopt;
+    if (!line.empty()) break;
+  }
+  const std::vector<std::string> head = split_tokens(line);
+  if (head.size() != 4 || head[0] != "dts1" || head[1] != "response") {
+    throw ProtocolError("bad response header: " + line);
+  }
+  WireResponse res;
+  res.id = head[2];
+  if (head[3] == "ok") {
+    res.status = WireResponse::Status::kOk;
+  } else if (head[3] == "shed") {
+    res.status = WireResponse::Status::kShed;
+  } else if (head[3] == "draining") {
+    res.status = WireResponse::Status::kDraining;
+  } else if (head[3] == "error") {
+    res.status = WireResponse::Status::kError;
+  } else {
+    throw ProtocolError("unknown response status: " + head[3]);
+  }
+
+  for (std::size_t n_headers = 0;; ++n_headers) {
+    if (n_headers > limits.max_header_lines) {
+      throw ProtocolError("more than " +
+                          std::to_string(limits.max_header_lines) +
+                          " response header lines");
+    }
+    if (!read_line(in, limits.max_line_bytes, line)) {
+      throw ProtocolError("stream ended mid-response (missing 'end')");
+    }
+    if (line == "end") break;
+    // `message` carries free-form text (e.g. the offending input echoed
+    // back); parse it as a raw remainder, not as strict tokens.
+    if (line.rfind("message ", 0) == 0) {
+      res.error = line.substr(8);
+      continue;
+    }
+    const std::vector<std::string> tokens = split_tokens(line);
+    const std::string& key = tokens[0];
+    if (key == "cache" && tokens.size() == 2) {
+      if (tokens[1] == "hit") {
+        res.cache = WireResponse::CacheOutcome::kHit;
+      } else if (tokens[1] == "miss") {
+        res.cache = WireResponse::CacheOutcome::kMiss;
+      } else if (tokens[1] == "coalesced") {
+        res.cache = WireResponse::CacheOutcome::kCoalesced;
+      } else if (tokens[1] == "bypass") {
+        res.cache = WireResponse::CacheOutcome::kBypass;
+      } else {
+        throw ProtocolError("unknown cache outcome: " + tokens[1]);
+      }
+    } else if (key == "winner" && tokens.size() == 2) {
+      res.winner = tokens[1];
+    } else if (key == "makespan" && tokens.size() == 2) {
+      res.makespan = parse_double(tokens[1], "makespan");
+    } else if (key == "evaluations" && tokens.size() == 2) {
+      res.evaluations = parse_u64(tokens[1], "evaluations");
+    } else if (key == "order") {
+      res.order.clear();
+      for (std::size_t i = 1; i < tokens.size(); ++i) {
+        res.order.push_back(
+            static_cast<std::uint32_t>(parse_u64(tokens[i], "order")));
+      }
+    } else if (key == "schedule" && tokens.size() == 2) {
+      const std::uint64_t n = parse_u64(tokens[1], "schedule");
+      if (n > limits.max_trace_bytes) {
+        throw ProtocolError("schedule length exceeds limits");
+      }
+      res.schedule.clear();
+      res.schedule.reserve(static_cast<std::size_t>(n));
+      for (std::uint64_t i = 0; i < n; ++i) {
+        if (!read_line(in, limits.max_line_bytes, line)) {
+          throw ProtocolError("stream ended inside schedule block");
+        }
+        const std::vector<std::string> pair = split_tokens(line);
+        if (pair.size() != 2) {
+          throw ProtocolError("bad schedule line: " + line);
+        }
+        res.schedule.emplace_back(parse_double(pair[0], "schedule"),
+                                  parse_double(pair[1], "schedule"));
+      }
+    } else if (key == "reason" && tokens.size() == 2) {
+      res.shed_reason = tokens[1];
+    } else {
+      res.extra.push_back(line);
+    }
+  }
+  return res;
+}
+
+}  // namespace dts

@@ -1,0 +1,186 @@
+#include "service/serve.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <streambuf>
+#include <utility>
+
+namespace dts {
+
+ServeStats serve_stream(SolverService& service, std::istream& in,
+                        std::ostream& out, const ProtocolLimits& limits) {
+  ServeStats stats;
+  for (;;) {
+    WireRequest request;
+    try {
+      std::optional<WireRequest> frame = read_request(in, limits);
+      if (!frame) break;  // clean EOF
+      request = std::move(*frame);
+    } catch (const ProtocolError& e) {
+      ++stats.protocol_errors;
+      WireResponse error;
+      error.status = WireResponse::Status::kError;
+      error.id = "-";  // the frame never got far enough to carry one
+      error.error = e.what();
+      write_response(out, error);
+      out.flush();
+      if (!in.good() || !out.good()) break;
+      continue;
+    }
+    ++stats.frames;
+    write_response(out, service.handle_wire(request));
+    out.flush();
+    if (request.verb == WireRequest::Verb::kQuit) {
+      stats.saw_quit = true;
+      break;
+    }
+    if (!out.good()) break;  // client went away; stop serving the corpse
+  }
+  return stats;
+}
+
+namespace {
+
+/// A std::streambuf over a connected socket fd — buffered both ways, no
+/// ownership of the fd. Lets the per-connection pump reuse serve_stream
+/// verbatim over iostreams.
+class FdStreamBuf final : public std::streambuf {
+ public:
+  explicit FdStreamBuf(int fd) : fd_(fd) {
+    setg(in_.data(), in_.data(), in_.data());
+    setp(out_.data(), out_.data() + out_.size());
+  }
+
+ protected:
+  int_type underflow() override {
+    if (gptr() < egptr()) return traits_type::to_int_type(*gptr());
+    const ssize_t n = ::read(fd_, in_.data(), in_.size());
+    if (n <= 0) return traits_type::eof();
+    setg(in_.data(), in_.data(), in_.data() + n);
+    return traits_type::to_int_type(*gptr());
+  }
+
+  int_type overflow(int_type ch) override {
+    if (flush_buffer() < 0) return traits_type::eof();
+    if (!traits_type::eq_int_type(ch, traits_type::eof())) {
+      *pptr() = traits_type::to_char_type(ch);
+      pbump(1);
+    }
+    return traits_type::not_eof(ch);
+  }
+
+  int sync() override { return flush_buffer() < 0 ? -1 : 0; }
+
+ private:
+  int flush_buffer() {
+    const char* p = pbase();
+    while (p < pptr()) {
+      const ssize_t n = ::write(fd_, p, static_cast<std::size_t>(pptr() - p));
+      if (n <= 0) return -1;
+      p += n;
+    }
+    setp(out_.data(), out_.data() + out_.size());
+    return 0;
+  }
+
+  int fd_;
+  std::array<char, 8192> in_{};
+  std::array<char, 8192> out_{};
+};
+
+}  // namespace
+
+SocketServer::SocketServer(SolverService& service, std::string path,
+                           Options options)
+    : service_(service), path_(std::move(path)), options_(options) {
+  if (path_.size() >= sizeof(sockaddr_un{}.sun_path)) {
+    throw std::runtime_error("SocketServer: socket path too long: " + path_);
+  }
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    throw std::runtime_error(std::string("SocketServer: socket(): ") +
+                             std::strerror(errno));
+  }
+  ::unlink(path_.c_str());
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path_.c_str(), sizeof(addr.sun_path) - 1);
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) < 0 ||
+      ::listen(listen_fd_, 16) < 0) {
+    const std::string detail = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("SocketServer: bind/listen on " + path_ + ": " +
+                             detail);
+  }
+}
+
+SocketServer::SocketServer(SolverService& service, std::string path)
+    : SocketServer(service, std::move(path), Options()) {}
+
+SocketServer::~SocketServer() { stop(); }
+
+void SocketServer::start() {
+  if (accept_thread_.joinable() || listen_fd_ < 0) return;
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+void SocketServer::accept_loop() {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, 100);  // wakes to observe stop()
+    if (ready <= 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    const std::lock_guard<std::mutex> lock(threads_mutex_);
+    if (connections_.size() >= options_.max_connections) {
+      // Over the connection bound: shed explicitly rather than letting
+      // the client block on an accept queue that will never progress.
+      FdStreamBuf buf(fd);
+      std::ostream out(&buf);
+      WireResponse shed;
+      shed.status = WireResponse::Status::kShed;
+      shed.id = "-";
+      shed.shed_reason = "admission";
+      write_response(out, shed);
+      out.flush();
+      ::close(fd);
+      continue;
+    }
+    connections_.emplace_back([this, fd] {
+      FdStreamBuf buf(fd);
+      std::istream in(&buf);
+      std::ostream out(&buf);
+      serve_stream(service_, in, out, options_.limits);
+      ::close(fd);
+    });
+  }
+}
+
+void SocketServer::stop() {
+  stopping_.store(true, std::memory_order_relaxed);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::thread> connections;
+  {
+    const std::lock_guard<std::mutex> lock(threads_mutex_);
+    connections.swap(connections_);
+  }
+  for (std::thread& t : connections) t.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    ::unlink(path_.c_str());
+  }
+}
+
+}  // namespace dts

@@ -1,0 +1,84 @@
+#pragma once
+
+/// \file serve.hpp
+/// Transport layer for SolverService: a blocking request/response pump
+/// over any istream/ostream pair (the `dts serve` stdin/stdout mode and
+/// all the tests), plus a local AF_UNIX socket server that runs the same
+/// pump per connection.
+///
+/// Transport failures never take the service down: a malformed frame
+/// costs one error response (the protocol reader resyncs to the next
+/// `end`), a dead connection costs that connection, and `stop()` /
+/// `quit` end things gracefully.
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/protocol.hpp"
+#include "service/service.hpp"
+
+namespace dts {
+
+struct ServeStats {
+  std::uint64_t frames = 0;           ///< Well-formed frames served.
+  std::uint64_t protocol_errors = 0;  ///< Malformed frames answered.
+  bool saw_quit = false;              ///< Pump ended on a quit verb.
+};
+
+/// Serves frames from `in` until EOF or a `quit` frame: parse, dispatch
+/// to the service, write the response, flush. Malformed frames are
+/// answered with an error response on the same stream. Returns pump
+/// statistics.
+ServeStats serve_stream(SolverService& service, std::istream& in,
+                        std::ostream& out, const ProtocolLimits& limits = {});
+
+/// A local-socket front-end: accepts connections on an AF_UNIX stream
+/// socket and runs serve_stream on each, one thread per connection, the
+/// connection count bounded by `max_connections` (excess connections are
+/// answered with a shed response and closed). `stop()` stops accepting,
+/// wakes the accept loop, and joins every connection thread; the
+/// destructor calls it.
+class SocketServer {
+ public:
+  struct Options {
+    std::size_t max_connections = 64;
+    ProtocolLimits limits;
+  };
+
+  /// Binds and listens on `path` (an existing socket file is replaced).
+  /// Throws std::runtime_error when the socket cannot be created/bound.
+  SocketServer(SolverService& service, std::string path, Options options);
+  SocketServer(SolverService& service, std::string path);
+  ~SocketServer();
+
+  SocketServer(const SocketServer&) = delete;
+  SocketServer& operator=(const SocketServer&) = delete;
+
+  /// Starts the accept loop (idempotent).
+  void start();
+
+  /// Stops accepting, closes the listening socket, joins all threads,
+  /// removes the socket file (idempotent).
+  void stop();
+
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+ private:
+  void accept_loop();
+
+  SolverService& service_;
+  const std::string path_;
+  const Options options_;
+  int listen_fd_ = -1;
+  std::atomic<bool> stopping_{false};
+  std::thread accept_thread_;
+  std::mutex threads_mutex_;
+  std::vector<std::thread> connections_;
+};
+
+}  // namespace dts

@@ -11,6 +11,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdint>
 #include <string>
 #include <thread>
 #include <vector>
@@ -429,6 +430,105 @@ TEST(SolverPool, HandleContract) {
   EXPECT_TRUE(survivor.wait().has_result);
   survivor.cancel();  // no-op on a terminal job, must not crash
   EXPECT_EQ(survivor.status(), JobStatus::kDone);
+}
+
+TEST(SolverPool, TrySubmitStatusDistinguishesFullFromShutdown) {
+  SolverPoolOptions options;
+  options.workers = 1;
+  options.queue_capacity = 1;
+  SolverPool pool(options);
+  const JobHandle running = pool.submit(long_running_job());
+  wait_until_running(running);
+
+  // Worker busy, one slot: accepted, then refused as *transient* — the
+  // handle stays untouched on refusal.
+  JobHandle queued;
+  ASSERT_EQ(pool.try_submit(long_running_job(), queued),
+            SubmitStatus::kAccepted);
+  JobHandle untouched;
+  EXPECT_EQ(pool.try_submit(long_running_job(), untouched),
+            SubmitStatus::kQueueFull);
+  EXPECT_FALSE(untouched.valid());
+
+  running.cancel();
+  queued.cancel();
+  pool.shutdown(DrainMode::kCancel);
+
+  // After shutdown the refusal is *terminal* — kShuttingDown, never
+  // kQueueFull, even though the queue is also empty now.
+  EXPECT_EQ(pool.try_submit(long_running_job(), untouched),
+            SubmitStatus::kShuttingDown);
+  EXPECT_FALSE(untouched.valid());
+}
+
+TEST(SolverPool, LateSubmitRacingDrainShutdownIsDeterministic) {
+  // Regression: a submit racing shutdown(kDrain) must either be accepted
+  // (and then run to completion under the drain) or be refused with the
+  // terminal kShuttingDown status — never throw, never lose the job, and
+  // never resolve an accepted job as anything but done.
+  constexpr std::size_t kProducers = 4;
+  constexpr std::size_t kJobsPerProducer = 24;
+
+  SolverPoolOptions options;
+  options.workers = 2;
+  options.queue_capacity = 256;  // the race under test is shutdown, not full
+  SolverPool pool(options);
+
+  std::atomic<bool> start{false};
+  std::atomic<std::uint64_t> accepted{0};
+  std::atomic<std::uint64_t> refused{0};
+  std::vector<std::vector<JobHandle>> handles(kProducers);
+  std::vector<std::thread> producers;
+  for (std::size_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      Rng rng(900 + p);
+      while (!start.load()) std::this_thread::yield();
+      for (std::size_t k = 0; k < kJobsPerProducer; ++k) {
+        JobRequest job;
+        job.request.instance = testing::random_instance(rng, 6 + rng.index(6));
+        job.request.capacity = 1.5 * job.request.instance.min_capacity();
+        job.solver = "auto";
+        job.options = quiet_options();
+        job.tag = std::to_string(p) + "-" + std::to_string(k);
+        JobHandle handle;
+        switch (pool.try_submit(std::move(job), handle)) {
+          case SubmitStatus::kAccepted:
+            accepted.fetch_add(1);
+            handles[p].push_back(std::move(handle));
+            break;
+          case SubmitStatus::kShuttingDown:
+            refused.fetch_add(1);
+            EXPECT_FALSE(handle.valid());
+            break;
+          case SubmitStatus::kQueueFull:
+            ADD_FAILURE() << "queue-full on a 256-slot queue";
+            break;
+        }
+      }
+    });
+  }
+
+  start.store(true);
+  pool.shutdown(DrainMode::kDrain);  // races the producers by design
+  for (std::thread& t : producers) t.join();
+
+  EXPECT_EQ(accepted.load() + refused.load(), kProducers * kJobsPerProducer);
+  // After shutdown() returned, every accepted job is already resolved —
+  // drained, not cancelled or lost.
+  std::size_t resolved = 0;
+  for (const std::vector<JobHandle>& batch : handles) {
+    for (const JobHandle& handle : batch) {
+      EXPECT_TRUE(handle.terminal());
+      EXPECT_EQ(handle.status(), JobStatus::kDone);
+      EXPECT_TRUE(handle.wait().has_result);
+      ++resolved;
+    }
+  }
+  EXPECT_EQ(resolved, accepted.load());
+  // And late submits keep refusing deterministically.
+  JobHandle late;
+  EXPECT_EQ(pool.try_submit(long_running_job(), late),
+            SubmitStatus::kShuttingDown);
 }
 
 }  // namespace

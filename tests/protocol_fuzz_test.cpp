@@ -1,0 +1,249 @@
+/// Fuzz-style negative tests for the `dts serve` wire protocol (in the
+/// style of tests/trace_fuzz_test.cpp): truncated frames, oversized
+/// payloads and header floods, interleaved garbage, CRLF endings and
+/// random byte soup. Every malformed frame must raise a clean
+/// ProtocolError with the reader resynced to the next `end` (one bad
+/// request costs one error response, never a desynced connection), and a
+/// live serve_stream session must answer every malformed frame with a
+/// well-formed error response — no crash, no hang, no silent misparse.
+/// The suite name matches the `Service` CI filter so it also runs under
+/// TSan alongside the service tests (ASan/UBSan run the whole suite).
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "service/protocol.hpp"
+#include "service/serve.hpp"
+#include "service/service.hpp"
+#include "support/rng.hpp"
+
+namespace dts {
+namespace {
+
+ProtocolError request_failure(const std::string& text,
+                              const ProtocolLimits& limits = {}) {
+  std::istringstream in(text);
+  try {
+    (void)read_request(in, limits);
+  } catch (const ProtocolError& e) {
+    return e;
+  }
+  ADD_FAILURE() << "expected ProtocolError for:\n" << text;
+  return ProtocolError("did not throw");
+}
+
+/// The resync contract: after a malformed frame throws, the same stream
+/// must yield the next frame intact.
+void expect_error_then_ping(const std::string& bad_frame) {
+  std::istringstream in(bad_frame + "dts1 ping after\nend\n");
+  EXPECT_THROW((void)read_request(in), ProtocolError) << bad_frame;
+  std::optional<WireRequest> next;
+  ASSERT_NO_THROW(next = read_request(in)) << bad_frame;
+  ASSERT_TRUE(next.has_value()) << bad_frame;
+  EXPECT_EQ(next->verb, WireRequest::Verb::kPing) << bad_frame;
+  EXPECT_EQ(next->id, "after") << bad_frame;
+}
+
+TEST(ServiceProtocolFuzz, TruncatedFramesThrowCleanly) {
+  for (const char* text :
+       {"dts1 solve a\n",                        // EOF before any header
+        "dts1 solve a",                          // EOF mid-line
+        "dts1 solve a\ncapacity 1\n",            // EOF before `end`
+        "dts1 solve a\ntrace 50\nshort",         // EOF inside the payload
+        "dts1 solve a\ncapacity 1\ntrace 5\nabc" /* payload short */}) {
+    (void)request_failure(text);
+  }
+}
+
+TEST(ServiceProtocolFuzz, BadFrameHeadersThrowAndResync) {
+  for (const char* header :
+       {"garbage here now", "dts2 solve a", "dts1 bogus a", "dts1 solve",
+        "dts1 solve a extra", "dts1  solve a", " dts1 solve a",
+        "dts1 solve a "}) {
+    expect_error_then_ping(std::string(header) + "\nend\n");
+  }
+}
+
+TEST(ServiceProtocolFuzz, MalformedSolveHeadersThrowAndResync) {
+  // Each bad header inside an otherwise plausible solve frame; the tiny
+  // one-byte payload keeps the protocol layer honest (it never parses
+  // trace text, only counts bytes).
+  for (const char* header :
+       {"solver", "capacity abc", "capacity inf", "capacity nan",
+        "capacity 1e400", "capacity 1 2", "capacity-factor two", "seed -1",
+        "seed 1.5", "batch 0x10", "no-cache yes", "frobnicate 1",
+        "trace -1", "trace abc"}) {
+    expect_error_then_ping("dts1 solve a\n" + std::string(header) +
+                           "\ntrace 1\nX\nend\n");
+  }
+}
+
+TEST(ServiceProtocolFuzz, SolveFrameStructuralErrors) {
+  // No trace payload at all.
+  expect_error_then_ping("dts1 solve a\ncapacity 1\nend\n");
+  // Neither capacity form, and both at once.
+  expect_error_then_ping("dts1 solve a\ntrace 1\nX\nend\n");
+  expect_error_then_ping(
+      "dts1 solve a\ncapacity 1\ncapacity-factor 1.5\ntrace 1\nX\nend\n");
+  // Duplicate payload.
+  expect_error_then_ping(
+      "dts1 solve a\ncapacity 1\ntrace 1\nX\ntrace 1\nY\nend\n");
+}
+
+TEST(ServiceProtocolFuzz, HeadersOnHeaderlessVerbsThrowAndResync) {
+  expect_error_then_ping("dts1 ping p\ncapacity 1\nend\n");
+  expect_error_then_ping("dts1 stats s\nsolver auto\nend\n");
+  expect_error_then_ping("dts1 quit q\ntrace 1\nX\nend\n");
+}
+
+TEST(ServiceProtocolFuzz, OversizedInputsAreBoundedErrors) {
+  ProtocolLimits tight;
+  tight.max_line_bytes = 32;
+  tight.max_header_lines = 4;
+  tight.max_trace_bytes = 100;
+
+  // A header line over the byte bound drains to its newline and throws —
+  // and the reader still resyncs for the next frame.
+  {
+    const std::string long_line(200, 'a');
+    std::istringstream in("dts1 solve a\n" + long_line +
+                          "\nend\ndts1 ping after\nend\n");
+    EXPECT_THROW((void)read_request(in, tight), ProtocolError);
+    std::optional<WireRequest> next;
+    ASSERT_NO_THROW(next = read_request(in, tight));
+    ASSERT_TRUE(next.has_value());
+    EXPECT_EQ(next->verb, WireRequest::Verb::kPing);
+  }
+
+  // Header flood past max_header_lines.
+  {
+    std::string frame = "dts1 solve a\n";
+    for (int i = 0; i < 8; ++i) frame += "solver x\n";
+    frame += "end\n";
+    (void)request_failure(frame, tight);
+  }
+
+  // Declared trace size over the limit is refused before any buffering.
+  (void)request_failure("dts1 solve a\ncapacity 1\ntrace 101\n", tight);
+  // Absurd declared sizes under the default limits, including u64
+  // overflow in the count itself.
+  (void)request_failure(
+      "dts1 solve a\ncapacity 1\ntrace 18446744073709551615\n");
+  (void)request_failure(
+      "dts1 solve a\ncapacity 1\ntrace 99999999999999999999999\n");
+}
+
+TEST(ServiceProtocolFuzz, CrlfAndBlankLinesAreTolerated) {
+  // CRLF endings are stripped per line (shell here-docs and Windows
+  // clients), and blank lines between frames are skipped.
+  std::istringstream in("dts1 ping p\r\nend\r\n\n\ndts1 quit q\nend\n");
+  std::optional<WireRequest> ping = read_request(in);
+  ASSERT_TRUE(ping.has_value());
+  EXPECT_EQ(ping->verb, WireRequest::Verb::kPing);
+  std::optional<WireRequest> quit = read_request(in);
+  ASSERT_TRUE(quit.has_value());
+  EXPECT_EQ(quit->verb, WireRequest::Verb::kQuit);
+  EXPECT_FALSE(read_request(in).has_value());  // clean EOF
+}
+
+TEST(ServiceProtocolFuzz, TruncatedResponsesThrowCleanly) {
+  for (const char* text :
+       {"dts1 response a ok\n",                      // EOF before `end`
+        "dts1 response a ok\nschedule 3\n1 2\n",     // EOF inside block
+        "dts1 response a ok\nschedule 3\n1 2\nend\n",  // block cut short
+        "dts1 response a maybe\nend\n",              // unknown status
+        "dts1 response a\nend\n"}) {
+    std::istringstream in(text);
+    EXPECT_THROW((void)read_response(in), ProtocolError) << text;
+  }
+}
+
+TEST(ServiceProtocolFuzz, LiveSessionAnswersGarbageWithErrorResponses) {
+  ServiceOptions options;
+  options.workers = 1;
+  SolverService service(options);
+
+  // Interleave well-formed frames with garbage on one stream: every
+  // garbage frame costs exactly one error response and nothing else.
+  std::ostringstream session;
+  session << "dts1 ping p\nend\n"
+          << "total garbage frame\nwith more lines\nend\n"
+          << "dts1 solve s\ncapacity abc\ntrace 1\nX\nend\n"
+          << "dts1 stats t\nend\n"
+          << "dts1 quit q\nend\n";
+  std::istringstream in(session.str());
+  std::ostringstream out;
+  const ServeStats stats = serve_stream(service, in, out);
+  EXPECT_EQ(stats.frames, 3u);  // ping, stats, quit
+  EXPECT_EQ(stats.protocol_errors, 2u);
+  EXPECT_TRUE(stats.saw_quit);
+
+  std::istringstream replies(out.str());
+  const char* expected[] = {"ok", "error", "error", "ok", "ok"};
+  for (const char* status : expected) {
+    std::optional<WireResponse> response;
+    ASSERT_NO_THROW(response = read_response(replies));
+    ASSERT_TRUE(response.has_value());
+    EXPECT_EQ(to_string(response->status), status);
+    if (response->status == WireResponse::Status::kError) {
+      EXPECT_FALSE(response->error.empty());
+    }
+  }
+  EXPECT_FALSE(read_response(replies).has_value());  // nothing extra
+}
+
+TEST(ServiceProtocolFuzz, RandomByteSoupNeverCrashesTheReader) {
+  Rng rng(20260808);
+  for (int round = 0; round < 300; ++round) {
+    std::string text;
+    const std::size_t len = rng.index(500);
+    for (std::size_t i = 0; i < len; ++i) {
+      // Protocol-ish tokens and separators: enough structure to reach
+      // every parser path, enough noise to break all of them.
+      const char alphabet[] = "dts1 solverespncaitymchnbq0123456789.e+-\n\r ";
+      text += alphabet[rng.index(sizeof(alphabet) - 1)];
+    }
+    std::istringstream in(text);
+    // Each call either consumes at least one line or hits EOF, so this
+    // terminates; the only allowed outcomes are a frame, an error, EOF.
+    for (;;) {
+      try {
+        if (!read_request(in).has_value()) break;
+      } catch (const ProtocolError&) {
+      }
+    }
+  }
+}
+
+TEST(ServiceProtocolFuzz, RandomByteSoupSessionsAlwaysAnswerWellFormed) {
+  ServiceOptions options;
+  options.workers = 1;
+  SolverService service(options);
+
+  Rng rng(20260809);
+  for (int round = 0; round < 60; ++round) {
+    std::string text;
+    const std::size_t len = rng.index(400);
+    for (std::size_t i = 0; i < len; ++i) {
+      const char alphabet[] = "dts1 solverespncaitymchnbq0123456789.e+-\n ";
+      text += alphabet[rng.index(sizeof(alphabet) - 1)];
+    }
+    text += "\ndts1 quit q\nend\n";  // bounded session
+    std::istringstream in(text);
+    std::ostringstream out;
+    (void)serve_stream(service, in, out);
+    // Whatever went in, what came out must parse as response frames.
+    std::istringstream replies(out.str());
+    for (;;) {
+      std::optional<WireResponse> response;
+      ASSERT_NO_THROW(response = read_response(replies)) << text;
+      if (!response.has_value()) break;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dts

@@ -1,0 +1,164 @@
+/// Concurrency soak for the solver service: many client threads hammer a
+/// small pool with a duplicate-heavy mix of shapes (plus a cache-bypass
+/// minority), and afterwards everything must reconcile exactly — no lost
+/// or duplicate responses, every response ok, responses for the same
+/// cache key bitwise identical, exactly one miss and one insert per
+/// distinct key (the single-flight guarantee), and
+/// hits + misses + coalesced == cached-path responses. Runs under TSan
+/// via the `Service` CI filter.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/simulate.hpp"
+#include "service/service.hpp"
+#include "support/rng.hpp"
+#include "test_util.hpp"
+
+namespace dts {
+namespace {
+
+TEST(ServiceSoak, DuplicateHeavyConcurrentLoadReconcilesExactly) {
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kPerThread = 40;
+  constexpr std::size_t kShapes = 6;
+  constexpr std::uint64_t kAltSeed = 7;
+
+  ServiceOptions options;
+  options.workers = 2;  // small pool: plenty of in-flight overlap
+  options.queue_capacity = kThreads * kPerThread;  // nothing may shed
+  options.max_inflight = kThreads * kPerThread;
+  SolverService service(options);
+
+  // A duplicate-heavy shape pool; every thread cycles through it with a
+  // different stride so identical requests overlap in flight.
+  Rng rng(20260810);
+  std::vector<Instance> shapes;
+  std::vector<Mem> capacities;
+  for (std::size_t s = 0; s < kShapes; ++s) {
+    shapes.push_back(testing::random_instance(rng, 8 + 2 * s));
+    capacities.push_back(1.5 * shapes.back().min_capacity());
+  }
+
+  struct Tagged {
+    std::string key;  // "<shape>/<seed>" or "bypass/<shape>"
+    ServiceResponse response;
+  };
+  std::vector<std::vector<Tagged>> per_thread(kThreads);
+
+  std::vector<std::thread> clients;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&, t] {
+      per_thread[t].reserve(kPerThread);
+      for (std::size_t k = 0; k < kPerThread; ++k) {
+        const std::size_t s = (t * 7 + k) % kShapes;
+        ServiceRequest request;
+        request.id = std::to_string(t) + "-" + std::to_string(k);
+        request.instance = shapes[s];
+        request.capacity = capacities[s];
+        Tagged tagged;
+        if (k % 8 == 5) {
+          request.no_cache = true;
+          tagged.key = "bypass/" + std::to_string(s);
+        } else {
+          if (k % 2 == 1) request.seed = kAltSeed;
+          tagged.key = std::to_string(s) + "/" +
+                       std::to_string(k % 2 == 1 ? kAltSeed : 0);
+        }
+        tagged.response = service.handle(request);
+        per_thread[t].push_back(std::move(tagged));
+      }
+    });
+  }
+  for (std::thread& th : clients) th.join();
+
+  // No lost responses, none shed or refused, and per-response outcomes
+  // tally to exactly what the counters claim.
+  constexpr std::size_t kTotal = kThreads * kPerThread;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t coalesced = 0;
+  std::uint64_t bypass = 0;
+  std::map<std::string, std::vector<const ServiceResponse*>> by_key;
+  std::size_t observed = 0;
+  for (const std::vector<Tagged>& batch : per_thread) {
+    ASSERT_EQ(batch.size(), kPerThread);
+    for (const Tagged& tagged : batch) {
+      ++observed;
+      ASSERT_EQ(tagged.response.status, WireResponse::Status::kOk)
+          << tagged.response.id << ": " << tagged.response.error;
+      switch (tagged.response.cache) {
+        case WireResponse::CacheOutcome::kHit: ++hits; break;
+        case WireResponse::CacheOutcome::kMiss: ++misses; break;
+        case WireResponse::CacheOutcome::kCoalesced: ++coalesced; break;
+        case WireResponse::CacheOutcome::kBypass: ++bypass; break;
+      }
+      by_key[tagged.key].push_back(&tagged.response);
+    }
+  }
+  EXPECT_EQ(observed, kTotal);
+
+  const ServiceCounters c = service.counters();
+  EXPECT_EQ(c.received, kTotal);
+  EXPECT_EQ(c.ok, kTotal);
+  EXPECT_EQ(c.shed + c.draining + c.errors, 0u);
+  EXPECT_EQ(c.ok_hit, hits);
+  EXPECT_EQ(c.ok_miss, misses);
+  EXPECT_EQ(c.ok_coalesced, coalesced);
+  EXPECT_EQ(c.ok_bypass, bypass);
+  EXPECT_EQ(c.cache.hits, hits);
+  EXPECT_EQ(c.cache.misses, misses);
+  EXPECT_EQ(c.cache.coalesced, coalesced);
+
+  // The reconciliation identity: every cached-path request is exactly one
+  // of hit / miss / coalesced.
+  EXPECT_EQ(hits + misses + coalesced, kTotal - bypass);
+
+  // Single flight: one miss and one insert per distinct cache key, no
+  // duplicate solves ever (bypass requests never insert).
+  constexpr std::uint64_t kDistinctKeys = kShapes * 2;
+  EXPECT_EQ(misses, kDistinctKeys);
+  EXPECT_EQ(c.cache.inserts, kDistinctKeys);
+  EXPECT_EQ(c.cache_size, kDistinctKeys);
+  EXPECT_EQ(c.cache.evictions, 0u);
+
+  // Within a key, every response is bitwise identical; across the seed
+  // variants of a shape the solves were independent but deterministic.
+  for (const auto& [key, responses] : by_key) {
+    const ServiceResponse& first = *responses.front();
+    for (const ServiceResponse* r : responses) {
+      EXPECT_EQ(r->winner, first.winner) << key;
+      EXPECT_EQ(r->makespan, first.makespan) << key;
+      EXPECT_EQ(r->evaluations, first.evaluations) << key;
+      EXPECT_EQ(r->order, first.order) << key;
+      ASSERT_EQ(r->schedule.size(), first.schedule.size()) << key;
+      for (std::size_t i = 0; i < r->schedule.size(); ++i) {
+        EXPECT_EQ(r->schedule[i].comm_start, first.schedule[i].comm_start);
+        EXPECT_EQ(r->schedule[i].comp_start, first.schedule[i].comp_start);
+      }
+    }
+  }
+
+  // One representative per shape: the served order replays to the served
+  // schedule bit-for-bit and is feasible under the requested capacity.
+  for (std::size_t s = 0; s < kShapes; ++s) {
+    const std::string key = std::to_string(s) + "/0";
+    ASSERT_FALSE(by_key[key].empty());
+    const ServiceResponse& r = *by_key[key].front();
+    const Schedule replay = simulate_order(shapes[s], r.order, capacities[s]);
+    ASSERT_EQ(replay.times().size(), r.schedule.size());
+    for (std::size_t i = 0; i < r.schedule.size(); ++i) {
+      EXPECT_EQ(replay.times()[i].comm_start, r.schedule[i].comm_start);
+      EXPECT_EQ(replay.times()[i].comp_start, r.schedule[i].comp_start);
+    }
+    EXPECT_TRUE(testing::feasible(shapes[s], replay, capacities[s]));
+  }
+}
+
+}  // namespace
+}  // namespace dts

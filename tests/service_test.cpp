@@ -1,0 +1,516 @@
+/// End-to-end tests for the solver service (src/service/): cold-miss /
+/// warm-hit responses byte-identical, single-flight coalescing observed
+/// through the counters, admission-control shedding with explicit
+/// reasons, graceful drain with in-flight work completing, the wire
+/// session pump (solve / stats / ping / quit / malformed frames on one
+/// stream), and the AF_UNIX socket front-end. Runs under TSan as part of
+/// the concurrency gate (the `Service` name filter in CI).
+
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "service/protocol.hpp"
+#include "service/serve.hpp"
+#include "service/service.hpp"
+#include "support/rng.hpp"
+#include "test_util.hpp"
+#include "trace/trace_io.hpp"
+
+namespace dts {
+namespace {
+
+ServiceRequest basic_request(const Instance& inst, std::string id = "r") {
+  ServiceRequest request;
+  request.id = std::move(id);
+  request.instance = inst;
+  request.capacity = 1.5 * inst.min_capacity();
+  return request;
+}
+
+void expect_identical_payload(const ServiceResponse& a,
+                              const ServiceResponse& b) {
+  EXPECT_EQ(a.winner, b.winner);
+  EXPECT_EQ(a.makespan, b.makespan);  // bitwise: no tolerance
+  EXPECT_EQ(a.evaluations, b.evaluations);
+  EXPECT_EQ(a.order, b.order);
+  ASSERT_EQ(a.schedule.size(), b.schedule.size());
+  for (std::size_t i = 0; i < a.schedule.size(); ++i) {
+    EXPECT_EQ(a.schedule[i].comm_start, b.schedule[i].comm_start);
+    EXPECT_EQ(a.schedule[i].comp_start, b.schedule[i].comp_start);
+  }
+}
+
+TEST(Service, ColdMissThenWarmHitAreByteIdentical) {
+  ServiceOptions options;
+  options.workers = 2;
+  SolverService service(options);
+
+  Rng rng(81);
+  const Instance inst = testing::random_instance(rng, 12);
+  const ServiceRequest request = basic_request(inst);
+
+  const ServiceResponse cold = service.handle(request);
+  ASSERT_EQ(cold.status, WireResponse::Status::kOk) << cold.error;
+  EXPECT_EQ(cold.cache, WireResponse::CacheOutcome::kMiss);
+  EXPECT_FALSE(cold.winner.empty());
+  EXPECT_EQ(cold.order.size(), inst.size());
+  EXPECT_EQ(cold.schedule.size(), inst.size());
+
+  const ServiceResponse warm = service.handle(request);
+  ASSERT_EQ(warm.status, WireResponse::Status::kOk) << warm.error;
+  EXPECT_EQ(warm.cache, WireResponse::CacheOutcome::kHit);
+  expect_identical_payload(cold, warm);
+
+  const ServiceCounters c = service.counters();
+  EXPECT_EQ(c.received, 2u);
+  EXPECT_EQ(c.ok, 2u);
+  EXPECT_EQ(c.ok_miss, 1u);
+  EXPECT_EQ(c.ok_hit, 1u);
+  EXPECT_EQ(c.cache.hits, 1u);
+  EXPECT_EQ(c.cache.misses, 1u);
+  EXPECT_EQ(c.cache.inserts, 1u);
+  EXPECT_EQ(c.cache_size, 1u);
+}
+
+TEST(Service, NoCacheBypassesCacheEntirely) {
+  ServiceOptions options;
+  options.workers = 1;
+  SolverService service(options);
+
+  Rng rng(82);
+  ServiceRequest request = basic_request(testing::random_instance(rng, 10));
+  request.no_cache = true;
+
+  const ServiceResponse first = service.handle(request);
+  const ServiceResponse second = service.handle(request);
+  ASSERT_EQ(first.status, WireResponse::Status::kOk) << first.error;
+  ASSERT_EQ(second.status, WireResponse::Status::kOk) << second.error;
+  EXPECT_EQ(first.cache, WireResponse::CacheOutcome::kBypass);
+  EXPECT_EQ(second.cache, WireResponse::CacheOutcome::kBypass);
+  expect_identical_payload(first, second);  // same seed, same solve
+
+  const ServiceCounters c = service.counters();
+  EXPECT_EQ(c.ok_bypass, 2u);
+  EXPECT_EQ(c.cache.hits + c.cache.misses + c.cache.coalesced, 0u);
+  EXPECT_EQ(c.cache_size, 0u);
+}
+
+TEST(Service, BadRequestsYieldErrorResponsesNotThrows) {
+  ServiceOptions options;
+  options.workers = 1;
+  SolverService service(options);
+
+  Rng rng(83);
+  const Instance inst = testing::random_instance(rng, 6);
+
+  ServiceRequest no_capacity;
+  no_capacity.instance = inst;
+  EXPECT_EQ(service.handle(no_capacity).status, WireResponse::Status::kError);
+
+  ServiceRequest both = basic_request(inst);
+  both.capacity_factor = 1.5;
+  EXPECT_EQ(service.handle(both).status, WireResponse::Status::kError);
+
+  ServiceRequest bad_machine = basic_request(inst);
+  bad_machine.machine = "no-such-machine";
+  EXPECT_EQ(service.handle(bad_machine).status, WireResponse::Status::kError);
+
+  ServiceRequest bad_solver = basic_request(inst);
+  bad_solver.solver = "no-such-solver";
+  EXPECT_EQ(service.handle(bad_solver).status, WireResponse::Status::kError);
+
+  const ServiceCounters c = service.counters();
+  EXPECT_EQ(c.received, 4u);
+  EXPECT_EQ(c.errors, 4u);
+  EXPECT_EQ(c.ok + c.shed + c.draining, 0u);
+}
+
+TEST(Service, SingleFlightCoalescesDuplicateInFlightRequests) {
+  std::mutex m;
+  std::condition_variable cv;
+  bool release = false;
+  std::atomic<int> solve_starts{0};
+
+  ServiceOptions options;
+  options.workers = 2;
+  options.on_solve_start = [&] {
+    solve_starts.fetch_add(1);
+    std::unique_lock<std::mutex> lock(m);
+    cv.wait(lock, [&] { return release; });
+  };
+  SolverService service(options);
+
+  Rng rng(84);
+  const Instance inst = testing::random_instance(rng, 10);
+  constexpr std::size_t kFollowers = 4;
+
+  std::vector<ServiceResponse> responses(1 + kFollowers);
+  std::vector<std::thread> clients;
+  clients.emplace_back(
+      [&] { responses[0] = service.handle(basic_request(inst, "lead")); });
+  // The leader registered its flight before the hook parked it; followers
+  // arriving now must coalesce, not queue duplicate solves.
+  while (solve_starts.load() == 0) std::this_thread::yield();
+  for (std::size_t i = 0; i < kFollowers; ++i) {
+    clients.emplace_back([&, i] {
+      responses[1 + i] =
+          service.handle(basic_request(inst, "f" + std::to_string(i)));
+    });
+  }
+  while (service.counters().cache.coalesced < kFollowers) {
+    std::this_thread::yield();
+  }
+  {
+    const std::lock_guard<std::mutex> lock(m);
+    release = true;
+  }
+  cv.notify_all();
+  for (std::thread& t : clients) t.join();
+
+  EXPECT_EQ(solve_starts.load(), 1);  // exactly one solve ran
+  ASSERT_EQ(responses[0].status, WireResponse::Status::kOk)
+      << responses[0].error;
+  EXPECT_EQ(responses[0].cache, WireResponse::CacheOutcome::kMiss);
+  for (std::size_t i = 1; i < responses.size(); ++i) {
+    ASSERT_EQ(responses[i].status, WireResponse::Status::kOk)
+        << responses[i].error;
+    EXPECT_EQ(responses[i].cache, WireResponse::CacheOutcome::kCoalesced);
+    expect_identical_payload(responses[0], responses[i]);
+  }
+
+  const ServiceCounters c = service.counters();
+  EXPECT_EQ(c.ok, 1u + kFollowers);
+  EXPECT_EQ(c.ok_miss, 1u);
+  EXPECT_EQ(c.ok_coalesced, kFollowers);
+  EXPECT_EQ(c.cache.misses, 1u);
+  EXPECT_EQ(c.cache.coalesced, kFollowers);
+  EXPECT_EQ(c.cache.inserts, 1u);
+  EXPECT_EQ(c.cache.hits + c.cache.misses + c.cache.coalesced, c.ok);
+}
+
+TEST(Service, ShedsWithAdmissionReasonWhenPipelineFull) {
+  std::mutex m;
+  std::condition_variable cv;
+  bool release = false;
+  std::atomic<int> solve_starts{0};
+
+  ServiceOptions options;
+  options.workers = 1;
+  options.max_inflight = 1;
+  options.on_solve_start = [&] {
+    solve_starts.fetch_add(1);
+    std::unique_lock<std::mutex> lock(m);
+    cv.wait(lock, [&] { return release; });
+  };
+  SolverService service(options);
+
+  Rng rng(85);
+  const Instance occupant = testing::random_instance(rng, 10);
+  const Instance other = testing::random_instance(rng, 10);
+
+  std::thread leader(
+      [&, r = basic_request(occupant, "lead")] { (void)service.handle(r); });
+  while (solve_starts.load() == 0) std::this_thread::yield();
+
+  // The pipeline slot is taken: the next request is shed at admission,
+  // before it touches cache or pool.
+  const ServiceResponse shed = service.handle(basic_request(other, "late"));
+  EXPECT_EQ(shed.status, WireResponse::Status::kShed);
+  EXPECT_EQ(shed.shed_reason, "admission");
+
+  {
+    const std::lock_guard<std::mutex> lock(m);
+    release = true;
+  }
+  cv.notify_all();
+  leader.join();
+
+  const ServiceCounters c = service.counters();
+  EXPECT_EQ(c.received, 2u);
+  EXPECT_EQ(c.ok, 1u);
+  EXPECT_EQ(c.shed, 1u);
+}
+
+TEST(Service, ShedsWithQueueFullReasonWhenPoolSaturated) {
+  // Three distinct slow solves released simultaneously into a pool with
+  // one worker and a one-slot queue: one runs, one queues, the rest must
+  // be shed with reason "queue-full" (never an exception or a hang).
+  constexpr std::size_t kClients = 3;
+  std::mutex m;
+  std::condition_variable cv;
+  std::size_t arrived = 0;
+  bool go = false;
+
+  ServiceOptions options;
+  options.workers = 1;
+  options.queue_capacity = 1;
+  options.on_solve_start = [&] {
+    std::unique_lock<std::mutex> lock(m);
+    ++arrived;
+    cv.notify_all();
+    cv.wait(lock, [&] { return go; });
+  };
+  SolverService service(options);
+
+  Rng rng(86);
+  std::vector<ServiceRequest> requests;
+  for (std::size_t i = 0; i < kClients; ++i) {
+    ServiceRequest request =
+        basic_request(testing::random_instance(rng, 60), std::to_string(i));
+    request.solver = "local-search";  // slow enough to hold the worker
+    requests.push_back(std::move(request));
+  }
+
+  std::vector<ServiceResponse> responses(kClients);
+  std::vector<std::thread> clients;
+  for (std::size_t i = 0; i < kClients; ++i) {
+    clients.emplace_back([&, i] { responses[i] = service.handle(requests[i]); });
+  }
+  {
+    std::unique_lock<std::mutex> lock(m);
+    cv.wait(lock, [&] { return arrived == kClients; });
+    go = true;
+  }
+  cv.notify_all();
+  for (std::thread& t : clients) t.join();
+
+  std::size_t ok = 0;
+  std::size_t shed = 0;
+  for (const ServiceResponse& r : responses) {
+    if (r.status == WireResponse::Status::kOk) {
+      ++ok;
+    } else {
+      ASSERT_EQ(r.status, WireResponse::Status::kShed) << r.error;
+      EXPECT_EQ(r.shed_reason, "queue-full");
+      ++shed;
+    }
+  }
+  EXPECT_EQ(ok + shed, kClients);
+  EXPECT_GE(shed, 1u);  // the queue cannot hold everyone
+  const ServiceCounters c = service.counters();
+  EXPECT_EQ(c.ok, ok);
+  EXPECT_EQ(c.shed, shed);
+}
+
+TEST(Service, DrainCompletesInFlightWorkAndRefusesNewRequests) {
+  std::mutex m;
+  std::condition_variable cv;
+  bool release = false;
+  std::atomic<int> solve_starts{0};
+
+  ServiceOptions options;
+  options.workers = 1;
+  options.on_solve_start = [&] {
+    solve_starts.fetch_add(1);
+    std::unique_lock<std::mutex> lock(m);
+    cv.wait(lock, [&] { return release; });
+  };
+  SolverService service(options);
+
+  Rng rng(87);
+  const Instance inflight = testing::random_instance(rng, 10);
+  const Instance late = testing::random_instance(rng, 10);
+
+  ServiceResponse leader_response;
+  std::thread leader([&, r = basic_request(inflight, "inflight")] {
+    leader_response = service.handle(r);
+  });
+  while (solve_starts.load() == 0) std::this_thread::yield();
+
+  std::thread drainer([&] { service.drain(); });
+  while (!service.draining()) std::this_thread::yield();
+
+  // New work is refused while the drain waits on the in-flight solve.
+  const ServiceResponse refused = service.handle(basic_request(late, "late"));
+  EXPECT_EQ(refused.status, WireResponse::Status::kDraining);
+
+  {
+    const std::lock_guard<std::mutex> lock(m);
+    release = true;
+  }
+  cv.notify_all();
+  leader.join();
+  drainer.join();
+
+  // The in-flight request completed normally through the drain.
+  ASSERT_EQ(leader_response.status, WireResponse::Status::kOk)
+      << leader_response.error;
+  EXPECT_EQ(leader_response.cache, WireResponse::CacheOutcome::kMiss);
+  EXPECT_EQ(leader_response.schedule.size(), inflight.size());
+
+  // And the drained service keeps refusing deterministically.
+  EXPECT_EQ(service.handle(basic_request(late, "post")).status,
+            WireResponse::Status::kDraining);
+  const ServiceCounters c = service.counters();
+  EXPECT_EQ(c.ok, 1u);
+  EXPECT_EQ(c.draining, 2u);
+}
+
+/// Reads the next response off a reply stream, failing the test (with an
+/// empty response) on unexpected EOF.
+WireResponse next_response(std::istream& in) {
+  std::optional<WireResponse> response = read_response(in);
+  EXPECT_TRUE(response.has_value()) << "reply stream ended early";
+  return response ? *std::move(response) : WireResponse{};
+}
+
+std::string solve_frame(const std::string& id, const std::string& trace_text) {
+  std::ostringstream frame;
+  frame << "dts1 solve " << id << "\n"
+        << "capacity-factor 1.5\n"
+        << "trace " << trace_text.size() << "\n"
+        << trace_text << "end\n";
+  return frame.str();
+}
+
+TEST(Service, WireSessionServesColdWarmStatsErrorsAndQuit) {
+  ServiceOptions options;
+  options.workers = 2;
+  SolverService service(options);
+
+  Rng rng(88);
+  const Instance inst = testing::random_instance(rng, 10);
+  std::ostringstream trace;
+  write_trace(trace, inst);
+
+  std::ostringstream session;
+  session << solve_frame("a", trace.str()) << solve_frame("a", trace.str())
+          << "dts1 stats s\nend\n"
+          << "this is not a frame\nend\n"
+          << "dts1 ping p\nend\n"
+          << "dts1 quit q\nend\n";
+
+  std::istringstream in(session.str());
+  std::ostringstream out;
+  const ServeStats stats = serve_stream(service, in, out);
+  EXPECT_EQ(stats.frames, 5u);
+  EXPECT_EQ(stats.protocol_errors, 1u);
+  EXPECT_TRUE(stats.saw_quit);
+
+  std::istringstream replies(out.str());
+  const WireResponse cold = next_response(replies);
+  ASSERT_EQ(cold.status, WireResponse::Status::kOk) << cold.error;
+  EXPECT_EQ(cold.id, "a");
+  EXPECT_EQ(cold.cache, WireResponse::CacheOutcome::kMiss);
+  EXPECT_EQ(cold.order.size(), inst.size());
+  EXPECT_EQ(cold.schedule.size(), inst.size());
+
+  const WireResponse warm = next_response(replies);
+  ASSERT_EQ(warm.status, WireResponse::Status::kOk) << warm.error;
+  EXPECT_EQ(warm.cache, WireResponse::CacheOutcome::kHit);
+  // Byte-identical on the wire: every payload field round-trips through
+  // the same %.17g formatting, so field equality here is byte equality.
+  EXPECT_EQ(warm.winner, cold.winner);
+  EXPECT_EQ(warm.makespan, cold.makespan);
+  EXPECT_EQ(warm.evaluations, cold.evaluations);
+  EXPECT_EQ(warm.order, cold.order);
+  EXPECT_EQ(warm.schedule, cold.schedule);
+
+  const WireResponse counters = next_response(replies);
+  ASSERT_EQ(counters.status, WireResponse::Status::kOk);
+  ASSERT_FALSE(counters.extra.empty());
+  EXPECT_EQ(counters.extra.front(), "requests 2");
+
+  const WireResponse error = next_response(replies);
+  EXPECT_EQ(error.status, WireResponse::Status::kError);
+  EXPECT_EQ(error.id, "-");
+  EXPECT_FALSE(error.error.empty());
+
+  EXPECT_EQ(next_response(replies).status, WireResponse::Status::kOk);  // ping
+  EXPECT_EQ(next_response(replies).status, WireResponse::Status::kOk);  // quit
+}
+
+TEST(Service, SocketServerServesConcurrentClients) {
+  ServiceOptions options;
+  options.workers = 2;
+  SolverService service(options);
+
+  const std::string path = ::testing::TempDir() + "dts_service_test.sock";
+  std::unique_ptr<SocketServer> server;
+  try {
+    server = std::make_unique<SocketServer>(service, path);
+  } catch (const std::runtime_error& e) {
+    GTEST_SKIP() << "cannot bind a local socket here: " << e.what();
+  }
+  server->start();
+
+  Rng rng(89);
+  const Instance inst = testing::random_instance(rng, 10);
+  std::ostringstream trace;
+  write_trace(trace, inst);
+  const std::string session =
+      solve_frame("sock", trace.str()) + "dts1 quit bye\nend\n";
+
+  auto run_client = [&]() -> std::string {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) return {};
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) < 0) {
+      ::close(fd);
+      return {};
+    }
+    std::size_t sent = 0;
+    while (sent < session.size()) {
+      const ssize_t n =
+          ::write(fd, session.data() + sent, session.size() - sent);
+      if (n <= 0) break;
+      sent += static_cast<std::size_t>(n);
+    }
+    std::string reply;
+    char buf[4096];
+    for (;;) {
+      const ssize_t n = ::read(fd, buf, sizeof(buf));
+      if (n <= 0) break;  // server closes after quit
+      reply.append(buf, static_cast<std::size_t>(n));
+    }
+    ::close(fd);
+    return reply;
+  };
+
+  constexpr std::size_t kClients = 3;
+  std::vector<std::string> replies(kClients);
+  std::vector<std::thread> clients;
+  for (std::size_t i = 0; i < kClients; ++i) {
+    clients.emplace_back([&, i] { replies[i] = run_client(); });
+  }
+  for (std::thread& t : clients) t.join();
+  server->stop();
+
+  for (const std::string& reply : replies) {
+    if (reply.empty()) GTEST_SKIP() << "socket client could not connect";
+    std::istringstream in(reply);
+    const WireResponse solve = next_response(in);
+    ASSERT_EQ(solve.status, WireResponse::Status::kOk) << solve.error;
+    EXPECT_EQ(solve.id, "sock");
+    EXPECT_EQ(solve.order.size(), inst.size());
+    const WireResponse quit = next_response(in);
+    EXPECT_EQ(quit.status, WireResponse::Status::kOk);
+    EXPECT_EQ(quit.id, "bye");
+  }
+  // Identical traffic from every client: one miss, the rest hits or
+  // coalesced — never duplicate inserts.
+  const ServiceCounters c = service.counters();
+  EXPECT_EQ(c.ok, kClients);  // ping/quit frames do not count as requests
+  EXPECT_EQ(c.cache.inserts, 1u);
+  EXPECT_EQ(c.cache.hits + c.cache.misses + c.cache.coalesced, kClients);
+}
+
+}  // namespace
+}  // namespace dts
