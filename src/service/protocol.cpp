@@ -234,6 +234,19 @@ std::string to_string(WireResponse::CacheOutcome outcome) {
   return "miss";
 }
 
+namespace {
+
+/// Flush threshold for chunked blocks: far below ProtocolLimits'
+/// smallest sensible max_line_bytes, so a written response always
+/// round-trips through read_response regardless of instance size.
+constexpr std::size_t kChunkBytes = 4000;
+
+/// Error messages can echo (bounded) hostile input; cap what goes on the
+/// wire so a `message` line never busts the reader's line limit.
+constexpr std::size_t kMaxErrorBytes = 1024;
+
+}  // namespace
+
 void write_response(std::ostream& out, const WireResponse& response) {
   out << "dts1 response " << response.id << ' ' << to_string(response.status)
       << '\n';
@@ -244,9 +257,17 @@ void write_response(std::ostream& out, const WireResponse& response) {
         out << "winner " << response.winner << '\n';
         out << "makespan " << format_double(response.makespan) << '\n';
         out << "evaluations " << response.evaluations << '\n';
-        out << "order";
-        for (std::uint32_t id : response.order) out << ' ' << id;
-        out << '\n';
+        out << "order " << response.order.size() << '\n';
+        std::string line;
+        for (std::uint32_t id : response.order) {
+          if (!line.empty()) line.push_back(' ');
+          line += std::to_string(id);
+          if (line.size() >= kChunkBytes) {
+            out << line << '\n';
+            line.clear();
+          }
+        }
+        if (!line.empty()) out << line << '\n';
         out << "schedule " << response.schedule.size() << '\n';
         for (const auto& [comm, comp] : response.schedule) {
           out << format_double(comm) << ' ' << format_double(comp) << '\n';
@@ -264,6 +285,10 @@ void write_response(std::ostream& out, const WireResponse& response) {
                                                    : response.error;
       for (char& c : message) {
         if (c == '\n' || c == '\r') c = ' ';
+      }
+      if (message.size() > kMaxErrorBytes) {
+        message.resize(kMaxErrorBytes);
+        message += " [truncated]";
       }
       out << "message " << message << '\n';
       break;
@@ -333,11 +358,25 @@ std::optional<WireResponse> read_response(std::istream& in,
       res.makespan = parse_double(tokens[1], "makespan");
     } else if (key == "evaluations" && tokens.size() == 2) {
       res.evaluations = parse_u64(tokens[1], "evaluations");
-    } else if (key == "order") {
+    } else if (key == "order" && tokens.size() == 2) {
+      const std::uint64_t n = parse_u64(tokens[1], "order");
+      if (n > limits.max_trace_bytes) {
+        throw ProtocolError("order length exceeds limits");
+      }
       res.order.clear();
-      for (std::size_t i = 1; i < tokens.size(); ++i) {
-        res.order.push_back(
-            static_cast<std::uint32_t>(parse_u64(tokens[i], "order")));
+      res.order.reserve(static_cast<std::size_t>(n));
+      while (res.order.size() < n) {
+        if (!read_line(in, limits.max_line_bytes, line)) {
+          throw ProtocolError("stream ended inside order block");
+        }
+        for (const std::string& token : split_tokens(line)) {
+          if (res.order.size() >= n) {
+            throw ProtocolError("order block carries more than " +
+                                std::to_string(n) + " ids");
+          }
+          res.order.push_back(
+              static_cast<std::uint32_t>(parse_u64(token, "order")));
+        }
       }
     } else if (key == "schedule" && tokens.size() == 2) {
       const std::uint64_t n = parse_u64(tokens[1], "schedule");

@@ -30,17 +30,23 @@
 ///     winner <name>
 ///     makespan <seconds, %.17g>
 ///     evaluations <n>
-///     order <id0> <id1> ...
+///     order <n>
+///     <n task ids, space-separated, chunked over short lines>
 ///     schedule <n>
 ///     <n lines: "<comm_start> <comp_start>", %.17g>
 ///     end
 ///
+/// Both the order block and the schedule block are length-delimited and
+/// written in short chunks, so a response of any instance size stays
+/// within the reader's per-line limit.
+///
 /// or `dts1 response <id> shed` + `reason queue-full|admission` + `end`
 /// (back-pressure: retry later), `dts1 response <id> draining` + `end`
 /// (the service is shutting down), or `dts1 response <id> error` +
-/// `message <one line>` + `end`. Stats responses carry `requests`,
-/// `hits`, `misses`, `coalesced`, `shed`, `errors`, `inserts`,
-/// `evictions`, `cache-size` header lines instead.
+/// `message <one line, truncated by the writer to stay under the line
+/// limit>` + `end`. Stats responses carry `requests`, `hits`, `misses`,
+/// `coalesced`, `shed`, `errors`, `inserts`, `evictions`, `cache-size`
+/// header lines instead.
 ///
 /// Parsing is resilient by construction: any malformed frame raises
 /// ProtocolError *after* the reader has resynced to the next `end` line
@@ -120,7 +126,7 @@ struct WireResponse {
   std::string shed_reason;  ///< "queue-full" or "admission".
 
   // kError:
-  std::string error;  ///< One line, sanitized by the writer.
+  std::string error;  ///< One line, sanitized and length-capped by the writer.
 };
 
 /// Serializes one response frame (terminated by `end`, no flush).

@@ -9,6 +9,7 @@
 #include <cerrno>
 #include <cstring>
 #include <istream>
+#include <memory>
 #include <ostream>
 #include <stdexcept>
 #include <streambuf>
@@ -63,7 +64,10 @@ class FdStreamBuf final : public std::streambuf {
  protected:
   int_type underflow() override {
     if (gptr() < egptr()) return traits_type::to_int_type(*gptr());
-    const ssize_t n = ::read(fd_, in_.data(), in_.size());
+    ssize_t n;
+    do {
+      n = ::read(fd_, in_.data(), in_.size());
+    } while (n < 0 && errno == EINTR);  // a signal is not a disconnect
     if (n <= 0) return traits_type::eof();
     setg(in_.data(), in_.data(), in_.data() + n);
     return traits_type::to_int_type(*gptr());
@@ -85,6 +89,7 @@ class FdStreamBuf final : public std::streambuf {
     const char* p = pbase();
     while (p < pptr()) {
       const ssize_t n = ::write(fd_, p, static_cast<std::size_t>(pptr() - p));
+      if (n < 0 && errno == EINTR) continue;
       if (n <= 0) return -1;
       p += n;
     }
@@ -135,17 +140,36 @@ void SocketServer::start() {
   accept_thread_ = std::thread([this] { accept_loop(); });
 }
 
+void SocketServer::reap_finished_locked() {
+  auto it = connections_.begin();
+  while (it != connections_.end()) {
+    if ((*it)->done.load(std::memory_order_acquire)) {
+      (*it)->thread.join();
+      ::close((*it)->fd);  // owner closes, so the fd stays valid for stop()
+      it = connections_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
 void SocketServer::accept_loop() {
   while (!stopping_.load(std::memory_order_relaxed)) {
+    {
+      const std::lock_guard<std::mutex> lock(threads_mutex_);
+      reap_finished_locked();
+    }
     pollfd pfd{listen_fd_, POLLIN, 0};
     const int ready = ::poll(&pfd, 1, 100);  // wakes to observe stop()
     if (ready <= 0) continue;
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) continue;
     const std::lock_guard<std::mutex> lock(threads_mutex_);
+    reap_finished_locked();
     if (connections_.size() >= options_.max_connections) {
-      // Over the connection bound: shed explicitly rather than letting
-      // the client block on an accept queue that will never progress.
+      // Over the live-connection bound: shed explicitly rather than
+      // letting the client block on an accept queue that will never
+      // progress.
       FdStreamBuf buf(fd);
       std::ostream out(&buf);
       WireResponse shed;
@@ -157,25 +181,46 @@ void SocketServer::accept_loop() {
       ::close(fd);
       continue;
     }
-    connections_.emplace_back([this, fd] {
-      FdStreamBuf buf(fd);
+    auto conn = std::make_unique<Connection>();
+    conn->fd = fd;
+    Connection* raw = conn.get();
+    // The thread is created while holding threads_mutex_, so stop() never
+    // sees a registered connection with an unjoinable thread.
+    raw->thread = std::thread([this, raw] {
+      FdStreamBuf buf(raw->fd);
       std::istream in(&buf);
       std::ostream out(&buf);
       serve_stream(service_, in, out, options_.limits);
-      ::close(fd);
+      // Half-close and completion flag in ONE threads_mutex_ section: a
+      // client that observed EOF knows the next reap (same mutex) will
+      // see `done` and free this slot — a just-finished connection can
+      // never linger and shed its successor. The fd itself is closed by
+      // whoever joins this thread (reap or stop), which keeps stop()'s
+      // shutdown() call safe from fd reuse.
+      const std::lock_guard<std::mutex> finish_lock(threads_mutex_);
+      ::shutdown(raw->fd, SHUT_RDWR);
+      raw->done.store(true, std::memory_order_release);
     });
+    connections_.push_back(std::move(conn));
   }
 }
 
 void SocketServer::stop() {
   stopping_.store(true, std::memory_order_relaxed);
   if (accept_thread_.joinable()) accept_thread_.join();
-  std::vector<std::thread> connections;
+  std::vector<std::unique_ptr<Connection>> connections;
   {
     const std::lock_guard<std::mutex> lock(threads_mutex_);
     connections.swap(connections_);
   }
-  for (std::thread& t : connections) t.join();
+  // Half-close every connection first: a pump blocked in read() on an
+  // idle client wakes with EOF instead of keeping stop() hostage until
+  // the client deigns to disconnect.
+  for (const auto& c : connections) ::shutdown(c->fd, SHUT_RDWR);
+  for (const auto& c : connections) {
+    c->thread.join();
+    ::close(c->fd);
+  }
   if (listen_fd_ >= 0) {
     ::close(listen_fd_);
     listen_fd_ = -1;

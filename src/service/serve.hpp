@@ -14,6 +14,7 @@
 #include <atomic>
 #include <cstdint>
 #include <iosfwd>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -39,10 +40,13 @@ ServeStats serve_stream(SolverService& service, std::istream& in,
 
 /// A local-socket front-end: accepts connections on an AF_UNIX stream
 /// socket and runs serve_stream on each, one thread per connection, the
-/// connection count bounded by `max_connections` (excess connections are
-/// answered with a shed response and closed). `stop()` stops accepting,
-/// wakes the accept loop, and joins every connection thread; the
-/// destructor calls it.
+/// count of *live* connections bounded by `max_connections` (excess
+/// connections are answered with a shed response and closed; finished
+/// connections are reaped by the accept loop, so the bound never counts
+/// the dead). `stop()` stops accepting, wakes the accept loop,
+/// half-closes every live connection (so a pump blocked on an idle
+/// client reads EOF instead of blocking shutdown forever), and joins
+/// every connection thread; the destructor calls it.
 class SocketServer {
  public:
   struct Options {
@@ -69,7 +73,18 @@ class SocketServer {
   [[nodiscard]] const std::string& path() const noexcept { return path_; }
 
  private:
+  /// One live connection: the pump thread plus the fd it serves, kept so
+  /// stop() can half-close the socket to unblock a pump stuck in read().
+  /// `done` flips when the pump returns; the owner joins and closes.
+  struct Connection {
+    int fd = -1;
+    std::atomic<bool> done{false};
+    std::thread thread;
+  };
+
   void accept_loop();
+  /// Joins and erases finished connections. Caller holds threads_mutex_.
+  void reap_finished_locked();
 
   SolverService& service_;
   const std::string path_;
@@ -78,7 +93,7 @@ class SocketServer {
   std::atomic<bool> stopping_{false};
   std::thread accept_thread_;
   std::mutex threads_mutex_;
-  std::vector<std::thread> connections_;
+  std::vector<std::unique_ptr<Connection>> connections_;
 };
 
 }  // namespace dts

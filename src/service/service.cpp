@@ -151,6 +151,9 @@ ServiceResponse SolverService::handle(const ServiceRequest& request) {
       response = serve_admitted(request);
     } catch (const std::exception& e) {
       response = error_response(request.id, e.what());
+    } catch (...) {
+      response = error_response(request.id,
+                                "request failed with a non-standard exception");
     }
   }
   count_response(response);
@@ -262,38 +265,48 @@ ServiceResponse SolverService::serve_admitted(const ServiceRequest& request) {
   // Leader: solve, publish to followers, insert into the cache. The cache
   // insert happens before the flight is retired so a racing probe finds
   // either the flight or the entry — never a gap that duplicates work.
-  if (options_.on_solve_start) options_.on_solve_start();
+  // Retirement must happen on EVERY exit path — a leader that unwinds
+  // without retiring would park its followers forever and leave every
+  // future identical request coalescing onto a dead flight.
+  const auto retire = [&]() noexcept {
+    {
+      const std::lock_guard<std::mutex> lock(flights_mutex_);
+      flights_.erase(key);
+    }
+    {
+      const std::lock_guard<std::mutex> fl(flight->m);
+      flight->done = true;
+    }
+    flight->cv.notify_all();
+  };
   ServiceResponse response;
   response.id = request.id;
-  SolveResult result;
-  const bool solved =
-      run_solve(request, bound, capacity, solver, result, response);
-  if (solved) {
-    try {
+  try {
+    if (options_.on_solve_start) options_.on_solve_start();
+    SolveResult result;
+    if (run_solve(request, bound, capacity, solver, result, response)) {
       flight->result = build_cached(result, canon, bound, capacity);
       flight->status = WireResponse::Status::kOk;
       cache_.insert(key, flight->result);
       response = cold_response(request.id, result,
                                WireResponse::CacheOutcome::kMiss);
-    } catch (const std::exception& e) {
-      response = error_response(request.id, e.what());
-      flight->status = WireResponse::Status::kError;
+    } else {
+      flight->status = response.status;
+      flight->shed_reason = response.shed_reason;
       flight->error = response.error;
     }
-  } else {
-    flight->status = response.status;
-    flight->shed_reason = response.shed_reason;
-    flight->error = response.error;
+  } catch (const std::exception& e) {
+    flight->status = WireResponse::Status::kError;
+    flight->error = e.what();
+    retire();
+    throw;  // handle() renders the leader's own error response
+  } catch (...) {
+    flight->status = WireResponse::Status::kError;
+    flight->error = "leader failed with a non-standard exception";
+    retire();
+    throw;
   }
-  {
-    const std::lock_guard<std::mutex> lock(flights_mutex_);
-    flights_.erase(key);
-  }
-  {
-    const std::lock_guard<std::mutex> fl(flight->m);
-    flight->done = true;
-  }
-  flight->cv.notify_all();
+  retire();
   return response;
 }
 

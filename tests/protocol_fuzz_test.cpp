@@ -11,6 +11,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <optional>
 #include <sstream>
 #include <string>
@@ -154,11 +155,69 @@ TEST(ServiceProtocolFuzz, TruncatedResponsesThrowCleanly) {
        {"dts1 response a ok\n",                      // EOF before `end`
         "dts1 response a ok\nschedule 3\n1 2\n",     // EOF inside block
         "dts1 response a ok\nschedule 3\n1 2\nend\n",  // block cut short
+        "dts1 response a ok\norder 4\n1 2\n",        // EOF inside order
+        "dts1 response a ok\norder 2\n1 2 3\nend\n",   // order overfull
         "dts1 response a maybe\nend\n",              // unknown status
         "dts1 response a\nend\n"}) {
     std::istringstream in(text);
     EXPECT_THROW((void)read_response(in), ProtocolError) << text;
   }
+}
+
+TEST(ServiceProtocolFuzz, LargeResponsesRoundTripWithinLineLimits) {
+  // ~20k tasks would bust the reader's 64 KB line limit if the order were
+  // a single line; the chunked order block must round-trip regardless of
+  // instance size (a solve well within max_trace_bytes must never yield
+  // an unreadable ok response).
+  WireResponse big;
+  big.status = WireResponse::Status::kOk;
+  big.id = "big";
+  big.winner = "local-search";
+  big.makespan = 123.0625;
+  big.evaluations = 7;
+  constexpr std::uint32_t kTasks = 20000;
+  for (std::uint32_t i = 0; i < kTasks; ++i) {
+    big.order.push_back(kTasks - 1 - i);
+    big.schedule.emplace_back(0.5 * i, 0.5 * i + 0.25);
+  }
+  std::ostringstream wire;
+  write_response(wire, big);
+
+  const ProtocolLimits limits;
+  std::istringstream lines(wire.str());
+  std::string line;
+  while (std::getline(lines, line)) {
+    EXPECT_LE(line.size(), limits.max_line_bytes);
+  }
+
+  std::istringstream in(wire.str());
+  std::optional<WireResponse> read;
+  ASSERT_NO_THROW(read = read_response(in, limits));
+  ASSERT_TRUE(read.has_value());
+  EXPECT_EQ(read->id, big.id);
+  EXPECT_EQ(read->winner, big.winner);
+  EXPECT_EQ(read->makespan, big.makespan);  // bitwise via %.17g
+  EXPECT_EQ(read->order, big.order);
+  EXPECT_EQ(read->schedule, big.schedule);
+}
+
+TEST(ServiceProtocolFuzz, OversizedErrorMessagesAreTruncatedNotUnreadable) {
+  // Error messages may echo a (bounded) hostile input line; the writer
+  // must cap them so the client reader never chokes on its own server.
+  WireResponse error;
+  error.status = WireResponse::Status::kError;
+  error.id = "e";
+  error.error = std::string(2 * ProtocolLimits{}.max_line_bytes, 'x');
+  std::ostringstream wire;
+  write_response(wire, error);
+
+  std::istringstream in(wire.str());
+  std::optional<WireResponse> read;
+  ASSERT_NO_THROW(read = read_response(in));
+  ASSERT_TRUE(read.has_value());
+  EXPECT_EQ(read->status, WireResponse::Status::kError);
+  EXPECT_FALSE(read->error.empty());
+  EXPECT_LT(read->error.size(), 2048u);  // truncated, not echoed whole
 }
 
 TEST(ServiceProtocolFuzz, LiveSessionAnswersGarbageWithErrorResponses) {

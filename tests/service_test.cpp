@@ -512,5 +512,167 @@ TEST(Service, SocketServerServesConcurrentClients) {
   EXPECT_EQ(c.cache.hits + c.cache.misses + c.cache.coalesced, kClients);
 }
 
+TEST(Service, LeaderFailureReleasesFollowersAndRetiresFlight) {
+  std::atomic<bool> armed{true};
+  std::atomic<bool> leader_started{false};
+  SolverService* service_ptr = nullptr;
+
+  ServiceOptions options;
+  options.workers = 1;
+  options.on_solve_start = [&] {
+    if (!armed.exchange(false)) return;
+    leader_started.store(true);
+    // Hold the doomed leader until a follower has parked on its flight,
+    // then unwind before the solve is ever submitted.
+    while (service_ptr->counters().cache.coalesced == 0) {
+      std::this_thread::yield();
+    }
+    throw std::runtime_error("solve hook exploded");
+  };
+  SolverService service(options);
+  service_ptr = &service;
+
+  Rng rng(90);
+  const Instance inst = testing::random_instance(rng, 10);
+
+  ServiceResponse leader_response;
+  std::thread leader(
+      [&] { leader_response = service.handle(basic_request(inst, "lead")); });
+  while (!leader_started.load()) std::this_thread::yield();
+  ServiceResponse follower_response;
+  std::thread follower([&] {
+    follower_response = service.handle(basic_request(inst, "follow"));
+  });
+  leader.join();
+  follower.join();
+
+  // Leader and parked follower both surface the failure as an error
+  // response — nobody hangs on the dead flight.
+  ASSERT_EQ(leader_response.status, WireResponse::Status::kError);
+  EXPECT_EQ(leader_response.error, "solve hook exploded");
+  ASSERT_EQ(follower_response.status, WireResponse::Status::kError);
+  EXPECT_EQ(follower_response.error, "solve hook exploded");
+
+  // And the flight was retired: an identical request elects a fresh
+  // leader and solves, instead of coalescing onto the corpse forever.
+  const ServiceResponse retry = service.handle(basic_request(inst, "retry"));
+  ASSERT_EQ(retry.status, WireResponse::Status::kOk) << retry.error;
+  EXPECT_EQ(retry.cache, WireResponse::CacheOutcome::kMiss);
+
+  const ServiceCounters c = service.counters();
+  EXPECT_EQ(c.errors, 2u);
+  EXPECT_EQ(c.ok, 1u);
+  EXPECT_EQ(c.cache.misses, 2u);
+  EXPECT_EQ(c.cache.coalesced, 1u);
+  EXPECT_EQ(c.cache.inserts, 1u);
+}
+
+/// Connects to `path`, writes `session`, reads to EOF. Empty on failure.
+std::string socket_session(const std::string& path,
+                           const std::string& session) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return {};
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    ::close(fd);
+    return {};
+  }
+  std::size_t sent = 0;
+  while (sent < session.size()) {
+    const ssize_t n = ::write(fd, session.data() + sent, session.size() - sent);
+    if (n <= 0) break;
+    sent += static_cast<std::size_t>(n);
+  }
+  std::string reply;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n <= 0) break;
+    reply.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return reply;
+}
+
+TEST(Service, SocketServerBoundsLiveConnectionsNotLifetimeAccepts) {
+  ServiceOptions options;
+  options.workers = 1;
+  SolverService service(options);
+
+  const std::string path = ::testing::TempDir() + "dts_service_reap.sock";
+  SocketServer::Options server_options;
+  server_options.max_connections = 2;
+  std::unique_ptr<SocketServer> server;
+  try {
+    server = std::make_unique<SocketServer>(service, path, server_options);
+  } catch (const std::runtime_error& e) {
+    GTEST_SKIP() << "cannot bind a local socket here: " << e.what();
+  }
+  server->start();
+
+  // Far more sequential sessions than max_connections: finished
+  // connections must be reaped, so the bound counts live connections —
+  // a long-running server never starts shedding on cumulative accepts.
+  for (int i = 0; i < 8; ++i) {
+    const std::string reply =
+        socket_session(path, "dts1 ping p\nend\ndts1 quit bye\nend\n");
+    if (reply.empty()) GTEST_SKIP() << "socket client could not connect";
+    std::istringstream in(reply);
+    const WireResponse ping = next_response(in);
+    ASSERT_EQ(ping.status, WireResponse::Status::kOk)
+        << "session " << i << " was refused: " << ping.shed_reason;
+    EXPECT_EQ(ping.id, "p");
+  }
+  server->stop();
+}
+
+TEST(Service, SocketServerStopUnblocksIdleConnections) {
+  ServiceOptions options;
+  options.workers = 1;
+  SolverService service(options);
+
+  const std::string path = ::testing::TempDir() + "dts_service_idle.sock";
+  std::unique_ptr<SocketServer> server;
+  try {
+    server = std::make_unique<SocketServer>(service, path);
+  } catch (const std::runtime_error& e) {
+    GTEST_SKIP() << "cannot bind a local socket here: " << e.what();
+  }
+  server->start();
+
+  // Park a connection: ping, read the full response, then go idle so the
+  // server's pump is blocked in read() on this live client.
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    ::close(fd);
+    GTEST_SKIP() << "socket client could not connect";
+  }
+  const std::string ping = "dts1 ping p\nend\n";
+  ASSERT_EQ(::write(fd, ping.data(), ping.size()),
+            static_cast<ssize_t>(ping.size()));
+  std::string reply;
+  char buf[256];
+  while (reply.find("end\n") == std::string::npos) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    ASSERT_GT(n, 0) << "connection died before answering the ping";
+    reply.append(buf, static_cast<std::size_t>(n));
+  }
+
+  // stop() must half-close the idle connection and return promptly
+  // instead of waiting for this client to disconnect (the test would
+  // time out otherwise).
+  server->stop();
+  EXPECT_LE(::read(fd, buf, sizeof(buf)), 0);  // server hung up
+  ::close(fd);
+}
+
 }  // namespace
 }  // namespace dts
