@@ -1,7 +1,10 @@
-/// Fig. 7 — all heuristics against the iterative window solver (the
-/// paper's GLPK-based lp.k, here an exact per-window optimizer; see
-/// DESIGN.md §5) on a single HF trace across the nine capacities
-/// mc..2mc. The paper's observation to reproduce: windowed optimization
+/// Fig. 7 — all heuristics against the iterative window solver on a
+/// single HF trace across the nine capacities mc..2mc. The windowed
+/// per-window optimizer plays the role of the paper's GLPK-based lp.k
+/// (windowed, greedy across windows — not a whole-instance optimum);
+/// the repo's actual MILP lives in src/milp/ and bench_fig7_duplex.cpp
+/// runs the whole-instance exact-vs-heuristic study against it. The
+/// paper's observation to reproduce here: windowed optimization
 /// (lp.3..lp.6) underperforms most of the direct heuristics.
 
 #include <cstdio>

@@ -368,6 +368,13 @@ int cmd_solve(const CommandLine& cmd, std::ostream& out,
   if (res.cancelled) {
     out << "stopped early (deadline or cancellation); best incumbent shown\n";
   }
+  if (res.proved_optimal) {
+    out << "proved optimal (lower bound " << format_seconds(res.lower_bound)
+        << ")\n";
+  } else if (res.lower_bound > 0.0) {
+    out << "lower bound " << format_seconds(res.lower_bound) << " (gap "
+        << format_fixed(100.0 * res.optimality_gap(), 2) << "%)\n";
+  }
   if (!res.outcomes.empty()) {
     const bool batch_mode = res.outcomes.front().makespan == kInfiniteTime;
     TextTable table({"candidate", batch_mode ? "batch wins" : "makespan"});

@@ -34,6 +34,7 @@
 #include <chrono>
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <memory>
 #include <optional>
 #include <string>
@@ -204,10 +205,29 @@ struct SolveResult {
   std::vector<CandidateOutcome> outcomes;
   /// Free-form solver note (e.g. local search's improvement summary).
   std::string detail;
+  /// The solver *proved* this schedule optimal (exact solvers that
+  /// finished their search or matched a proven bound). Heuristics never
+  /// set it; a cancelled or budget-stopped exact search clears it.
+  bool proved_optimal = false;
+  /// Strongest makespan lower bound the solver itself established: the
+  /// makespan when proved_optimal, a relaxation/capacity bound for a
+  /// stopped exact search, 0 for solvers that prove nothing. Distinct
+  /// from `bounds`, which solve() computes independently of the solver.
+  Time lower_bound = 0.0;
 
   /// makespan / OMIM — the paper's quality metric (>= 1). Requires bounds.
   [[nodiscard]] double ratio_to_optimal() const noexcept {
     return bounds.omim <= 0.0 ? 1.0 : makespan / bounds.omim;
+  }
+
+  /// Relative optimality gap (makespan - lower_bound) / lower_bound:
+  /// 0 when proved optimal, infinity when the solver proved no bound.
+  [[nodiscard]] double optimality_gap() const noexcept {
+    if (proved_optimal) return 0.0;
+    if (lower_bound <= 0.0 || makespan == kInfiniteTime) {
+      return std::numeric_limits<double>::infinity();
+    }
+    return (makespan - lower_bound) / lower_bound;
   }
 };
 

@@ -22,6 +22,7 @@
 #include "exact/window_solver.hpp"
 #include "heuristics/duplex_balance.hpp"
 #include "heuristics/local_search.hpp"
+#include "milp/milp_solver.hpp"
 #include "support/parallel_for.hpp"
 
 namespace dts {
@@ -286,16 +287,73 @@ class BranchBoundSolver final : public Solver {
     } else {
       result.schedule = std::move(res.schedule);
       result.makespan = res.makespan;
+      // A full scan of the pair space proves optimality just as well as
+      // the lower-bound early exit — only an actual stop leaves the
+      // result unproven.
+      result.proved_optimal = !res.stopped;
+      if (result.proved_optimal) result.lower_bound = res.makespan;
       std::ostringstream detail;
       detail << res.pairs_simulated << " order pairs simulated";
-      if (res.proved_optimal) detail << "; matched the lower bound";
+      if (res.proved_optimal) detail << "; proved optimal";
       result.detail = detail.str();
     }
+    if (!result.proved_optimal) result.lower_bound = search.lower_bound;
     return result;
   }
 
  private:
   std::size_t max_n_;
+};
+
+/// Self-contained 0-1 MILP backend (src/milp/): LP-relaxation
+/// branch-and-bound over the paper's §4.5 order binaries, warm-started
+/// from the heuristic registry, every integral node scored through the
+/// engine co-simulation. Proved-optimal makespans are bitwise equal to
+/// branch-bound's (same incumbent discipline over the same finite value
+/// set). `milp:T` solves the same instance against a T-step grid bound
+/// model (see milp/model.hpp) — the proof and schedule are unaffected.
+class MilpSolver final : public Solver {
+ public:
+  explicit MilpSolver(std::size_t grid) : grid_(grid) {}
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "milp";
+  }
+
+  [[nodiscard]] SolveResult run(const SolveRequest& request,
+                                const SolveOptions& options) const override {
+    reject_batch(request, name());
+    MilpOptions milp;
+    milp.grid = grid_;
+    milp.max_nodes = options.max_iterations;
+    if (!request.instance.empty()) {
+      milp.lower_bound =
+          capacity_aware_bounds(request.instance, request.capacity).combined;
+    }
+    const StopCondition stop(options);
+    if (stop.armed()) {
+      milp.should_stop = [&stop] { return stop.stop_requested(); };
+    }
+    MilpResult res =
+        solve_order_milp(request.instance, request.capacity, milp);
+    SolveResult result;
+    result.winner = "milp";
+    result.cancelled = res.stopped;
+    result.evaluations = res.nodes_explored;
+    result.schedule = std::move(res.schedule);
+    result.makespan = res.makespan;
+    result.proved_optimal = res.proved_optimal;
+    result.lower_bound = res.lower_bound;
+    std::ostringstream detail;
+    detail << res.nodes_explored << " nodes, " << res.leaves_scored
+           << " leaves scored, " << res.lp_pivots << " simplex pivots";
+    if (res.proved_optimal) detail << "; proved optimal";
+    result.detail = detail.str();
+    return result;
+  }
+
+ private:
+  std::size_t grid_;
 };
 
 /// Duplex-aware order heuristic (heuristics/duplex_balance.hpp):
@@ -471,6 +529,19 @@ void register_builtin_solvers(SolverRegistry& registry) {
                  }
                  return std::make_unique<BranchBoundSolver>(
                      spec.size_arg(0, PairOrderOptions{}.max_n));
+               });
+  registry.add("milp", "[:T]",
+               "self-contained 0-1 MILP: LP-relaxation branch-and-bound "
+               "over the paper's order binaries, engine-scored leaves; "
+               ":T solves against a T-step grid bound model",
+               SolverChannels::kAny, [](const SolverSpec& spec) {
+                 if (spec.args.size() > 1) {
+                   throw std::invalid_argument(
+                       "solver '" + spec.full +
+                       "': expected at most one argument");
+                 }
+                 return std::make_unique<MilpSolver>(
+                     spec.args.empty() ? 0 : spec.size_arg(0, 0));
                });
   registry.add("exhaustive", "[:MAX_N]",
                "exact search over permutation schedules (default max n = 10)",

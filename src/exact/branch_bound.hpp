@@ -48,11 +48,13 @@ struct PairOrderOptions {
   /// Stop exploring a pair as soon as its makespan provably reaches the
   /// incumbent; also used as an initial upper bound when finite.
   Time upper_bound = kInfiniteTime;
-  /// Optional proven makespan lower bound (e.g.
-  /// capacity_aware_bounds(...).combined): the search stops as soon as an
-  /// incumbent reaches it, marking the result proved_optimal. Only valid
-  /// for a fresh initial state — a carried state shifts the achievable
-  /// makespan. 0 disables the early exit.
+  /// Optional proven makespan lower bound: the search stops as soon as an
+  /// incumbent reaches it, marking the result proved_optimal. Must be
+  /// valid for the supplied initial state — the fresh-instance
+  /// capacity_aware_bounds(...).combined qualifies for a fresh state and
+  /// stays valid under a carried one (clocks and held memory only delay
+  /// starts); window callers strengthen it with the carried clocks (see
+  /// exact/window_solver.cpp). 0 disables the early exit.
   Time lower_bound = 0.0;
   /// Cooperative stop (deadline / cancellation): polled every few hundred
   /// simulated pairs; returning true abandons the search, marking the

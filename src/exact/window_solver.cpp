@@ -6,9 +6,48 @@
 #include "core/simulate.hpp"
 #include "exact/branch_bound.hpp"
 #include "exact/exhaustive.hpp"
+#include "exact/lower_bounds.hpp"
 #include "support/contract.hpp"
 
 namespace dts {
+
+namespace {
+
+/// Lower bound on a window's absolute completion time under the carried
+/// engine state. The fresh-instance capacity-aware bound stays valid (a
+/// carried state only delays starts — clocks are nonnegative and held
+/// memory only postpones transfers), and the carried clocks strengthen
+/// it: the processor serves every window computation after its carried
+/// free instant, and each copy engine pushes its window transfers after
+/// its carried clock with at least the cheapest trailing computation of
+/// that engine's tasks.
+Time carried_window_bound(const Instance& sub, Mem capacity,
+                          const ExecutionState::Snapshot& carried) {
+  Time bound = capacity_aware_bounds(sub, capacity).combined;
+  Time sum_comp = 0.0;
+  for (const Task& t : sub) sum_comp += t.comp;
+  bound = std::max(bound, carried.comp_available + sum_comp);
+  for (ChannelId ch = 0; ch < sub.num_channels(); ++ch) {
+    Time sum_comm = 0.0;
+    Time min_comp = kInfiniteTime;
+    for (const Task& t : sub) {
+      if (t.channel != ch) continue;
+      sum_comm += t.comm;
+      min_comp = std::min(min_comp, t.comp);
+    }
+    if (min_comp == kInfiniteTime) continue;  // no window task on ch
+    // A restored engine resumes from max(now, channel clock); channels
+    // the snapshot does not cover start free at the decision instant.
+    const Time clock =
+        ch < carried.comm_available.size()
+            ? std::max(carried.now, carried.comm_available[ch])
+            : carried.now;
+    bound = std::max(bound, clock + sum_comm + min_comp);
+  }
+  return bound;
+}
+
+}  // namespace
 
 std::string window_heuristic_name(const WindowOptions& options) {
   std::string name = "lp." + std::to_string(options.window);
@@ -66,7 +105,12 @@ WindowedResult solve_windowed(const Instance& inst, Mem capacity,
       po.max_n = options.window;
       po.initial_state = carried;
       po.should_stop = options.should_stop;
+      if (options.use_lower_bounds) {
+        po.lower_bound = carried_window_bound(sub, capacity, carried);
+      }
       const PairOrderResult res = best_pair_order(sub, capacity, po);
+      result.pairs_simulated += res.pairs_simulated;
+      if (res.proved_optimal) ++result.windows_proved;
       if (res.stopped && res.makespan == kInfiniteTime) {
         // Stopped before this window produced an incumbent: fall back to
         // submission order for it (and, via the check above, the rest).

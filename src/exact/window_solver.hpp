@@ -21,6 +21,7 @@
 /// next to the computation order, carrying the multi-clock snapshot across
 /// window boundaries.
 
+#include <cstdint>
 #include <functional>
 #include <string>
 
@@ -49,6 +50,13 @@ struct WindowOptions {
   /// ExhaustiveOptions::executor); the window-by-window outer loop stays
   /// sequential (each window starts from the previous one's state).
   Executor* executor = nullptr;
+  /// Pair mode only: feed each window search the carried-state-valid
+  /// capacity-aware lower bound, so it stops as soon as an incumbent
+  /// provably matches instead of scanning the remaining pair space. The
+  /// schedule is identical either way (no later pair can definitely beat
+  /// an incumbent that reached a proven bound); off is useful only to
+  /// measure the pruning itself.
+  bool use_lower_bounds = true;
 };
 
 /// schedule_windowed plus how the run ended.
@@ -59,6 +67,12 @@ struct WindowedResult {
   bool stopped = false;
   /// Windows that were actually optimized before any stop.
   std::size_t windows_optimized = 0;
+  /// Pair mode: order pairs co-simulated across all windows — the work
+  /// metric the lower-bound early exit (use_lower_bounds) reduces.
+  std::uint64_t pairs_simulated = 0;
+  /// Pair mode: windows whose search ended by reaching the proven lower
+  /// bound rather than by exhausting the pair space.
+  std::size_t windows_proved = 0;
 };
 
 /// Display name used in the figures, e.g. "lp.4".

@@ -1,0 +1,165 @@
+#include "milp/model.hpp"
+
+#include <cmath>
+
+namespace dts::milp {
+
+OrderModelBuilder::OrderModelBuilder(const CompiledInstance& ci,
+                                     std::size_t grid, Time horizon0)
+    : ci_(&ci) {
+  const std::size_t n = ci.size();
+  pairs_.reserve(n * (n - (n > 0 ? 1 : 0)) / 2);
+  for (TaskId i = 0; i < n; ++i) {
+    for (TaskId j = i + 1; j < n; ++j) pairs_.emplace_back(i, j);
+  }
+  model_comm_.resize(n);
+  model_comp_.resize(n);
+  const Time step = (grid > 0 && horizon0 > 0.0)
+                        ? horizon0 / static_cast<Time>(grid)
+                        : 0.0;
+  for (TaskId i = 0; i < n; ++i) {
+    model_comm_[i] = ci.comm(i);
+    model_comp_[i] = ci.comp(i);
+    if (step > 0.0) {
+      // Snap *down*: a shortened duration can only weaken a row, so the
+      // grid model stays a relaxation of the exact one.
+      model_comm_[i] = std::floor(model_comm_[i] / step) * step;
+      model_comp_[i] = std::floor(model_comp_[i] / step) * step;
+    }
+  }
+}
+
+LpRow& OrderModelBuilder::next_row(RowType type, double rhs) {
+  if (rows_used_ == lp_.rows.size()) lp_.rows.emplace_back();
+  LpRow& row = lp_.rows[rows_used_++];
+  row.coeffs.assign(lp_.num_vars, 0.0);
+  row.type = type;
+  row.rhs = rhs;
+  return row;
+}
+
+const LpProblem& OrderModelBuilder::emit(Time horizon,
+                                         std::span<const std::int8_t> fixed,
+                                         std::vector<std::size_t>& col_of) {
+  const CompiledInstance& ci = *ci_;
+  const std::size_t n = ci.size();
+  const std::size_t n_pairs = pairs_.size();
+
+  // Column layout: [s_0..s_{n-1} | c_0..c_{n-1} | M | unfixed pair vars].
+  col_of.assign(num_pair_vars(), kNoColumn);
+  std::size_t next_col = 2 * n + 1;
+  for (std::size_t p = 0; p < num_pair_vars(); ++p) {
+    if (fixed[p] < 0) col_of[p] = next_col++;
+  }
+  lp_.num_vars = next_col;
+  lp_.objective.assign(lp_.num_vars, 0.0);
+  lp_.objective[2 * n] = 1.0;  // minimize M
+  rows_used_ = 0;
+
+  const auto s_col = [](TaskId i) { return static_cast<std::size_t>(i); };
+  const auto c_col = [n](TaskId i) { return n + static_cast<std::size_t>(i); };
+  const std::size_t m_col = 2 * n;
+  const double big_m = horizon;
+
+  // Own-task precedence and makespan rows.
+  for (TaskId i = 0; i < n; ++i) {
+    LpRow& prec = next_row(RowType::kGe, model_comm_[i]);
+    prec.coeffs[c_col(i)] = 1.0;
+    prec.coeffs[s_col(i)] = -1.0;
+    LpRow& mk = next_row(RowType::kGe, model_comp_[i]);
+    mk.coeffs[m_col] = 1.0;
+    mk.coeffs[c_col(i)] = -1.0;
+  }
+  // Any schedule worth finding beats the incumbent horizon.
+  {
+    LpRow& cap = next_row(RowType::kLe, horizon);
+    cap.coeffs[m_col] = 1.0;
+  }
+
+  // One disjunction per pair variable. `first`/`second` are the lags the
+  // two branches impose: for a-variables a same-channel pair serializes
+  // on its engine, a cross-channel pair is only ordered chronologically;
+  // b-variables always serialize on the single processor.
+  const auto emit_pair = [&](std::size_t pv, std::size_t xi, std::size_t xj,
+                             double lag_i, double lag_j) {
+    const std::int8_t fix = fixed[pv];
+    if (fix == 1) {  // i precedes j
+      LpRow& row = next_row(RowType::kGe, lag_i);
+      row.coeffs[xj] = 1.0;
+      row.coeffs[xi] = -1.0;
+    } else if (fix == 0) {  // j precedes i
+      LpRow& row = next_row(RowType::kGe, lag_j);
+      row.coeffs[xi] = 1.0;
+      row.coeffs[xj] = -1.0;
+    } else {
+      const std::size_t q = col_of[pv];
+      // x_j - x_i + H (1 - q) >= lag_i   (active when q -> 1)
+      LpRow& one = next_row(RowType::kGe, lag_i - big_m);
+      one.coeffs[xj] = 1.0;
+      one.coeffs[xi] = -1.0;
+      one.coeffs[q] = -big_m;
+      // x_i - x_j + H q >= lag_j          (active when q -> 0)
+      LpRow& zero = next_row(RowType::kGe, lag_j);
+      zero.coeffs[xi] = 1.0;
+      zero.coeffs[xj] = -1.0;
+      zero.coeffs[q] = big_m;
+      LpRow& ub = next_row(RowType::kLe, 1.0);
+      ub.coeffs[q] = 1.0;
+    }
+  };
+
+  for (std::size_t p = 0; p < n_pairs; ++p) {
+    const auto [i, j] = pairs_[p];
+    const bool same_channel = ci.channel(i) == ci.channel(j);
+    emit_pair(p, s_col(i), s_col(j), same_channel ? model_comm_[i] : 0.0,
+              same_channel ? model_comm_[j] : 0.0);
+    emit_pair(n_pairs + p, c_col(i), c_col(j), model_comp_[i],
+              model_comp_[j]);
+  }
+
+  // Linear-ordering triangle cuts, both order families: for i < j < k,
+  // q_ij + q_jk - q_ik in [0, 1] (transitivity of "precedes"). Valid for
+  // every permutation decode, and the decisive tightener of the big-M
+  // relaxation — without them the fractional interior hides behind
+  // q = 1/2 everywhere. Fixed variables substitute into the rhs; a cut
+  // whose variables are all fixed is the driver's propagation business.
+  const auto emit_triangle = [&](std::size_t offset) {
+    const std::size_t n_size = n;
+    for (TaskId i = 0; i < n_size; ++i) {
+      for (TaskId j = i + 1; j < n_size; ++j) {
+        for (TaskId k = j + 1; k < n_size; ++k) {
+          const std::size_t pv[3] = {offset + pair_index(i, j),
+                                     offset + pair_index(j, k),
+                                     offset + pair_index(i, k)};
+          const double coeff[3] = {1.0, 1.0, -1.0};
+          for (int upper = 0; upper < 2; ++upper) {
+            double rhs = upper ? 1.0 : 0.0;
+            const double sign = upper ? 1.0 : -1.0;
+            bool any_free = false;
+            for (int t = 0; t < 3; ++t) {
+              if (fixed[pv[t]] >= 0) {
+                rhs -= sign * coeff[t] * static_cast<double>(fixed[pv[t]]);
+              } else {
+                any_free = true;
+              }
+            }
+            if (!any_free) continue;
+            LpRow& row = next_row(RowType::kLe, rhs);
+            for (int t = 0; t < 3; ++t) {
+              if (fixed[pv[t]] < 0) {
+                row.coeffs[col_of[pv[t]]] = sign * coeff[t];
+              }
+            }
+          }
+        }
+      }
+    }
+  };
+  emit_triangle(0);
+  emit_triangle(n_pairs);
+
+  lp_.rows.resize(rows_used_);
+  return lp_;
+}
+
+}  // namespace dts::milp

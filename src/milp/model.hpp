@@ -1,0 +1,98 @@
+#pragma once
+
+/// \file model.hpp
+/// The paper's §4.5 ordering MILP, generalized to per-channel copy
+/// engines and emitted from `CompiledInstance` (the SoA view — model
+/// build never touches `Instance`'s per-task strings, and the emitter
+/// reuses its row/coefficient buffers so the branch-and-bound loop does
+/// no steady-state allocation).
+///
+/// Variables (continuous part): one transfer start s_i and one
+/// computation start c_i per task, plus the makespan M. Binary part: for
+/// every unordered task pair {i, j} (i < j) an a-variable ("transfer of
+/// i precedes j in the *global chronological* transfer order") and a
+/// b-variable ("computation of i precedes j"). These are exactly the
+/// paper's independent a_ij / b_ij order variables; the per-channel
+/// generalization shows up in the a-constraints: a same-channel pair
+/// serializes on its copy engine (s_j >= s_i + comm_i), a cross-channel
+/// pair is only ordered chronologically (s_j >= s_i) — the global order
+/// is what the engine's memory frontier commits in.
+///
+/// The LP relaxation drops the memory capacity entirely, which keeps it
+/// a true relaxation of every engine-feasible schedule (start times of
+/// any feasible schedule satisfy all rows); memory is enforced exactly
+/// when the branch-and-bound driver scores an integral leaf through the
+/// engine co-simulation (`simulate_pair_order`). Unfixed binaries relax
+/// to [0, 1] with big-M disjunctions, where H is the current incumbent
+/// makespan (any schedule worth finding satisfies M <= H, so H is a
+/// valid horizon and the tightest safe big-M).
+///
+/// Grid variants (`milp:T`): model durations are snapped *down* onto a
+/// T-step grid anchored at the warm-start horizon. Rounding down keeps
+/// every row a relaxation (bounds stay sound, only weaker), so the
+/// schedule returned and the optimality proof are unaffected — coarser
+/// grids trade bound strength for cheaper, sparser tableaux.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/compiled.hpp"
+#include "milp/simplex.hpp"
+
+namespace dts::milp {
+
+/// Sentinel for "pair variable not in the LP" (fixed by branching).
+inline constexpr std::size_t kNoColumn = static_cast<std::size_t>(-1);
+
+class OrderModelBuilder {
+ public:
+  /// `grid` = 0 keeps exact durations; T > 0 snaps model durations down
+  /// to multiples of horizon0 / T. `horizon0` anchors the grid once (the
+  /// warm-start incumbent), so the model is a pure function of the
+  /// instance and the fixing — it never shifts as the incumbent improves.
+  OrderModelBuilder(const CompiledInstance& ci, std::size_t grid,
+                    Time horizon0);
+
+  /// Unordered pairs {i, j}, i < j, in lexicographic order. Pair-variable
+  /// index p in [0, num_pairs()) is the a-variable of pairs()[p]; index
+  /// num_pairs() + p is its b-variable.
+  [[nodiscard]] std::size_t num_pairs() const noexcept {
+    return pairs_.size();
+  }
+  [[nodiscard]] std::size_t num_pair_vars() const noexcept {
+    return 2 * pairs_.size();
+  }
+  [[nodiscard]] std::pair<TaskId, TaskId> pair(std::size_t p) const noexcept {
+    return pairs_[p];
+  }
+  /// Lexicographic pair index of {i, j}; requires i < j.
+  [[nodiscard]] std::size_t pair_index(TaskId i, TaskId j) const noexcept {
+    const std::size_t n = ci_->size();
+    return static_cast<std::size_t>(i) * n -
+           static_cast<std::size_t>(i) * (i + 1) / 2 + (j - i - 1);
+  }
+
+  /// Emits the LP relaxation under `fixed` (size num_pair_vars(); -1 =
+  /// free in [0,1], 0/1 = fixed by branching) with horizon H =
+  /// `horizon` (big-M and the M <= H row). Fills `col_of` (resized to
+  /// num_pair_vars()) with each pair variable's LP column, kNoColumn for
+  /// fixed ones. The returned reference stays owned by the builder and
+  /// is invalidated by the next emit.
+  [[nodiscard]] const LpProblem& emit(Time horizon,
+                                      std::span<const std::int8_t> fixed,
+                                      std::vector<std::size_t>& col_of);
+
+ private:
+  /// Appends (or reuses) a zeroed row sized to the current num_vars.
+  [[nodiscard]] LpRow& next_row(RowType type, double rhs);
+
+  const CompiledInstance* ci_;
+  std::vector<std::pair<TaskId, TaskId>> pairs_;
+  std::vector<Time> model_comm_;  ///< Grid-snapped transfer durations.
+  std::vector<Time> model_comp_;  ///< Grid-snapped computation durations.
+  LpProblem lp_;
+  std::size_t rows_used_ = 0;
+};
+
+}  // namespace dts::milp

@@ -1,0 +1,195 @@
+#include "milp/simplex.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dts::milp {
+
+namespace {
+
+/// Pivot / reduced-cost tolerance. The ordering models are well scaled
+/// (coefficients are task durations and a makespan-sized big-M), so one
+/// absolute tolerance serves both roles.
+constexpr double kTol = 1e-9;
+
+}  // namespace
+
+void SimplexSolver::pivot(std::size_t row, std::size_t col) {
+  const double p = at(row, col);
+  const double inv = 1.0 / p;
+  for (std::size_t j = 0; j <= n_; ++j) at(row, j) *= inv;
+  at(row, col) = 1.0;  // kill the residual rounding error at the pivot
+  for (std::size_t i = 0; i <= m_; ++i) {
+    if (i == row) continue;
+    const double f = at(i, col);
+    if (f == 0.0) continue;
+    for (std::size_t j = 0; j <= n_; ++j) at(i, j) -= f * at(row, j);
+    at(i, col) = 0.0;
+  }
+  basis_[row] = col;
+  ++pivots_;
+}
+
+LpStatus SimplexSolver::run_phase(std::size_t limit, std::uint64_t max_pivots) {
+  for (;;) {
+    if (pivots_ >= max_pivots) return LpStatus::kPivotLimit;
+    // Bland entering rule: lowest-index column with negative reduced cost.
+    std::size_t enter = limit;
+    for (std::size_t j = 0; j < limit; ++j) {
+      if (at(m_, j) < -kTol) {
+        enter = j;
+        break;
+      }
+    }
+    if (enter == limit) return LpStatus::kOptimal;
+    // Ratio test; ties toward the lowest-index basic variable (Bland).
+    std::size_t leave = m_;
+    double best_ratio = 0.0;
+    for (std::size_t i = 0; i < m_; ++i) {
+      const double a = at(i, enter);
+      if (a <= kTol) continue;
+      const double ratio = at(i, n_) / a;
+      if (leave == m_ || ratio < best_ratio - kTol ||
+          (ratio < best_ratio + kTol && basis_[i] < basis_[leave])) {
+        leave = i;
+        best_ratio = ratio;
+      }
+    }
+    if (leave == m_) return LpStatus::kUnbounded;
+    pivot(leave, enter);
+  }
+}
+
+LpSolution SimplexSolver::solve(const LpProblem& problem,
+                                std::uint64_t max_pivots) {
+  const std::size_t nv = problem.num_vars;
+  const std::size_t m = problem.rows.size();
+  if (problem.objective.size() != nv) {
+    throw std::invalid_argument("simplex: objective size != num_vars");
+  }
+  for (const LpRow& row : problem.rows) {
+    if (row.coeffs.size() != nv) {
+      throw std::invalid_argument("simplex: row size != num_vars");
+    }
+  }
+
+  // Column layout: [structural | slack/surplus (one per inequality) |
+  // artificial (one per >= / == row, and per <= row with negative rhs
+  // after normalization)]. Count them first.
+  std::size_t n_slack = 0;
+  std::size_t n_art = 0;
+  for (const LpRow& row : problem.rows) {
+    const bool flip = row.rhs < 0.0;
+    RowType t = row.type;
+    if (flip && t != RowType::kEq) {
+      t = t == RowType::kLe ? RowType::kGe : RowType::kLe;
+    }
+    if (t != RowType::kEq) ++n_slack;
+    if (t != RowType::kLe) ++n_art;
+  }
+
+  m_ = m;
+  n_ = nv + n_slack + n_art;
+  stride_ = n_ + 1;
+  tableau_.assign((m_ + 1) * stride_, 0.0);
+  basis_.assign(m_, 0);
+  pivots_ = 0;
+
+  // Fill rows, normalized to rhs >= 0.
+  std::size_t slack_col = nv;
+  std::size_t art_col = nv + n_slack;
+  const std::size_t first_art = art_col;
+  for (std::size_t i = 0; i < m; ++i) {
+    const LpRow& row = problem.rows[i];
+    const bool flip = row.rhs < 0.0;
+    const double sign = flip ? -1.0 : 1.0;
+    for (std::size_t j = 0; j < nv; ++j) at(i, j) = sign * row.coeffs[j];
+    at(i, n_) = sign * row.rhs;
+    RowType t = row.type;
+    if (flip && t != RowType::kEq) {
+      t = t == RowType::kLe ? RowType::kGe : RowType::kLe;
+    }
+    if (t != RowType::kEq) {
+      at(i, slack_col) = t == RowType::kLe ? 1.0 : -1.0;
+      if (t == RowType::kLe) basis_[i] = slack_col;
+      ++slack_col;
+    }
+    if (t != RowType::kLe) {
+      at(i, art_col) = 1.0;
+      basis_[i] = art_col;
+      ++art_col;
+    }
+  }
+
+  LpSolution out;
+
+  // Phase 1: minimize the sum of artificials. The phase-1 objective row
+  // is the negated sum of the artificial-basic rows (so basic columns
+  // price to zero, the invariant pivoting preserves).
+  if (n_art > 0) {
+    for (std::size_t i = 0; i < m_; ++i) {
+      if (basis_[i] < first_art) continue;
+      for (std::size_t j = 0; j <= n_; ++j) at(m_, j) -= at(i, j);
+    }
+    // Price only real columns: an artificial driven out of the basis must
+    // never re-enter (its omitted +1 cost would make it spuriously
+    // attractive and mask infeasibility by pivoting to a != 0 "optimum").
+    const LpStatus phase1 = run_phase(first_art, max_pivots);
+    if (phase1 == LpStatus::kPivotLimit) {
+      out.status = LpStatus::kPivotLimit;
+      out.pivots = pivots_;
+      return out;
+    }
+    // phase1 objective value = -at(m_, n_); > 0 means infeasible.
+    if (-at(m_, n_) > 1e-7) {
+      out.status = LpStatus::kInfeasible;
+      out.pivots = pivots_;
+      return out;
+    }
+    // Drive any artificial still basic (at zero) out of the basis, or
+    // drop its row if it is redundant.
+    for (std::size_t i = 0; i < m_; ++i) {
+      if (basis_[i] < first_art) continue;
+      std::size_t col = first_art;
+      for (std::size_t j = 0; j < first_art; ++j) {
+        if (std::abs(at(i, j)) > kTol) {
+          col = j;
+          break;
+        }
+      }
+      if (col < first_art) {
+        pivot(i, col);
+      } else {
+        // Redundant row: zero it so it can never constrain phase 2.
+        for (std::size_t j = 0; j <= n_; ++j) at(i, j) = 0.0;
+      }
+    }
+  }
+
+  // Phase 2: real objective, artificial columns excluded from pricing.
+  // Rebuild the objective row priced against the current basis.
+  for (std::size_t j = 0; j <= n_; ++j) at(m_, j) = 0.0;
+  for (std::size_t j = 0; j < nv; ++j) at(m_, j) = problem.objective[j];
+  for (std::size_t i = 0; i < m_; ++i) {
+    const std::size_t b = basis_[i];
+    if (b >= nv) continue;
+    const double c = problem.objective[b];
+    if (c == 0.0) continue;
+    for (std::size_t j = 0; j <= n_; ++j) at(m_, j) -= c * at(i, j);
+  }
+  const LpStatus phase2 = run_phase(first_art, max_pivots);
+  out.pivots = pivots_;
+  if (phase2 != LpStatus::kOptimal) {
+    out.status = phase2;
+    return out;
+  }
+  out.status = LpStatus::kOptimal;
+  out.objective = -at(m_, n_);
+  out.x.assign(nv, 0.0);
+  for (std::size_t i = 0; i < m_; ++i) {
+    if (basis_[i] < nv) out.x[basis_[i]] = at(i, n_);
+  }
+  return out;
+}
+
+}  // namespace dts::milp

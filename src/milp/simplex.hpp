@@ -1,0 +1,94 @@
+#pragma once
+
+/// \file simplex.hpp
+/// Dense two-phase primal simplex — the LP core of the self-contained
+/// 0-1 MILP backend (src/milp/). No external solver dependency.
+///
+/// Determinism is a hard requirement here (src/milp/ is result-affecting
+/// code under tools/dts_lint.py): pivoting uses Bland's rule throughout —
+/// the entering column is the *lowest-index* variable with a negative
+/// reduced cost, the leaving row breaks min-ratio ties toward the
+/// lowest-index basic variable — which both guarantees termination
+/// (no cycling, even on degenerate vertices) and makes every solve a pure
+/// function of the tableau, independent of iteration history or memory
+/// layout.
+///
+/// The problems this core sees are tiny (a branch-and-bound node of an
+/// n <= 7 ordering model is ~60 rows x ~50 columns), so a dense tableau
+/// beats a revised implementation on both simplicity and constant factor.
+/// SimplexSolver keeps its tableau buffers across solves so the
+/// branch-and-bound hot loop performs no steady-state allocation.
+
+#include <cstdint>
+#include <vector>
+
+namespace dts::milp {
+
+enum class LpStatus {
+  kOptimal,
+  kInfeasible,
+  kUnbounded,
+  /// Safety valve only: Bland's rule terminates, so hitting the pivot cap
+  /// means the cap was set far too low for the model size. Callers treat
+  /// the solve as "no usable bound".
+  kPivotLimit,
+};
+
+enum class RowType { kLe, kGe, kEq };
+
+/// One constraint: coeffs . x (<=|>=|==) rhs over x >= 0.
+struct LpRow {
+  std::vector<double> coeffs;  ///< Dense, size = LpProblem::num_vars.
+  RowType type = RowType::kLe;
+  double rhs = 0.0;
+};
+
+/// minimize objective . x  subject to rows, x >= 0.
+struct LpProblem {
+  std::size_t num_vars = 0;
+  std::vector<double> objective;  ///< Dense, size num_vars.
+  std::vector<LpRow> rows;
+
+  void clear() noexcept {
+    num_vars = 0;
+    objective.clear();
+    rows.clear();
+  }
+};
+
+struct LpSolution {
+  LpStatus status = LpStatus::kInfeasible;
+  double objective = 0.0;           ///< Valid when kOptimal.
+  std::vector<double> x;            ///< Primal point, size num_vars.
+  std::uint64_t pivots = 0;
+};
+
+/// Reusable dense-tableau solver. One instance may be reused across any
+/// number of solves (buffers persist); it is not thread-safe — each
+/// branch-and-bound search owns its own.
+class SimplexSolver {
+ public:
+  /// Two-phase solve. `max_pivots` bounds phase 1 + phase 2 together.
+  [[nodiscard]] LpSolution solve(const LpProblem& problem,
+                                 std::uint64_t max_pivots = 200000);
+
+ private:
+  /// Bland pricing + ratio test + pivot on the current tableau rows
+  /// [0, m) with objective row m, restricted to columns [0, limit).
+  /// Returns the terminal status of the phase.
+  [[nodiscard]] LpStatus run_phase(std::size_t limit, std::uint64_t max_pivots);
+  void pivot(std::size_t row, std::size_t col);
+
+  [[nodiscard]] double& at(std::size_t row, std::size_t col) noexcept {
+    return tableau_[row * stride_ + col];
+  }
+
+  std::size_t m_ = 0;       ///< Constraint rows.
+  std::size_t n_ = 0;       ///< Total columns (structural + slack + artificial).
+  std::size_t stride_ = 0;  ///< n_ + 1 (rhs column).
+  std::vector<double> tableau_;  ///< (m_ + 1) x stride_; row m_ = objective.
+  std::vector<std::size_t> basis_;
+  std::uint64_t pivots_ = 0;
+};
+
+}  // namespace dts::milp

@@ -257,6 +257,11 @@ void write_response(std::ostream& out, const WireResponse& response) {
         out << "winner " << response.winner << '\n';
         out << "makespan " << format_double(response.makespan) << '\n';
         out << "evaluations " << response.evaluations << '\n';
+        out << "proved-optimal " << (response.proved_optimal ? 1 : 0) << '\n';
+        out << "lower-bound " << format_double(response.lower_bound) << '\n';
+        if (response.gap && std::isfinite(*response.gap)) {
+          out << "gap " << format_double(*response.gap) << '\n';
+        }
         out << "order " << response.order.size() << '\n';
         std::string line;
         for (std::uint32_t id : response.order) {
@@ -358,6 +363,14 @@ std::optional<WireResponse> read_response(std::istream& in,
       res.makespan = parse_double(tokens[1], "makespan");
     } else if (key == "evaluations" && tokens.size() == 2) {
       res.evaluations = parse_u64(tokens[1], "evaluations");
+    } else if (key == "proved-optimal" && tokens.size() == 2) {
+      const std::uint64_t v = parse_u64(tokens[1], "proved-optimal");
+      if (v > 1) throw ProtocolError("proved-optimal must be 0 or 1");
+      res.proved_optimal = v == 1;
+    } else if (key == "lower-bound" && tokens.size() == 2) {
+      res.lower_bound = parse_double(tokens[1], "lower-bound");
+    } else if (key == "gap" && tokens.size() == 2) {
+      res.gap = parse_double(tokens[1], "gap");
     } else if (key == "order" && tokens.size() == 2) {
       const std::uint64_t n = parse_u64(tokens[1], "order");
       if (n > limits.max_trace_bytes) {

@@ -30,6 +30,11 @@
 ///     winner <name>
 ///     makespan <seconds, %.17g>
 ///     evaluations <n>
+///     proved-optimal 0|1
+///     lower-bound <seconds, %.17g>
+///     gap <relative, %.17g>         (only when a finite gap exists: a
+///                                    positive lower bound and a finite
+///                                    makespan; 0 when proved optimal)
 ///     order <n>
 ///     <n task ids, space-separated, chunked over short lines>
 ///     schedule <n>
@@ -114,6 +119,13 @@ struct WireResponse {
   std::string winner;
   double makespan = 0.0;
   std::uint64_t evaluations = 0;
+  /// The solver proved the schedule optimal (SolveResult::proved_optimal).
+  bool proved_optimal = false;
+  /// Strongest solver-proven makespan lower bound; 0 when none.
+  double lower_bound = 0.0;
+  /// Relative optimality gap, present only when finite on the wire
+  /// (parse_double rejects non-finite values by design).
+  std::optional<double> gap;
   std::vector<std::uint32_t> order;
   /// Start-time pairs (comm, comp) indexed by task id; empty for
   /// non-solve responses.

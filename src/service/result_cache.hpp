@@ -47,7 +47,11 @@ struct CacheKey {
 };
 
 /// Inputs that join the fingerprint in the cache key. Everything here can
-/// change the solved order, so everything here splits the cache.
+/// change the solved order, so everything here splits the cache. The MILP
+/// backend's result-affecting knobs are covered: its grid resolution
+/// rides in the solver string ("milp:8" != "milp"), and its node budget
+/// is SolveOptions::max_iterations — a budget-stopped search's incumbent
+/// depends on both, so warm hits stay bitwise-correct across them.
 struct RequestDigestInputs {
   Mem capacity = 0.0;
   std::string solver;
@@ -67,6 +71,11 @@ struct CachedResult {
   std::string winner;                   ///< Registry name of the winner.
   Time makespan = 0.0;
   std::uint64_t evaluations = 0;
+  /// Optimality certificate of the original solve — makespans (and the
+  /// bounds behind them) are canonicalization-invariant, so a warm hit
+  /// replays them verbatim.
+  bool proved_optimal = false;
+  Time lower_bound = 0.0;
   /// Only set when replaying canonical_order does not reproduce the
   /// solver's schedule (non-semi-active winners): start times indexed by
   /// canonical slot, translated back per request at hit time.

@@ -46,6 +46,8 @@ ServiceResponse cold_response(const std::string& id, const SolveResult& result,
   r.winner = result.winner;
   r.makespan = result.makespan;
   r.evaluations = result.evaluations;
+  r.proved_optimal = result.proved_optimal;
+  r.lower_bound = result.lower_bound;
   r.order = result.schedule.comm_order();
   r.schedule = result.schedule.times();
   return r;
@@ -65,6 +67,8 @@ ServiceResponse warm_response(const std::string& id, const CachedResult& cached,
   r.winner = cached.winner;
   r.makespan = cached.makespan;
   r.evaluations = cached.evaluations;
+  r.proved_optimal = cached.proved_optimal;
+  r.lower_bound = cached.lower_bound;
   r.order = canon.to_request_order(cached.canonical_order);
   if (cached.canonical_schedule) {
     r.schedule.resize(cached.canonical_schedule->size());
@@ -87,6 +91,8 @@ CachedResult build_cached(const SolveResult& result,
   c.winner = result.winner;
   c.makespan = result.makespan;
   c.evaluations = result.evaluations;
+  c.proved_optimal = result.proved_optimal;
+  c.lower_bound = result.lower_bound;
   const std::vector<TaskId> order = result.schedule.comm_order();
   c.canonical_order = canon.to_canonical_order(order);
   const Schedule replay = simulate_order(bound, order, capacity);
@@ -429,6 +435,14 @@ WireResponse SolverService::handle_wire(const WireRequest& request) {
   wire.winner = response.winner;
   wire.makespan = response.makespan;
   wire.evaluations = response.evaluations;
+  wire.proved_optimal = response.proved_optimal;
+  wire.lower_bound = response.lower_bound;
+  if (response.lower_bound > 0.0 && response.makespan != kInfiniteTime) {
+    wire.gap = response.proved_optimal
+                   ? 0.0
+                   : (response.makespan - response.lower_bound) /
+                         response.lower_bound;
+  }
   wire.order.assign(response.order.begin(), response.order.end());
   wire.schedule.reserve(response.schedule.size());
   for (const TaskTimes& t : response.schedule) {

@@ -94,6 +94,10 @@ struct ServiceResponse {
   std::string winner;
   Time makespan = 0.0;
   std::uint64_t evaluations = 0;
+  /// Optimality certificate (SolveResult::proved_optimal / lower_bound);
+  /// warm hits replay the original solve's certificate verbatim.
+  bool proved_optimal = false;
+  Time lower_bound = 0.0;
   std::vector<TaskId> order;        ///< Winning comm order, request ids.
   std::vector<TaskTimes> schedule;  ///< Start times indexed by task id.
   std::string shed_reason;          ///< "admission" or "queue-full".

@@ -54,6 +54,10 @@ struct SolverPlan {
   bool exact = false;  ///< participates in the "exact <= heuristic" check
   std::size_t max_n = 40;           ///< beyond this the solver is skipped
   bool single_channel_only = false; ///< contractually rejects duplex
+  /// Per-plan SolveOptions::max_iterations: exact tree searches need a
+  /// budget that provably closes on their max_n, anytime heuristics a
+  /// small one that bounds per-round work.
+  std::size_t max_iterations = 200;
 };
 
 std::vector<SolverPlan> build_plans() {
@@ -71,6 +75,10 @@ std::vector<SolverPlan> build_plans() {
     } else if (listing.name == "branch-bound") {
       plan.exact = true;
       plan.max_n = 5;  // pruned (5!)^2 search, any channel count
+    } else if (listing.name == "milp") {
+      plan.exact = true;
+      plan.max_n = 4;  // LP branch-and-bound closes in ~1k nodes here
+      plan.max_iterations = 20000;  // node budget: proves on every n <= 4
     }
     plans.push_back(std::move(plan));
   }
@@ -98,6 +106,7 @@ TEST(Differential, EverySolverOnRandomCorpus) {
                  std::to_string(n) + " channels=" + std::to_string(channels));
 
     std::map<std::string, Time> makespans;
+    std::map<std::string, bool> proved;
     for (const SolverPlan& plan : plans) {
       if (n > plan.max_n) continue;
       if (plan.single_channel_only && !inst.single_channel()) {
@@ -108,6 +117,7 @@ TEST(Differential, EverySolverOnRandomCorpus) {
         continue;
       }
       SolveResult res;
+      options.max_iterations = plan.max_iterations;
       ASSERT_NO_THROW(res = solve(request, plan.name, options)) << plan.name;
       EXPECT_TRUE(res.schedule.complete()) << plan.name;
       EXPECT_TRUE(testing::feasible(inst, res.schedule, capacity))
@@ -119,6 +129,30 @@ TEST(Differential, EverySolverOnRandomCorpus) {
           << plan.name << ": makespan " << res.makespan
           << " beats the OMIM lower bound " << bounds.omim_lower;
       makespans[plan.name] = res.makespan;
+      if (plan.exact) {
+        proved[plan.name] = res.proved_optimal;
+        // A solver claiming proof must back it with a matching bound.
+        if (res.proved_optimal) {
+          EXPECT_EQ(res.lower_bound, res.makespan) << plan.name;
+        }
+      }
+    }
+
+    // Exact agreement: milp and branch-bound minimize over the same
+    // engine-scored (transfer order, comp order) space with the same
+    // incumbent discipline, so where both run — single-channel and
+    // duplex — their makespans are bitwise identical, and milp's node
+    // budget is sized to prove optimality on every corpus size it sees.
+    if (makespans.count("milp")) {
+      EXPECT_TRUE(proved["milp"]) << "milp failed to close its tree";
+      if (makespans.count("branch-bound")) {
+        EXPECT_EQ(makespans["milp"], makespans["branch-bound"]);
+      }
+      // The permutation space is a subset of the pair space, so the
+      // exhaustive makespan can never beat milp's.
+      if (makespans.count("exhaustive")) {
+        EXPECT_TRUE(approx_leq(makespans["milp"], makespans["exhaustive"]));
+      }
     }
 
     // Exact solvers dominate: every heuristic's schedule is inside their

@@ -1,0 +1,4 @@
+// lint-as: src/milp/fixture.cpp
+#include <memory>
+#include <set>
+std::set<double*, std::less<double*>> columns_by_address;

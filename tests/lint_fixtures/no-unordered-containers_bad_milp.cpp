@@ -1,0 +1,3 @@
+// lint-as: src/milp/fixture.cpp
+#include <unordered_set>
+std::unordered_set<int> fractional_vars;

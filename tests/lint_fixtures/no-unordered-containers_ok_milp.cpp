@@ -1,0 +1,3 @@
+// lint-as: src/milp/fixture.cpp
+#include <set>
+std::set<int> fractional_vars;

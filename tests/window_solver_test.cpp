@@ -93,5 +93,40 @@ TEST(WindowSolver, EmptyInstance) {
   EXPECT_EQ(s.size(), 0u);
 }
 
+TEST(WindowSolver, PairModeLowerBoundPrunesWithoutChangingSchedules) {
+  // The carried-state-strengthened capacity-aware bound lets a window's
+  // pair search stop at the first incumbent that provably matches it.
+  // Pruning must be pure acceleration: identical schedules, strictly
+  // fewer pairs simulated over the corpus, and at least one window
+  // actually closed by the bound (a regression here means the early exit
+  // went dead — e.g. the bound stopped accounting for the carried state).
+  Rng rng(65);
+  std::uint64_t pruned_pairs = 0;
+  std::uint64_t full_pairs = 0;
+  std::size_t proved = 0;
+  for (int iter = 0; iter < 15; ++iter) {
+    const Instance inst = testing::random_instance(rng, 11);
+    const Mem capacity = testing::random_capacity(rng, inst, 1.8);
+    const WindowedResult with_lb = solve_windowed(
+        inst, capacity,
+        {.window = 4, .mode = WindowMode::kPairOrder, .use_lower_bounds = true});
+    const WindowedResult without_lb = solve_windowed(
+        inst, capacity,
+        {.window = 4, .mode = WindowMode::kPairOrder, .use_lower_bounds = false});
+    for (TaskId id = 0; id < inst.size(); ++id) {
+      EXPECT_EQ(with_lb.schedule[id].comm_start,
+                without_lb.schedule[id].comm_start) << "task " << id;
+      EXPECT_EQ(with_lb.schedule[id].comp_start,
+                without_lb.schedule[id].comp_start) << "task " << id;
+    }
+    EXPECT_EQ(without_lb.windows_proved, 0u);
+    pruned_pairs += with_lb.pairs_simulated;
+    full_pairs += without_lb.pairs_simulated;
+    proved += with_lb.windows_proved;
+  }
+  EXPECT_LT(pruned_pairs, full_pairs);
+  EXPECT_GT(proved, 0u);
+}
+
 }  // namespace
 }  // namespace dts

@@ -57,6 +57,8 @@ def row_key(row):
         return ("sweep", row["kernel"], row["machine"])
     if "mode" in row:
         return ("throughput", row["kernel"], row["mode"])
+    if "capacity_factor" in row:
+        return ("fig7", row["kernel"], row["capacity_factor"])
     return ("asymmetry", row["kernel"], row["d2h_slowdown"])
 
 
@@ -72,6 +74,15 @@ def metrics(row):
             if is_throughput_metric(name):
                 out[name] = value
         return out
+    if "capacity_factor" in row:
+        # fig7-duplex row: the proved-optimal exact makespan and the best
+        # heuristic's — both deterministic functions of the seeded corpus.
+        return {
+            "milp_median_makespan_seconds":
+                row["milp_median_makespan_seconds"],
+            "best_heuristic_median_makespan_seconds":
+                row["best_heuristic_median_makespan_seconds"],
+        }
     return {
         "scmr_median_makespan_seconds": row["scmr_median_makespan_seconds"],
         "duplex_balance_median_makespan_seconds":
@@ -147,6 +158,10 @@ def run_self_test():
     }}
     sweep_base = {("sweep", "HF", "cascade"):
                   {"median_makespan_seconds": 1.0}}
+    fig7_base = {("fig7", "HF", 1.25): {
+        "milp_median_makespan_seconds": 4.0e-5,
+        "best_heuristic_median_makespan_seconds": 4.2e-5,
+    }}
 
     def tweak(rows, **overrides):
         out = {key: dict(vals) for key, vals in rows.items()}
@@ -172,9 +187,27 @@ def run_self_test():
         return compare(base, cand, DEFAULT_TOLERANCE,
                        DEFAULT_THROUGHPUT_TOLERANCE)
 
-    # Identity passes, for both schemas.
+    # Identity passes, for every schema.
     expect("identical throughput rows", run(thr_base, thr_base), False)
     expect("identical sweep rows", run(sweep_base, sweep_base), False)
+    expect("identical fig7 rows", run(fig7_base, fig7_base), False)
+
+    # Fig. 7 duplex columns are deterministic makespans: strict rule in
+    # both directions, for the exact and the best-heuristic column alike.
+    expect("fig7 exact-makespan regression",
+           run(fig7_base,
+               tweak(fig7_base, milp_median_makespan_seconds=4.3e-5)),
+           True)
+    expect("fig7 heuristic-makespan regression",
+           run(fig7_base,
+               tweak(fig7_base,
+                     best_heuristic_median_makespan_seconds=4.5e-5)),
+           True)
+    expect("fig7 improvement is a note",
+           run(fig7_base,
+               tweak(fig7_base,
+                     best_heuristic_median_makespan_seconds=4.05e-5)),
+           False, improvements=1)
 
     # Deterministic makespan: strict in both directions of the tolerance.
     expect("makespan regression",
@@ -235,6 +268,15 @@ def run_self_test():
         parsed[row_key(row)] = metrics(row)
     if parsed != thr_base:
         failures.append(f"throughput row parse drifted: {parsed}")
+    parsed = {}
+    for row in json.loads(json.dumps({"rows": [{
+            "kernel": "HF", "capacity_factor": 1.25,
+            "milp_median_makespan_seconds": 4.0e-5,
+            "proved_fraction": 1.0, "best_heuristic": "BP",
+            "best_heuristic_median_makespan_seconds": 4.2e-5}]}))["rows"]:
+        parsed[row_key(row)] = metrics(row)
+    if parsed != fig7_base:
+        failures.append(f"fig7 row parse drifted: {parsed}")
 
     if failures:
         for line in failures:

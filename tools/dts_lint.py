@@ -14,9 +14,10 @@ ones that otherwise live only in reviewers' heads:
                            RegisterMachine / MachineRegistry::add site a
                            MachineChannels{...} declaration.
   no-unordered-containers  result-affecting code (src/core, src/exact,
-                           src/heuristics) never uses std::unordered_{map,
-                           set}: iteration order is implementation-defined
-                           and would make solve results machine-dependent.
+                           src/heuristics, src/milp) never uses
+                           std::unordered_{map, set}: iteration order is
+                           implementation-defined and would make solve
+                           results machine-dependent.
   no-nondeterministic-rng  no std::rand/srand/std::random_device or
                            time-seeded RNG in src/ or bench/ — every
                            random stream takes an explicit seed
@@ -66,7 +67,8 @@ EXCLUDED_PARTS = {"lint_fixtures", "build", "_googletest"}
 
 # Directories whose code decides solve results: identical inputs must
 # produce identical schedules on every platform, run after run.
-RESULT_AFFECTING = ("src/core/", "src/exact/", "src/heuristics/")
+RESULT_AFFECTING = ("src/core/", "src/exact/", "src/heuristics/",
+                    "src/milp/")
 
 ALLOW_RE = re.compile(r"dts-lint:\s*allow\(([a-z-]+(?:\s*,\s*[a-z-]+)*)\)")
 LINT_AS_RE = re.compile(r"//\s*lint-as:\s*(\S+)")
