@@ -9,6 +9,12 @@
 /// 8x), and the channel-load-aware duplex-balance order is evaluated
 /// against SCMR (the paper's best dynamic heuristic) on each variant.
 ///
+/// A third axis sweeps *precedence*: the CCSD contraction-chain DAG
+/// workload (generate_ccsd_dag_trace) is solved with its edges and
+/// relaxed to the precedence-free model on each duplex-capable machine
+/// up to the summit-multi-gpu hierarchy, so the scheduler's DAG path has
+/// CI-guarded data points from day one.
+///
 /// The numbers land in BENCH_machine_sweep.json so the perf trajectory of
 /// the costing + solving pipeline has data points across PRs; CI checks
 /// the deterministic makespan columns against bench/baselines/ via
@@ -68,6 +74,23 @@ struct AsymmetryRow {
 
   [[nodiscard]] double balance_over_scmr() const {
     return scmr_median > 0.0 ? balance_median / scmr_median : 0.0;
+  }
+};
+
+/// One point of the precedence (DAG) axis: the CCSD contraction-chain
+/// workload solved with its dependency edges against the same tasks
+/// relaxed to the paper's precedence-free model. The gap is the price of
+/// the edges; both medians are deterministic functions of the seeded
+/// corpus, so CI guards them exactly.
+struct DagRow {
+  std::string kernel;
+  std::string machine;
+  std::string winner;
+  double dag_median = 0.0;
+  double relaxed_median = 0.0;
+
+  [[nodiscard]] double dag_over_relaxed() const {
+    return relaxed_median > 0.0 ? dag_median / relaxed_median : 0.0;
   }
 };
 
@@ -229,6 +252,68 @@ int main(int argc, char** argv) {
   }
   std::printf("%s", asym_table.to_ascii().c_str());
 
+  // ------------------------------------------------ precedence (DAG) axis
+  // CCSD contraction chains (generate_ccsd_dag_trace): the same tasks
+  // solved with their dependency edges and relaxed to the precedence-free
+  // model, across the duplex-capable machines up to the multi-GPU
+  // hierarchy. dag/relaxed quantifies what the edges cost on each
+  // machine; both columns are seed-deterministic and CI-guarded.
+  std::printf("\nDAG axis — CCSD contraction chains, with edges vs "
+              "relaxed, per machine\n\n");
+  std::vector<DagRow> dag_rows;
+  TextTable dag_table({"kernel", "machine", "winner", "DAG median",
+                       "relaxed median", "dag/relaxed"});
+  {
+    TraceConfig dag_config;
+    dag_config.machine = MachineModel::duplex_pcie();
+    std::vector<Instance> dag_bytes;
+    for (std::size_t p = 0; p < options.traces; ++p) {
+      TraceConfig config = dag_config;
+      config.seed = options.seed + p;
+      dag_bytes.push_back(strip_comm_times(generate_ccsd_dag_trace(config)));
+    }
+    for (const char* name :
+         {"duplex-pcie", "summit-node", "nvlink", "summit-multi-gpu"}) {
+      const Machine machine = machine_from_name(name);
+      DagRow row;
+      row.kernel = "CCSD-DAG";
+      row.machine = name;
+      std::vector<double> dag_makespans, relaxed_makespans;
+      std::map<std::string, std::size_t> wins;
+      for (const Instance& workload : dag_bytes) {
+        const Instance instance = bind(workload, machine);
+        SolveRequest request;
+        request.instance = instance;
+        request.capacity = 1.5 * instance.min_capacity();
+        const SolveResult with_edges = solve(request, "auto");
+        dag_makespans.push_back(with_edges.makespan);
+        ++wins[with_edges.winner];
+        request.instance = instance.without_dependencies();
+        relaxed_makespans.push_back(solve(request, "auto").makespan);
+      }
+      row.dag_median = summarize(dag_makespans).median;
+      row.relaxed_median = summarize(relaxed_makespans).median;
+      std::size_t best = 0;
+      for (const auto& [winner, count] : wins) {
+        if (count > best) {
+          best = count;
+          row.winner = winner;
+        }
+      }
+      dag_rows.push_back(row);
+
+      char dag_text[32], relaxed_text[32], gap_text[16];
+      std::snprintf(dag_text, sizeof dag_text, "%.6g s", row.dag_median);
+      std::snprintf(relaxed_text, sizeof relaxed_text, "%.6g s",
+                    row.relaxed_median);
+      std::snprintf(gap_text, sizeof gap_text, "%.4f",
+                    row.dag_over_relaxed());
+      dag_table.add_row({row.kernel, row.machine, row.winner, dag_text,
+                         relaxed_text, gap_text});
+    }
+  }
+  std::printf("%s", dag_table.to_ascii().c_str());
+
   // Hand-rolled JSON (no third-party deps in this container).
   std::ofstream json(json_path);
   if (!json) {
@@ -259,8 +344,19 @@ int main(int argc, char** argv) {
          << ", \"balance_over_scmr\": " << row.balance_over_scmr() << "}"
          << (i + 1 < asymmetry.size() ? "," : "") << "\n";
   }
+  json << "  ],\n  \"dag\": [\n";
+  for (std::size_t i = 0; i < dag_rows.size(); ++i) {
+    const DagRow& row = dag_rows[i];
+    json << "    {\"kernel\": \"" << row.kernel << "\", \"dag_machine\": \""
+         << row.machine << "\", \"winner\": \"" << row.winner
+         << "\", \"dag_median_makespan_seconds\": " << row.dag_median
+         << ", \"relaxed_median_makespan_seconds\": " << row.relaxed_median
+         << ", \"dag_over_relaxed\": " << row.dag_over_relaxed() << "}"
+         << (i + 1 < dag_rows.size() ? "," : "") << "\n";
+  }
   json << "  ]\n}\n";
-  std::printf("\nwrote %s (%zu rows + %zu asymmetry rows)\n",
-              json_path.c_str(), rows.size(), asymmetry.size());
+  std::printf("\nwrote %s (%zu rows + %zu asymmetry rows + %zu DAG rows)\n",
+              json_path.c_str(), rows.size(), asymmetry.size(),
+              dag_rows.size());
   return 0;
 }

@@ -37,7 +37,7 @@ constexpr std::string_view kUsage =
     "usage: dts <command> [args]     (trace FILE arguments accept '-' for\n"
     "                                stdin, so commands pipe into each other)\n"
     "commands:\n"
-    "  generate  --kernel=HF|CCSD [--seed=N] [--min-tasks=N] [--max-tasks=N]\n"
+    "  generate  --kernel=HF|CCSD|CCSD-DAG [--seed=N] [--min-tasks=N] [--max-tasks=N]\n"
     "            [--machine=paper|cascade|pcie-gpu|duplex-pcie]\n"
     "            [--writeback-fraction=F]\n"
     "            --out=FILE          synthesize a byte-annotated (v3) process\n"
@@ -239,14 +239,17 @@ int cmd_generate(const CommandLine& cmd, std::ostream& out) {
   const auto kernel_name = cmd.flag("kernel").value_or("HF");
   const auto out_file = cmd.flag("out");
   if (!out_file) throw std::invalid_argument("generate needs --out=FILE");
-  ChemistryKernel kernel;
+  ChemistryKernel kernel = ChemistryKernel::kCoupledClusterSD;
+  bool dag = false;
   if (kernel_name == "HF") {
     kernel = ChemistryKernel::kHartreeFock;
   } else if (kernel_name == "CCSD") {
     kernel = ChemistryKernel::kCoupledClusterSD;
+  } else if (kernel_name == "CCSD-DAG") {
+    dag = true;
   } else {
     throw std::invalid_argument("unknown kernel '" + kernel_name +
-                                "' (use HF or CCSD)");
+                                "' (use HF, CCSD, or CCSD-DAG)");
   }
   TraceConfig config;
   config.seed = cmd.count_or("seed", 1);
@@ -271,10 +274,13 @@ int cmd_generate(const CommandLine& cmd, std::ostream& out) {
       throw std::invalid_argument("--writeback-fraction must be in (0, 1]");
     }
   }
-  const Instance inst = generate_trace(kernel, config);
+  const Instance inst =
+      dag ? generate_ccsd_dag_trace(config) : generate_trace(kernel, config);
   write_trace_file(*out_file, inst);
-  out << "wrote " << inst.size() << " " << to_string(kernel) << " tasks to "
-      << *out_file << " (mc = " << format_si_bytes(inst.min_capacity());
+  out << "wrote " << inst.size() << " "
+      << (dag ? std::string("CCSD-DAG") : std::string(to_string(kernel)))
+      << " tasks to " << *out_file
+      << " (mc = " << format_si_bytes(inst.min_capacity());
   if (!inst.single_channel()) {
     out << ", " << inst.num_channels() << " channels";
   }
@@ -569,10 +575,10 @@ int cmd_improve(const CommandLine& cmd, std::ostream& out,
 }
 
 int cmd_solvers(std::ostream& out) {
-  TextTable table({"solver", "arguments", "channels", "description"});
+  TextTable table({"solver", "arguments", "channels", "deps", "description"});
   for (const SolverListing& listing : list_solvers()) {
     table.add_row({listing.name, listing.params, listing.channels,
-                   listing.description});
+                   listing.deps, listing.description});
   }
   out << table.to_ascii();
   return 0;

@@ -52,9 +52,21 @@ std::vector<TaskId> order_for_batch(HeuristicId id, const Instance& inst,
     default:
       throw std::logic_error("order_for_batch: not a static heuristic");
   }
+  // Internal edges survive subset(); repair the policy's order against
+  // them (identity on edge-free batches).
+  if (sub.has_dependencies()) local = legalize_order(sub, local);
   std::vector<TaskId> global(local.size());
   for (std::size_t k = 0; k < local.size(); ++k) global[k] = ids[local[k]];
   return global;
+}
+
+/// Batch boundaries walk this sequence. On a DAG the topological order
+/// replaces raw submission so a predecessor always lands in an earlier
+/// (or the same) batch — cross-batch readiness then flows through the
+/// shared Schedule. On an edge-free instance it *is* submission order.
+std::vector<TaskId> batch_sequence(const Instance& inst) {
+  return inst.has_dependencies() ? inst.topological_order()
+                                 : inst.submission_order();
 }
 
 }  // namespace
@@ -104,7 +116,7 @@ Schedule schedule_in_batches(HeuristicId id, const Instance& inst, Mem capacity,
   if (batch_size == 0) {
     throw std::invalid_argument("schedule_in_batches: batch_size must be > 0");
   }
-  const std::vector<TaskId> submission = inst.submission_order();
+  const std::vector<TaskId> submission = batch_sequence(inst);
   const CompiledInstance compiled(inst);
   ExecutionState state(capacity, inst.num_channels());
   Schedule sched(inst.size());
@@ -128,7 +140,7 @@ BatchAutoResult schedule_in_batches_auto(
     throw std::invalid_argument(
         "schedule_in_batches_auto: need at least one candidate");
   }
-  const std::vector<TaskId> submission = inst.submission_order();
+  const std::vector<TaskId> submission = batch_sequence(inst);
   const CompiledInstance compiled(inst);
   BatchAutoResult result;
   result.schedule = Schedule(inst.size());
@@ -182,6 +194,14 @@ BatchAutoResult schedule_in_batches_auto(
     for (TaskId id : ids) result.schedule[id] = trials[best].schedule[id];
     result.winners.push_back(candidates[best]);
     carried = std::move(trials[best].state);
+    if (inst.has_dependencies()) {
+      // Later batches read predecessor completion times from their trial
+      // schedule; overwrite every trial's entries for this batch with the
+      // committed winner's so losing-trial starts are never consulted.
+      for (Trial& trial : trials) {
+        for (TaskId id : ids) trial.schedule[id] = result.schedule[id];
+      }
+    }
   }
   return result;
 }

@@ -24,6 +24,7 @@ Bounds compute_bounds(const Instance& inst) {
       b.sum_comm_per_channel.begin(), b.sum_comm_per_channel.end());
   b.area_lower = std::max(max_channel_load, b.sum_comp);
   b.sequential_upper = b.sum_comm + b.sum_comp;
+  b.critical_path = critical_path_bound(inst);
   if (inst.single_channel()) {
     b.omim_lower = omim(inst);
   } else {
@@ -38,6 +39,30 @@ Bounds compute_bounds(const Instance& inst) {
     }
   }
   return b;
+}
+
+Time critical_path_bound(const Instance& inst) {
+  if (!inst.has_dependencies()) {
+    // Every chain is a single task: the longest is the largest CM + CP.
+    Time best = 0.0;
+    for (const Task& t : inst) best = std::max(best, t.comm + t.comp);
+    return best;
+  }
+  // Longest path in completion time: a task finishes no earlier than its
+  // latest predecessor's finish plus its own CM + CP (the transfer waits
+  // for the predecessor's computation, then transfer and computation run
+  // back to back at best).
+  std::vector<Time> finish(inst.size(), 0.0);
+  Time best = 0.0;
+  for (const TaskId id : inst.topological_order()) {
+    Time earliest = 0.0;
+    for (const TaskId dep : inst[id].deps) {
+      earliest = std::max(earliest, finish[dep]);
+    }
+    finish[id] = earliest + inst[id].comm + inst[id].comp;
+    best = std::max(best, finish[id]);
+  }
+  return best;
 }
 
 }  // namespace dts

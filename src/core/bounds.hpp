@@ -33,6 +33,12 @@ struct Bounds {
   std::vector<Time> sum_comm_per_channel;
   Time area_lower = 0.0;      ///< max(largest channel load, sum_comp)
   Time omim_lower = 0.0;      ///< per-channel Johnson max, >= area_lower
+  /// Longest dependency chain, each link costing CM + CP: a transfer may
+  /// not start before its predecessors' computations end, so every chain
+  /// runs fully serialized. Equals the largest single-task CM + CP on an
+  /// edge-free instance (<= omim_lower there, so nothing changes for the
+  /// paper's precedence-free workloads).
+  Time critical_path = 0.0;
   Time sequential_upper = 0.0;///< sum_comm + sum_comp
 
   /// Fraction of the sequential time that perfect scheduling could hide:
@@ -43,5 +49,9 @@ struct Bounds {
 };
 
 [[nodiscard]] Bounds compute_bounds(const Instance& inst);
+
+/// The critical-path makespan lower bound on its own: the longest chain of
+/// dependency edges with each task contributing CM + CP. O(n + edges).
+[[nodiscard]] Time critical_path_bound(const Instance& inst);
 
 }  // namespace dts

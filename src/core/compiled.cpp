@@ -45,13 +45,22 @@ namespace {
       std::to_string(capacity));
 }
 
+[[noreturn]] void throw_unissued_pred(TaskId id, TaskId dep) {
+  // Same message shape as execute_order's dependency check.
+  throw std::invalid_argument("execute_order: task " + std::to_string(id) +
+                              " issued before its predecessor " +
+                              std::to_string(dep));
+}
+
 }  // namespace
 
 // ----------------------------------------------------------------------
 // CompiledInstance
 
 CompiledInstance::CompiledInstance(const Instance& inst)
-    : n_channels_(inst.num_channels()), min_capacity_(inst.min_capacity()) {
+    : n_channels_(inst.num_channels()),
+      min_capacity_(inst.min_capacity()),
+      has_dependencies_(inst.has_dependencies()) {
   const std::size_t n = inst.size();
   comm_.reserve(n);
   comp_.reserve(n);
@@ -64,6 +73,16 @@ CompiledInstance::CompiledInstance(const Instance& inst)
     mem_.push_back(t.mem);
     channel_.push_back(t.channel);
     ++per_channel[t.channel];
+  }
+  dep_offsets_.assign(n + 1, 0);
+  if (has_dependencies_) {
+    for (std::size_t id = 0; id < n; ++id) {
+      dep_offsets_[id + 1] = dep_offsets_[id] + inst[id].deps.size();
+    }
+    dep_edges_.reserve(dep_offsets_[n]);
+    for (const Task& t : inst) {
+      dep_edges_.insert(dep_edges_.end(), t.deps.begin(), t.deps.end());
+    }
   }
   channel_offsets_.assign(n_channels_ + 1, 0);
   for (std::size_t ch = 0; ch < n_channels_; ++ch) {
@@ -99,12 +118,18 @@ Time EvalScratch::comm_available() const noexcept {
 }
 
 void EvalScratch::reset(const CompiledInstance& ci, Mem capacity,
-                        const ExecutionState::Snapshot* initial) {
+                        const ExecutionState::Snapshot* initial,
+                        std::span<const Time> ready) {
   if (!(capacity >= 0.0)) throw_negative_capacity();  // also rejects NaN
   capacity_ = capacity;
   makespan_ = 0.0;
   used_ = 0.0;
   active_.clear();
+  track_deps_ = ci.has_dependencies();
+  if (track_deps_) {
+    comp_end_.assign(ci.size(), -1.0);  // -1 = not issued yet
+  }
+  external_ready_.assign(ready.begin(), ready.end());
   if (initial == nullptr) {
     comm_avail_.assign(ci.num_channels(), 0.0);
     now_ = 0.0;
@@ -164,6 +189,13 @@ void EvalScratch::issue(const CompiledInstance& ci,
   const std::size_t n_tasks = ci.size();
   const std::size_t nch = comm_avail_.size();
   Time* const clocks = comm_avail_.data();
+  // DAG support is fully gated: edge-free instances with no external
+  // floors run the original operation sequence (bit-parity with the
+  // precedence-free engine is pinned by the golden suites).
+  const bool gated = track_deps_ || !external_ready_.empty();
+  const Time* const floors =
+      external_ready_.empty() ? nullptr : external_ready_.data();
+  const Time* const ends = track_deps_ ? comp_end_.data() : nullptr;
 
   for (std::size_t k = first; k < last; ++k) {
     const TaskId id = order[k];
@@ -178,17 +210,33 @@ void EvalScratch::issue(const CompiledInstance& ci,
     }
     const ChannelId ch = channel[id];
     if (ch >= nch) throw_unknown_channel(id, ch, nch);
-    const Time comm_start = std::max(now_, clocks[ch]);
+    Time comm_start = std::max(now_, clocks[ch]);
+    if (gated) {
+      // Release-when-predecessors-complete: the transfer waits for every
+      // predecessor's computation end (and any external cross-window
+      // floor), exactly as ExecutionState::start(t, ready).
+      Time ready = floors != nullptr ? floors[id] : 0.0;
+      if (ends != nullptr) {
+        for (const TaskId dep : ci.deps(id)) {
+          const Time pred_end = ends[dep];
+          if (pred_end < 0.0) throw_unissued_pred(id, dep);
+          ready = std::max(ready, pred_end);
+        }
+      }
+      comm_start = std::max(comm_start, ready);
+    }
     if (comm_start > now_) {
-      // The task's engine is busy past the decision instant; memory
-      // finishing in the gap is released (it only shrinks the footprint,
-      // so the admission check above still holds).
+      // The task's engine is busy past the decision instant (or a
+      // predecessor finishes later); memory finishing in the gap is
+      // released (it only shrinks the footprint, so the admission check
+      // above still holds).
       now_ = comm_start;
       release_until(now_);
     }
     const Time comm_end = comm_start + comm[id];
     const Time comp_start = std::max(comm_end, comp_avail_);
     const Time comp_end = comp_start + comp[id];
+    if (ends != nullptr) comp_end_[id] = comp_end;
 
     used_ += m;
     active_.push_back(Active{comp_end, m});
@@ -214,16 +262,18 @@ void EvalScratch::issue(const CompiledInstance& ci,
 
 Time evaluate_order(const CompiledInstance& ci, std::span<const TaskId> order,
                     Mem capacity, EvalScratch& scratch,
-                    const ExecutionState::Snapshot* initial) {
-  scratch.reset(ci, capacity, initial);
+                    const ExecutionState::Snapshot* initial,
+                    std::span<const Time> ready) {
+  scratch.reset(ci, capacity, initial, ready);
   scratch.issue(ci, order, 0, order.size(), nullptr);
   return scratch.makespan_;
 }
 
 Time evaluate_order(const CompiledInstance& ci, std::span<const TaskId> order,
                     Mem capacity, EvalScratch& scratch, Schedule& out,
-                    const ExecutionState::Snapshot* initial) {
-  scratch.reset(ci, capacity, initial);
+                    const ExecutionState::Snapshot* initial,
+                    std::span<const Time> ready) {
+  scratch.reset(ci, capacity, initial, ready);
   scratch.issue(ci, order, 0, order.size(), &out);
   return scratch.makespan_;
 }
@@ -248,6 +298,13 @@ PrefixResumeEvaluator::PrefixResumeEvaluator(
   save_checkpoint(0);
 }
 
+void PrefixResumeEvaluator::set_external_ready(std::span<const Time> ready) {
+  ready_.assign(ready.begin(), ready.end());
+  scratch_.reset(*ci_, capacity_, has_initial_ ? &initial_ : nullptr, ready_);
+  reference_.clear();  // checkpoints past 0 are stale under the new floors
+  save_checkpoint(0);
+}
+
 void PrefixResumeEvaluator::save_checkpoint(std::size_t k) {
   Checkpoint& cp = checkpoints_[k];
   cp.now = scratch_.now_;
@@ -257,6 +314,11 @@ void PrefixResumeEvaluator::save_checkpoint(std::size_t k) {
   cp.comm_avail.assign(scratch_.comm_avail_.begin(),
                        scratch_.comm_avail_.end());
   cp.active.assign(scratch_.active_.begin(), scratch_.active_.end());
+  if (scratch_.track_deps_) {
+    // Successor transfers read issued tasks' computation ends, so on a
+    // DAG the per-task ends are part of the engine state.
+    cp.comp_end.assign(scratch_.comp_end_.begin(), scratch_.comp_end_.end());
+  }
 }
 
 // dts-lint: hot-path
@@ -268,6 +330,9 @@ void PrefixResumeEvaluator::load_checkpoint(std::size_t k) {
   scratch_.used_ = cp.used;
   scratch_.comm_avail_.assign(cp.comm_avail.begin(), cp.comm_avail.end());
   scratch_.active_.assign(cp.active.begin(), cp.active.end());
+  if (scratch_.track_deps_) {
+    scratch_.comp_end_.assign(cp.comp_end.begin(), cp.comp_end.end());
+  }
 }
 
 std::size_t PrefixResumeEvaluator::common_prefix(
@@ -323,6 +388,16 @@ bool PrefixResumeEvaluator::state_matches(const Checkpoint& cp) const noexcept {
     if (scratch_.active_[a].comp_end != cp.active[a].comp_end ||
         scratch_.active_[a].mem != cp.active[a].mem) {
       return false;
+    }
+  }
+  if (scratch_.track_deps_) {
+    // On a DAG, suffix tasks read predecessors' recorded ends — states
+    // only merge when those agree too (the candidate has issued the same
+    // task set as the reference prefix, so a plain array compare works:
+    // unissued entries are -1 on both sides).
+    if (scratch_.comp_end_.size() != cp.comp_end.size()) return false;
+    for (std::size_t i = 0; i < cp.comp_end.size(); ++i) {
+      if (scratch_.comp_end_[i] != cp.comp_end[i]) return false;
     }
   }
   return true;

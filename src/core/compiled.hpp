@@ -83,6 +83,20 @@ class CompiledInstance {
   /// (same contents as Instance::tasks_on_channel, zero-allocation view).
   [[nodiscard]] std::span<const TaskId> tasks_on_channel(ChannelId ch) const;
 
+  /// True when the source instance carries dependency edges; every DAG
+  /// branch of the hot loop is gated on this, so edge-free instances take
+  /// exactly the original operation sequence.
+  [[nodiscard]] bool has_dependencies() const noexcept {
+    return has_dependencies_;
+  }
+
+  /// Predecessor ids of `id` (empty for precedence-free tasks) as a CSR
+  /// view — the compiled mirror of Task::deps.
+  [[nodiscard]] std::span<const TaskId> deps(TaskId id) const noexcept {
+    return std::span<const TaskId>(dep_edges_)
+        .subspan(dep_offsets_[id], dep_offsets_[id + 1] - dep_offsets_[id]);
+  }
+
  private:
   std::vector<Time> comm_;
   std::vector<Time> comp_;
@@ -92,8 +106,13 @@ class CompiledInstance {
   /// channel_tasks_[channel_offsets_[ch] .. channel_offsets_[ch + 1]).
   std::vector<TaskId> channel_tasks_;
   std::vector<std::size_t> channel_offsets_;
+  /// Dependency edges, CSR over task ids: task `id` owns
+  /// dep_edges_[dep_offsets_[id] .. dep_offsets_[id + 1]).
+  std::vector<TaskId> dep_edges_;
+  std::vector<std::size_t> dep_offsets_;
   std::size_t n_channels_ = 1;
   Mem min_capacity_ = 0.0;
+  bool has_dependencies_ = false;
 };
 
 class PrefixResumeEvaluator;
@@ -126,11 +145,13 @@ class EvalScratch {
   friend Time evaluate_order(const CompiledInstance& ci,
                              std::span<const TaskId> order, Mem capacity,
                              EvalScratch& scratch,
-                             const ExecutionState::Snapshot* initial);
+                             const ExecutionState::Snapshot* initial,
+                             std::span<const Time> ready);
   friend Time evaluate_order(const CompiledInstance& ci,
                              std::span<const TaskId> order, Mem capacity,
                              EvalScratch& scratch, Schedule& out,
-                             const ExecutionState::Snapshot* initial);
+                             const ExecutionState::Snapshot* initial,
+                             std::span<const Time> ready);
 
   struct Active {
     Time comp_end;
@@ -144,9 +165,14 @@ class EvalScratch {
   };
 
   /// Rebuilds the engine start state: fresh clocks, or a carried
-  /// snapshot (mirroring ExecutionState(Mem, Snapshot) exactly).
+  /// snapshot (mirroring ExecutionState(Mem, Snapshot) exactly). `ready`
+  /// (optional, per task id of `ci`) floors each transfer start at an
+  /// externally known instant — the window solver passes predecessor
+  /// completion times from earlier windows alongside the carried
+  /// snapshot; empty means no external floors.
   void reset(const CompiledInstance& ci, Mem capacity,
-             const ExecutionState::Snapshot* initial);
+             const ExecutionState::Snapshot* initial,
+             std::span<const Time> ready = {});
   /// Issues order[first..last) on the current state; the hot loop.
   /// `record` is null on the scoring path.
   void issue(const CompiledInstance& ci, std::span<const TaskId> order,
@@ -163,6 +189,13 @@ class EvalScratch {
   Mem used_ = 0.0;
   std::vector<Time> comm_avail_;  // one availability clock per channel
   std::vector<Active> active_;    // binary min-heap via std::*_heap
+  /// DAG support, all inert on edge-free instances: when track_deps_, each
+  /// issued task records its computation end here (-1 = not issued) and a
+  /// transfer waits for every predecessor's recorded end. external_ready_
+  /// (possibly empty) carries cross-window floors per task id.
+  bool track_deps_ = false;
+  std::vector<Time> comp_end_;
+  std::vector<Time> external_ready_;
 };
 
 /// Makespan of `order` (ids into `ci`), bit-identical to
@@ -174,15 +207,22 @@ class EvalScratch {
 /// window suffixes). Throws the same exception types as the reference
 /// path: std::invalid_argument when capacity is negative or a task can
 /// never fit, std::out_of_range for an unknown task or channel.
+/// `ready` (optional, indexed by task id) floors each transfer start at an
+/// externally known instant — cross-window predecessor completion times.
+/// On a DAG instance the engine additionally enforces the instance's own
+/// edges: a transfer waits for every predecessor's computation end, and
+/// issuing a task before its predecessor throws std::invalid_argument.
 [[nodiscard]] Time evaluate_order(
     const CompiledInstance& ci, std::span<const TaskId> order, Mem capacity,
-    EvalScratch& scratch, const ExecutionState::Snapshot* initial = nullptr);
+    EvalScratch& scratch, const ExecutionState::Snapshot* initial = nullptr,
+    std::span<const Time> ready = {});
 
 /// Recording overload: additionally writes each issued task's start times
 /// into `out` (same values execute_order records).
 Time evaluate_order(const CompiledInstance& ci, std::span<const TaskId> order,
                     Mem capacity, EvalScratch& scratch, Schedule& out,
-                    const ExecutionState::Snapshot* initial = nullptr);
+                    const ExecutionState::Snapshot* initial = nullptr,
+                    std::span<const Time> ready = {});
 
 /// Candidate scorer that caches the engine state after every prefix of a
 /// reference order, so evaluating a candidate resimulates only the part
@@ -208,6 +248,11 @@ class PrefixResumeEvaluator {
   /// exactly as ExecutionState(capacity, initial) would.
   PrefixResumeEvaluator(const CompiledInstance& ci, Mem capacity,
                         const ExecutionState::Snapshot& initial);
+
+  /// Installs per-task external transfer-start floors (cross-window
+  /// predecessor completion times; see evaluate_order). Resets the base
+  /// state and drops the current reference — call before set_reference.
+  void set_external_ready(std::span<const Time> ready);
 
   /// Full-accuracy makespan of `order`; records checkpoints so later
   /// calls resume after the common prefix. On failure (a task that can
@@ -258,6 +303,9 @@ class PrefixResumeEvaluator {
     Mem used = 0.0;
     std::vector<Time> comm_avail;
     std::vector<EvalScratch::Active> active;
+    /// Per-task computation ends, saved only on DAG instances (successor
+    /// transfers read them, so they are part of the engine state).
+    std::vector<Time> comp_end;
   };
 
   void save_checkpoint(std::size_t k);
@@ -273,6 +321,7 @@ class PrefixResumeEvaluator {
   Mem capacity_;
   bool has_initial_ = false;
   ExecutionState::Snapshot initial_;
+  std::vector<Time> ready_;  ///< external transfer-start floors (may be empty)
   EvalScratch scratch_;
   std::vector<TaskId> reference_;
   std::vector<Checkpoint> checkpoints_;  // [k] = state after k tasks

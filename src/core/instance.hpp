@@ -35,13 +35,20 @@ struct InstanceStats {
 
 /// Immutable-after-construction set of tasks. Task ids always equal their
 /// position, which lets schedules and orders be plain index vectors.
+///
+/// Tasks may carry dependency edges (Task::deps): task t's transfer may
+/// not start before every predecessor's computation has finished. The
+/// constructor validates the edge set — dangling ids, self-edges and
+/// cycles are rejected with std::invalid_argument — so every constructed
+/// instance is a DAG and has_dependencies() is trustworthy downstream.
 class Instance {
  public:
   Instance() = default;
 
   /// Builds an instance from tasks; ids are (re)assigned to positions.
   /// Throws std::invalid_argument if any task has negative or non-finite
-  /// durations/memory.
+  /// durations/memory, or if the dependency edges reference a task id
+  /// outside the instance, contain a self-edge, or form a cycle.
   explicit Instance(std::vector<Task> tasks);
 
   /// Convenience builder from (comm, comp, mem) triples, for tests and the
@@ -100,6 +107,24 @@ class Instance {
     return fully_byte_annotated_;
   }
 
+  /// True when any task carries a dependency edge. Edge-free instances —
+  /// the paper's model — take the original hot paths untouched; DAG logic
+  /// everywhere is gated on this flag. Cached at construction.
+  [[nodiscard]] bool has_dependencies() const noexcept {
+    return has_dependencies_;
+  }
+
+  /// A deterministic topological order of the task ids: among the tasks
+  /// whose predecessors are all placed, always the smallest id first. For
+  /// an edge-free instance this is exactly submission_order(), which is
+  /// what keeps DAG-aware solvers bit-identical on paper workloads.
+  [[nodiscard]] std::vector<TaskId> topological_order() const;
+
+  /// True iff `order` is a permutation of [0, n) that places every task
+  /// after all of its predecessors.
+  [[nodiscard]] bool is_topological_order(
+      std::span<const TaskId> order) const;
+
   /// Ids of the tasks whose transfer runs on `ch`, in submission order.
   [[nodiscard]] std::vector<TaskId> tasks_on_channel(ChannelId ch) const;
 
@@ -107,19 +132,42 @@ class Instance {
   [[nodiscard]] InstanceStats stats() const;
 
   /// New instance containing only `ids`, in the given order, with ids
-  /// renumbered to positions. Used by the batch scheduler and the window
-  /// solver. Throws std::out_of_range on a bad id.
+  /// renumbered to positions. Dependency edges between two selected tasks
+  /// are kept (remapped to the new ids); edges to tasks outside the subset
+  /// are dropped — the caller owns cross-boundary readiness (the window
+  /// solver passes predecessor completion times alongside the carried
+  /// engine snapshot). Used by the batch scheduler and the window solver.
+  /// Throws std::out_of_range on a bad id.
   [[nodiscard]] Instance subset(std::span<const TaskId> ids) const;
 
   /// The identity permutation [0, n) — the paper's "order of submission".
   [[nodiscard]] std::vector<TaskId> submission_order() const;
 
+  /// A copy of this instance with every dependency edge removed — the
+  /// precedence relaxation. Bounds that are only exact for independent
+  /// tasks (OMIM) evaluate the relaxation, which lower-bounds the DAG.
+  [[nodiscard]] Instance without_dependencies() const;
+
  private:
+  void validate_dependencies() const;
+
   std::vector<Task> tasks_;
   std::size_t num_channels_ = 1;
   Mem min_capacity_ = 0.0;
   bool fully_bound_ = true;
   bool fully_byte_annotated_ = true;
+  bool has_dependencies_ = false;
 };
+
+/// Repairs `desired` (a permutation of the instance's task ids) into a
+/// topological order that follows it as closely as possible: tasks are
+/// emitted in desired-position order among those whose predecessors have
+/// all been emitted (a stable ready-list schedule). On an edge-free
+/// instance — and on any input that is already topological — the result
+/// is exactly `desired`, which is what keeps the static-order heuristics
+/// bit-identical on the paper's precedence-free workloads. Throws
+/// std::invalid_argument when `desired` is not a permutation of [0, n).
+[[nodiscard]] std::vector<TaskId> legalize_order(
+    const Instance& inst, std::span<const TaskId> desired);
 
 }  // namespace dts

@@ -25,6 +25,13 @@ std::vector<TaskId> johnson_order(const Instance& inst) {
 }
 
 Schedule johnson_schedule(const Instance& inst) {
+  if (inst.has_dependencies()) {
+    // OMIM is defined on the precedence relaxation: Johnson's rule is
+    // only optimal for independent tasks, and relaxing the edges keeps
+    // the result a valid lower bound for the DAG.
+    const Instance relaxed = inst.without_dependencies();
+    return simulate_order(relaxed, johnson_order(relaxed), kInfiniteMem);
+  }
   return simulate_order(inst, johnson_order(inst), kInfiniteMem);
 }
 

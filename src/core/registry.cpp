@@ -93,7 +93,13 @@ std::optional<HeuristicId> heuristic_from_name(std::string_view name) noexcept {
 Schedule run_heuristic(HeuristicId id, const Instance& inst, Mem capacity) {
   switch (id) {
     case HeuristicId::kOS:
-      return simulate_order(inst, inst.submission_order(), capacity);
+      // The submission order itself may violate edges (ids are arbitrary);
+      // OS on a DAG is "submission order, repaired minimally".
+      return inst.has_dependencies()
+                 ? simulate_order(
+                       inst, legalize_order(inst, inst.submission_order()),
+                       capacity)
+                 : simulate_order(inst, inst.submission_order(), capacity);
     case HeuristicId::kOOSIM:
       return schedule_static(inst, StaticOrderPolicy::kJohnson, capacity);
     case HeuristicId::kIOCMS:

@@ -128,15 +128,17 @@ void ExecutionState::advance_decision_instant() {
              "decision instant must cover the earliest free channel");
 }
 
-TaskTimes ExecutionState::start(const Task& t) {
+TaskTimes ExecutionState::start(const Task& t, Time ready) {
   DTS_AUDIT_ONLY(const Time audit_now = now_;
                  const Time audit_channel = comm_avail_.at(t.channel);
                  const Time audit_comp = comp_avail_;)
-  const Time comm_start = earliest_comm_start(t);  // checks the channel id
+  // checks the channel id; ready == 0 (no predecessors) leaves the
+  // precedence-free timing bit-identical.
+  const Time comm_start = std::max(earliest_comm_start(t), ready);
   if (comm_start > now_) {
     // The task's engine is busy past the decision instant (only possible
-    // with several channels); memory finishing in the gap is released
-    // before the footprint check.
+    // with several channels), or a predecessor finishes later; memory
+    // finishing in the gap is released before the footprint check.
     now_ = comm_start;
     release_until(now_);
   }
@@ -184,9 +186,23 @@ void ExecutionState::advance_to(Time t) {
 }
 
 void execute_order(const Instance& inst, std::span<const TaskId> order,
-                   ExecutionState& state, Schedule& out) {
+                   ExecutionState& state, Schedule& out,
+                   std::span<const Time> ready_floors) {
+  const bool dag = inst.has_dependencies();
   for (TaskId id : order) {
     const Task& t = inst[id];
+    Time ready = ready_floors.empty() ? 0.0 : ready_floors[id];
+    if (dag) {
+      for (const TaskId dep : t.deps) {
+        const TaskTimes& pred = out[dep];
+        if (!pred.scheduled()) {
+          throw std::invalid_argument(
+              "execute_order: task " + std::to_string(id) +
+              " issued before its predecessor " + std::to_string(dep));
+        }
+        ready = std::max(ready, pred.comp_start + inst[dep].comp);
+      }
+    }
     while (!state.fits(t)) {
       if (!state.advance_to_next_release()) {
         throw std::invalid_argument(
@@ -195,7 +211,7 @@ void execute_order(const Instance& inst, std::span<const TaskId> order,
             std::to_string(state.capacity()));
       }
     }
-    const TaskTimes tt = state.start(t);
+    const TaskTimes tt = state.start(t, ready);
     out.set(id, tt.comm_start, tt.comp_start);
   }
 }

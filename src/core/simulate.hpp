@@ -109,7 +109,14 @@ class ExecutionState {
   /// the earliest instant any channel is free again. Requires fits(t);
   /// throws std::logic_error otherwise, std::out_of_range for an unknown
   /// channel.
-  TaskTimes start(const Task& t);
+  TaskTimes start(const Task& t) { return start(t, 0.0); }
+
+  /// Dependency-aware start: the transfer additionally waits for `ready`,
+  /// the latest predecessor computation-finish instant (0 when the task
+  /// has no predecessors — then this is exactly start(t)). Memory
+  /// finishing in the waited gap is released before the footprint check,
+  /// the same rule a busy channel already follows.
+  TaskTimes start(const Task& t, Time ready);
 
   /// Advances the decision instant to the next computation-finish event,
   /// releasing its memory. Returns false (and leaves time unchanged) when
@@ -174,10 +181,18 @@ class ExecutionState {
 
 /// Executes `order` (task ids of `inst`) as a permutation schedule on an
 /// existing state, writing start times into `out`. Each transfer starts at
-/// the earliest feasible instant on its task's channel. Throws
-/// std::invalid_argument when a task can never fit (mem > capacity).
+/// the earliest feasible instant on its task's channel — and, on a DAG
+/// instance, no earlier than every predecessor's computation end, read
+/// from `out` (so batch and window callers that share one Schedule across
+/// rounds honor cross-round edges for free). Throws std::invalid_argument
+/// when a task can never fit (mem > capacity) or when a predecessor of a
+/// task has not been scheduled before it. `ready_floors` (optional,
+/// indexed by task id) additionally floors each transfer start at an
+/// externally known instant — the window solver passes completion times
+/// of predecessors that live outside the sub-instance; empty means none.
 void execute_order(const Instance& inst, std::span<const TaskId> order,
-                   ExecutionState& state, Schedule& out);
+                   ExecutionState& state, Schedule& out,
+                   std::span<const Time> ready_floors = {});
 
 /// Convenience: run `order` on a fresh state with one clock per channel of
 /// `inst`; returns the schedule.

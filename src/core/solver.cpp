@@ -61,6 +61,12 @@ std::mutex& registry_mutex() {
 
 }  // namespace
 
+Machine MachineRef::resolve() const {
+  if (const Machine* inline_model = model()) return *inline_model;
+  if (const std::string* key = name()) return machine_from_name(*key);
+  throw std::logic_error("MachineRef::resolve called on an unset ref");
+}
+
 SolverRegistry& SolverRegistry::global() {
   static SolverRegistry registry;
   static std::once_flag builtin_once;
@@ -71,7 +77,7 @@ SolverRegistry& SolverRegistry::global() {
 
 void SolverRegistry::add(std::string key, std::string params,
                          std::string description, SolverChannels channels,
-                         Factory factory) {
+                         SolverDeps deps, Factory factory) {
   if (key.empty()) throw std::logic_error("solver key must not be empty");
   if (key.find(':') != std::string::npos) {
     throw std::logic_error("solver key '" + key +
@@ -86,6 +92,7 @@ void SolverRegistry::add(std::string key, std::string params,
   entries_.push_back(Entry{std::move(key), std::move(params),
                            std::move(description),
                            std::string(to_string(channels)),
+                           std::string(to_string(deps)),
                            std::move(factory)});
 }
 
@@ -124,9 +131,21 @@ std::vector<SolverListing> SolverRegistry::listings() const {
   rows.reserve(entries_.size());
   for (const Entry& entry : entries_) {
     rows.push_back(SolverListing{entry.key, entry.params, entry.description,
-                                 entry.channels});
+                                 entry.channels, entry.deps});
   }
   return rows;
+}
+
+std::optional<SolverListing> SolverRegistry::listing(
+    std::string_view key) const {
+  const std::lock_guard<std::mutex> lock(registry_mutex());
+  for (const Entry& entry : entries_) {
+    if (entry.key == key) {
+      return SolverListing{entry.key, entry.params, entry.description,
+                           entry.channels, entry.deps};
+    }
+  }
+  return std::nullopt;
 }
 
 std::vector<std::string> SolverRegistry::keys() const {
@@ -158,6 +177,20 @@ SolveResult solve_bound(const SolveRequest& request, std::string_view solver,
         " but the request's channel set has only " +
         std::to_string(request.channels->size()) + " engine(s)");
   }
+  // Central dependency gate: a solver that declared kIndependent never
+  // sees a DAG request — rejecting here (off the declaration, before the
+  // factory runs) means the edges can never be silently ignored.
+  if (request.instance.has_dependencies()) {
+    const SolverSpec spec = SolverSpec::parse(solver);
+    const std::optional<SolverListing> row =
+        SolverRegistry::global().listing(spec.base);
+    if (row && row->deps != "any") {
+      throw std::invalid_argument(
+          "solve: solver '" + spec.base +
+          "' schedules independent task sets only (deps=independent), but "
+          "the instance declares dependency edges");
+    }
+  }
   const std::unique_ptr<Solver> impl = SolverRegistry::global().make(solver);
   const auto start = std::chrono::steady_clock::now();
   SolveResult result = impl->run(request, options);
@@ -175,34 +208,39 @@ SolveResult solve_bound(const SolveRequest& request, std::string_view solver,
 
 SolveResult solve(const SolveRequest& request, std::string_view solver,
                   const SolveOptions& options) {
-  // Machine-parameterized solving: bind the instance to the requested
-  // hardware before anything else, so capacity checks, bounds and the
-  // solver itself all see the machine-costed workload.
-  if (request.machine || request.machine_model) {
-    if (request.machine && request.machine_model) {
+  // Fold the deprecated machine_model shim into the MachineRef so the
+  // rest of the pipeline has exactly one machine field to reason about.
+  MachineRef machine = request.machine;
+  if (request.machine_model) {
+    if (machine) {
       throw std::invalid_argument(
           "solve: set either SolveRequest::machine (registry name) or "
           "machine_model (descriptor), not both");
     }
-    const Machine machine = request.machine_model
-                                ? *request.machine_model
-                                : machine_from_name(*request.machine);
+    machine = *request.machine_model;
+  }
+  // Machine-parameterized solving: bind the instance to the requested
+  // hardware before anything else, so capacity checks, bounds and the
+  // solver itself all see the machine-costed workload.
+  if (machine) {
+    const Machine resolved = machine.resolve();
     // Whole-request copy (not field-by-field) so fields added to
     // SolveRequest later cannot silently vanish on the machine path; the
     // copied instance is immediately replaced by its bound version.
     SolveRequest bound_request = request;
     bound_request.machine.reset();
     bound_request.machine_model.reset();
-    bound_request.instance = bind(request.instance, machine);
+    bound_request.instance = bind(request.instance, resolved);
     if (!bound_request.channels) {
-      bound_request.channels = machine.channel_set();
+      bound_request.channels = resolved.channel_set();
     }
     return solve_bound(bound_request, solver, options);
   }
   if (!request.instance.fully_bound()) {
     throw std::invalid_argument(
         "solve: the instance has time-less (bytes-only) tasks; set "
-        "SolveRequest::machine or machine_model to cost them");
+        "SolveRequest::machine to a machine name or descriptor to cost "
+        "them");
   }
   return solve_bound(request, solver, options);
 }

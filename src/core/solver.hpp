@@ -17,12 +17,14 @@
 ///
 ///   namespace { const dts::RegisterSolver reg{
 ///       "my-solver", "", "one-line description", dts::SolverChannels::kAny,
+///       dts::SolverDeps::kAny,
 ///       [](const dts::SolverSpec&) { return std::make_unique<MySolver>(); }}; }
 ///
-/// Every registration declares its channel capability up front
-/// (SolverChannels below) — the listings, `dts solvers` and the
-/// differential suite's per-solver expectations are derived from it, so
-/// an undeclared capability is a compile error, not a silent "any".
+/// Every registration declares its capabilities up front — channel support
+/// (SolverChannels below) and dependency support (SolverDeps below). The
+/// listings, `dts solvers` and the differential suite's per-solver
+/// expectations are derived from these columns, so an undeclared
+/// capability is a compile error, not a silent "any".
 ///
 /// Names are parameterized with ':' — "auto-batch:16" is the base key
 /// "auto-batch" with argument "16". The legacy free functions
@@ -39,6 +41,7 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <variant>
 #include <vector>
 
 #include "core/channels.hpp"
@@ -50,6 +53,47 @@
 namespace dts {
 
 class Executor;  // job.hpp: fan-out interface implemented by SolverPool
+
+/// Which hardware to solve for: unset (the instance's own measured
+/// times), a MachineRegistry key resolved lazily at solve() time, or an
+/// inline Machine descriptor used as-is. One sum type, one field on the
+/// request, one resolution path — resolve() is the only place a name
+/// becomes a Machine. Construction is implicit from both alternatives,
+/// so `request.machine = "nvlink"` and `request.machine = my_machine`
+/// both read naturally.
+class MachineRef {
+ public:
+  MachineRef() = default;
+  MachineRef(std::nullopt_t) {}  // NOLINT: source compat with the optional era
+  MachineRef(std::string name) : ref_(std::move(name)) {}      // NOLINT
+  MachineRef(std::string_view name) : ref_(std::string(name)) {}  // NOLINT
+  MachineRef(const char* name) : ref_(std::string(name)) {}    // NOLINT
+  MachineRef(Machine model) : ref_(std::move(model)) {}        // NOLINT
+
+  /// True when the request names any machine at all (either alternative).
+  [[nodiscard]] explicit operator bool() const noexcept {
+    return !std::holds_alternative<std::monostate>(ref_);
+  }
+  void reset() noexcept { ref_ = std::monostate{}; }
+
+  /// The registry key, or nullptr when this ref is unset / a descriptor.
+  [[nodiscard]] const std::string* name() const noexcept {
+    return std::get_if<std::string>(&ref_);
+  }
+  /// The inline descriptor, or nullptr when this ref is unset / a name.
+  [[nodiscard]] const Machine* model() const noexcept {
+    return std::get_if<Machine>(&ref_);
+  }
+
+  /// The machine this ref denotes: a registry lookup for a name (throws
+  /// std::invalid_argument for an unknown key, listing the available
+  /// machines), the descriptor itself otherwise. Must not be called on an
+  /// unset ref (throws std::logic_error).
+  [[nodiscard]] Machine resolve() const;
+
+ private:
+  std::variant<std::monostate, std::string, Machine> ref_;
+};
 
 /// What to solve: an instance under a memory capacity, optionally through
 /// the batched runtime (the solver only sees `batch_size` tasks at a time,
@@ -63,21 +107,25 @@ class Executor;  // job.hpp: fan-out interface implemented by SolverPool
 /// tasks reference — solve() rejects a request whose tasks name engines
 /// the machine does not have — and its names label per-channel reporting.
 ///
-/// `machine` / `machine_model` parameterize solving by hardware: solve()
-/// lazily binds the instance (model/machine.hpp bind()) before running,
-/// re-costing every byte-annotated task through the machine's per-channel
-/// TransferModels, and — when `channels` is unset — adopts the machine's
-/// channel set. A name is resolved in the global MachineRegistry at
-/// solve() time; a descriptor is used as-is (set at most one). Without a
-/// machine, solve() rejects instances carrying time-less (bytes-only)
-/// tasks — there is nothing to cost them with.
+/// `machine` parameterizes solving by hardware: solve() lazily binds the
+/// instance (model/machine.hpp bind()) before running, re-costing every
+/// byte-annotated task through the machine's per-channel TransferModels,
+/// and — when `channels` is unset — adopts the machine's channel set. The
+/// MachineRef carries either a MachineRegistry name (resolved at solve()
+/// time) or an inline descriptor (used as-is). Without a machine, solve()
+/// rejects instances carrying time-less (bytes-only) tasks — there is
+/// nothing to cost them with.
 struct SolveRequest {
   Instance instance;
   Mem capacity = 0.0;
   std::optional<std::size_t> batch_size;
   std::optional<ChannelSet> channels;
-  std::optional<std::string> machine;   ///< MachineRegistry key
-  std::optional<Machine> machine_model; ///< inline descriptor
+  MachineRef machine;  ///< registry name or inline descriptor (or unset)
+  /// Deprecated source-compat shim for the pre-MachineRef split field
+  /// (one release only): solve() folds a descriptor set here into
+  /// `machine` and rejects requests that set both. New code assigns the
+  /// descriptor to `machine` directly.
+  std::optional<Machine> machine_model;
 };
 
 /// Cooperative cancellation. A default-constructed token can never fire;
@@ -283,6 +331,23 @@ enum class SolverChannels {
   return channels == SolverChannels::kSingle ? "single" : "any";
 }
 
+/// Dependency capability a solver declares when it registers, mirroring
+/// SolverChannels: whether the strategy honors task DAGs (precedence
+/// edges, Task::deps) or schedules independent task sets only. solve()
+/// centrally rejects a DAG request aimed at a kIndependent solver with a
+/// clear error instead of letting the edges be silently ignored, and the
+/// differential suite derives its per-solver DAG expectations from this
+/// column — a wrong declaration fails CI.
+enum class SolverDeps {
+  kAny,          ///< precedence edges enforced; accepts DAG requests
+  kIndependent,  ///< independent tasks only; solve() rejects DAG requests
+};
+
+/// The listings string for a dependency capability ("any" / "independent").
+[[nodiscard]] constexpr std::string_view to_string(SolverDeps deps) noexcept {
+  return deps == SolverDeps::kIndependent ? "independent" : "any";
+}
+
 /// One row of SolverRegistry::listings().
 struct SolverListing {
   std::string name;         ///< registry key, e.g. "auto-batch"
@@ -295,6 +360,11 @@ struct SolverListing {
   /// column; the differential suite derives its per-solver expectations
   /// from it.
   std::string channels = "any";
+  /// Dependency support the solver declares: "any" (precedence edges
+  /// enforced) or "independent" (solve() rejects DAG requests before the
+  /// solver runs). Same contract as `channels`: listed by `dts solvers`,
+  /// consumed by the differential suite.
+  std::string deps = "any";
 };
 
 /// String-keyed factory registry. Factories self-register via the
@@ -310,11 +380,11 @@ class SolverRegistry {
   [[nodiscard]] static SolverRegistry& global();
 
   /// Registers a factory under `key`. Throws std::logic_error when the key
-  /// is already taken or empty. `channels` is the capability the solver
-  /// declares — required at every site; there is deliberately no
-  /// defaulting overload.
+  /// is already taken or empty. `channels` and `deps` are the capabilities
+  /// the solver declares — required at every site; there is deliberately
+  /// no defaulting overload.
   void add(std::string key, std::string params, std::string description,
-           SolverChannels channels, Factory factory);
+           SolverChannels channels, SolverDeps deps, Factory factory);
 
   /// Instantiates the solver a (possibly parameterized) name refers to.
   /// Throws std::invalid_argument for an unknown base key — the message
@@ -326,6 +396,12 @@ class SolverRegistry {
   /// Every registered solver, in registration order.
   [[nodiscard]] std::vector<SolverListing> listings() const;
 
+  /// The listing of one base key (no ':' arguments), or nullopt for an
+  /// unknown key. solve() consults this for the declared capabilities
+  /// before instantiating the solver.
+  [[nodiscard]] std::optional<SolverListing> listing(
+      std::string_view key) const;
+
   /// Registered keys, in registration order (error messages, --list-solvers).
   [[nodiscard]] std::vector<std::string> keys() const;
 
@@ -335,6 +411,7 @@ class SolverRegistry {
     std::string params;
     std::string description;
     std::string channels;
+    std::string deps;
     Factory factory;
   };
   std::vector<Entry> entries_;  // small; linear lookup, stable order
@@ -344,9 +421,10 @@ class SolverRegistry {
 /// any linked translation unit adds the factory before main() runs.
 struct RegisterSolver {
   RegisterSolver(std::string key, std::string params, std::string description,
-                 SolverChannels channels, SolverRegistry::Factory factory) {
+                 SolverChannels channels, SolverDeps deps,
+                 SolverRegistry::Factory factory) {
     SolverRegistry::global().add(std::move(key), std::move(params),
-                                 std::move(description), channels,
+                                 std::move(description), channels, deps,
                                  std::move(factory));
   }
 };

@@ -475,7 +475,7 @@ namespace detail {
 void register_builtin_solvers(SolverRegistry& registry) {
   for (const HeuristicInfo& h : all_heuristics()) {
     registry.add(std::string(h.name), "", std::string(h.description),
-                 SolverChannels::kAny,
+                 SolverChannels::kAny, SolverDeps::kAny,
                  [id = h.id](const SolverSpec& spec) {
                    expect_no_args(spec);
                    return std::make_unique<HeuristicSolver>(id, spec.full);
@@ -484,7 +484,7 @@ void register_builtin_solvers(SolverRegistry& registry) {
   registry.add(
       "auto", "[:all|baseline|static|dynamic|corrected]",
       "evaluate every candidate heuristic, keep the best schedule",
-      SolverChannels::kAny, [](const SolverSpec& spec) {
+      SolverChannels::kAny, SolverDeps::kAny, [](const SolverSpec& spec) {
         if (spec.args.size() > 1) {
           throw std::invalid_argument("solver '" + spec.full +
                                       "': expected at most one argument");
@@ -496,7 +496,7 @@ void register_builtin_solvers(SolverRegistry& registry) {
       "auto-batch", "[:BATCH]",
       "auto-selecting batch runtime: per batch, commit the candidate "
       "finishing earliest (default batch 16)",
-      SolverChannels::kAny, [](const SolverSpec& spec) {
+      SolverChannels::kAny, SolverDeps::kAny, [](const SolverSpec& spec) {
         if (spec.args.size() > 1) {
           throw std::invalid_argument("solver '" + spec.full +
                                       "': expected at most one argument");
@@ -506,14 +506,14 @@ void register_builtin_solvers(SolverRegistry& registry) {
       });
   registry.add("local-search", "",
                "hill climbing over orders, seeded with the best heuristic",
-               SolverChannels::kAny, [](const SolverSpec& spec) {
+               SolverChannels::kAny, SolverDeps::kAny, [](const SolverSpec& spec) {
                  expect_no_args(spec);
                  return std::make_unique<LocalSearchSolver>();
                });
   registry.add("duplex-balance", "",
                "per-channel Johnson orders merged by least committed "
                "engine load (duplex-aware static order)",
-               SolverChannels::kAny, [](const SolverSpec& spec) {
+               SolverChannels::kAny, SolverDeps::kAny, [](const SolverSpec& spec) {
                  expect_no_args(spec);
                  return std::make_unique<DuplexBalanceSolver>();
                });
@@ -521,7 +521,7 @@ void register_builtin_solvers(SolverRegistry& registry) {
                "exact search over independent transfer/comp order pairs, "
                "per-channel orders included (the MILP's space; default "
                "max n = 7)",
-               SolverChannels::kAny, [](const SolverSpec& spec) {
+               SolverChannels::kAny, SolverDeps::kAny, [](const SolverSpec& spec) {
                  if (spec.args.size() > 1) {
                    throw std::invalid_argument(
                        "solver '" + spec.full +
@@ -534,7 +534,8 @@ void register_builtin_solvers(SolverRegistry& registry) {
                "self-contained 0-1 MILP: LP-relaxation branch-and-bound "
                "over the paper's order binaries, engine-scored leaves; "
                ":T solves against a T-step grid bound model",
-               SolverChannels::kAny, [](const SolverSpec& spec) {
+               SolverChannels::kAny, SolverDeps::kIndependent,
+               [](const SolverSpec& spec) {
                  if (spec.args.size() > 1) {
                    throw std::invalid_argument(
                        "solver '" + spec.full +
@@ -545,7 +546,7 @@ void register_builtin_solvers(SolverRegistry& registry) {
                });
   registry.add("exhaustive", "[:MAX_N]",
                "exact search over permutation schedules (default max n = 10)",
-               SolverChannels::kAny, [](const SolverSpec& spec) {
+               SolverChannels::kAny, SolverDeps::kAny, [](const SolverSpec& spec) {
                  if (spec.args.size() > 1) {
                    throw std::invalid_argument(
                        "solver '" + spec.full +
@@ -556,7 +557,7 @@ void register_builtin_solvers(SolverRegistry& registry) {
                });
   registry.add("window", "[:K[:common|pair]]",
                "iterative window optimization, the paper's lp.k (default k=4)",
-               SolverChannels::kAny, [](const SolverSpec& spec) {
+               SolverChannels::kAny, SolverDeps::kAny, [](const SolverSpec& spec) {
                  return std::make_unique<WindowedSolver>(
                      parse_window_spec(spec));
                });

@@ -33,6 +33,13 @@ std::string to_string(const Task& t) {
   os << " comp=" << t.comp << " mem=" << t.mem;
   if (t.channel != 0) os << " ch=" << t.channel;
   if (t.has_comm_bytes()) os << " bytes=" << t.comm_bytes;
+  if (!t.deps.empty()) {
+    os << " deps=";
+    for (std::size_t i = 0; i < t.deps.size(); ++i) {
+      if (i > 0) os << ",";
+      os << t.deps[i];
+    }
+  }
   os << "]";
   return os.str();
 }

@@ -6,6 +6,7 @@
 /// the transfer to the end of the computation (Section 3 of the paper).
 
 #include <string>
+#include <vector>
 
 #include "core/types.hpp"
 
@@ -35,6 +36,14 @@ struct Task {
   /// byte-annotated, in which case bind(inst, machine) recomputes comm
   /// from the machine's per-channel TransferModel.
   double comm_bytes = kUnknownBytes;
+  /// Predecessor task ids: this task's transfer may not start before every
+  /// listed task's computation has finished (data-flow edges of a tensor
+  /// contraction pipeline; Super Instruction Architecture blocks). Empty —
+  /// the paper's precedence-free model — for almost all workloads, and the
+  /// engine's hot paths stay bit-identical in that case. The owning
+  /// Instance validates the edge set (no dangling ids, self-edges or
+  /// cycles) at construction.
+  std::vector<TaskId> deps;
   std::string name;          ///< Optional label (used by traces & reports).
 
   /// True when the transfer's size is recorded (the task can be re-costed

@@ -110,6 +110,22 @@ ValidationReport validate_schedule(const Instance& inst, const Schedule& sched,
   }
   if (!out.empty()) return report;  // start-time checks below need complete data
 
+  if (inst.has_dependencies()) {
+    for (TaskId i = 0; i < inst.size(); ++i) {
+      for (const TaskId dep : inst[i].deps) {
+        const Time pred_end = sched[dep].comp_start + inst[dep].comp;
+        if (definitely_less(sched[i].comm_start, pred_end)) {
+          std::ostringstream os;
+          os << "task " << i << " transfers at " << sched[i].comm_start
+             << " before its predecessor " << dep << " finishes computing at "
+             << pred_end;
+          out.push_back(Violation{Violation::Kind::kDependencyViolated, i, dep,
+                                  os.str()});
+        }
+      }
+    }
+  }
+
   // Transfers serialize per copy engine: check each channel's intervals
   // independently so opposite-direction (H2D/D2H) transfers may overlap.
   const std::vector<TaskId> comm_order = sched.comm_order();

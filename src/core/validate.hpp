@@ -11,7 +11,9 @@
 ///   (2) computation intervals are pairwise disjoint (one processor),
 ///   (3) each task computes only after its transfer completed,
 ///   (4) at every instant, the memory held by tasks whose transfer has
-///       started and whose computation has not finished is at most C.
+///       started and whose computation has not finished is at most C,
+///   (5) on a DAG instance, each task's transfer starts no earlier than
+///       every predecessor's computation end (Task::deps edges).
 /// Memory intervals are half-open [SCOMM(i), SCOMP(i)+CP(i)): memory
 /// released at a computation-finish instant is immediately available to a
 /// transfer starting at that same instant (required by the tight schedules
@@ -34,6 +36,7 @@ struct Violation {
     kComputeBeforeData, ///< SCOMP(i) < SCOMM(i) + CM(i)
     kMemoryExceeded,    ///< active memory above capacity
     kNegativeStart,
+    kDependencyViolated,///< SCOMM(i) < a predecessor's computation end
   };
   Kind kind;
   TaskId a = kInvalidTask;

@@ -33,6 +33,7 @@ struct PairScratch {
   std::vector<Time> comp_suffix;
   std::vector<Time> comm_start;
   std::vector<Time> comm_end;
+  std::vector<Time> comp_end;  ///< -1 until the computation is scheduled
   std::vector<unsigned char> started;
   std::vector<Time> candidate_times;
 };
@@ -44,10 +45,11 @@ std::optional<Time> simulate_pair_order_impl(
     const CompiledInstance& ci, std::span<const TaskId> comm_order,
     std::span<const TaskId> comp_order, Mem capacity,
     const ExecutionState::Snapshot& initial, Time abort_at, Schedule& out,
-    PairScratch& s) {
+    PairScratch& s, std::span<const Time> ready_floors = {}) {
   const std::size_t n = ci.size();
   const std::size_t nch =
       std::max(ci.num_channels(), initial.comm_available.size());
+  const bool dag = ci.has_dependencies();
 
   // One availability clock per copy engine; engines the snapshot does not
   // cover become free at the snapshot's decision instant.
@@ -89,6 +91,7 @@ std::optional<Time> simulate_pair_order_impl(
 
   s.comm_start.assign(n, -1.0);
   s.comm_end.assign(n, -1.0);
+  if (dag) s.comp_end.assign(n, -1.0);
   s.started.assign(n, 0);
 
   Time makespan = 0.0;
@@ -106,6 +109,7 @@ std::optional<Time> simulate_pair_order_impl(
       out.set(v, s.comm_start[v], start);
       proc_free = e;
       makespan = std::max(makespan, e);
+      if (dag) s.comp_end[v] = e;
       indefinite -= ci.mem(v);
       s.releases.emplace_back(e, ci.mem(v));
       ++j;
@@ -133,7 +137,28 @@ std::optional<Time> simulate_pair_order_impl(
           return std::nullopt;
         }
       }
-      const Time lower = std::max(s.link_free[u_ch], frontier);
+      // Dependency gate: the transfer waits for every predecessor's
+      // computation end. A predecessor whose computation is sequenced
+      // behind this transfer in comp_order blocks it — if the processor
+      // side cannot progress either, the pair is infeasible below,
+      // exactly like the memory deadlock.
+      Time dep_floor = ready_floors.empty() ? 0.0 : ready_floors[u];
+      bool preds_done = true;
+      if (dag) {
+        for (const TaskId dep : ci.deps(u)) {
+          if (s.comp_end[dep] < 0.0) {
+            preds_done = false;
+            break;
+          }
+          dep_floor = std::max(dep_floor, s.comp_end[dep]);
+        }
+      }
+      if (!preds_done) {
+        if (!progress) return std::nullopt;
+        continue;
+      }
+      const Time lower =
+          std::max(std::max(s.link_free[u_ch], frontier), dep_floor);
       s.candidate_times.clear();
       s.candidate_times.push_back(lower);
       for (const auto& [end, mem] : s.releases) {
@@ -184,7 +209,8 @@ std::optional<Time> simulate_pair_order(const Instance& inst,
                                         std::span<const TaskId> comp_order,
                                         Mem capacity,
                                         const ExecutionState::Snapshot& initial,
-                                        Time abort_at, Schedule& out) {
+                                        Time abort_at, Schedule& out,
+                                        std::span<const Time> ready_floors) {
   const std::size_t n = inst.size();
   if (comm_order.size() != n || comp_order.size() != n || out.size() != n) {
     throw std::invalid_argument("simulate_pair_order: size mismatch");
@@ -192,7 +218,8 @@ std::optional<Time> simulate_pair_order(const Instance& inst,
   const CompiledInstance ci(inst);
   PairScratch scratch;
   return simulate_pair_order_impl(ci, comm_order, comp_order, capacity,
-                                  initial, abort_at, out, scratch);
+                                  initial, abort_at, out, scratch,
+                                  ready_floors);
 }
 
 PairOrderResult best_pair_order(const Instance& inst, Mem capacity,
@@ -223,8 +250,19 @@ PairOrderResult best_pair_order(const Instance& inst, Mem capacity,
     return result;
   }
 
+  // Dependency edges break the identical-task collapse (two value-equal
+  // tasks may have different successors), so DAG instances enumerate full
+  // permutations — ids break value ties — and skip the non-topological
+  // ones: a feasible schedule's chronological transfer order and its
+  // computation service order both place every task after its
+  // predecessors (its transfer starts after the predecessor's computation
+  // end, and its computation even later).
+  const bool dag = inst.has_dependencies();
   const auto value_less = [&](TaskId a, TaskId b) {
-    return value_key(inst[a]) < value_key(inst[b]);
+    const auto ka = value_key(inst[a]);
+    const auto kb = value_key(inst[b]);
+    if (ka != kb) return ka < kb;
+    return dag && a < b;
   };
   std::vector<TaskId> comm = inst.submission_order();
   std::sort(comm.begin(), comm.end(), value_less);
@@ -242,17 +280,19 @@ PairOrderResult best_pair_order(const Instance& inst, Mem capacity,
            options.should_stop();
   };
   do {
+    if (dag && !inst.is_topological_order(comm)) continue;
     std::vector<TaskId> comp = comm;  // start each inner scan from sorted
     std::sort(comp.begin(), comp.end(), value_less);
     do {
+      if (dag && !inst.is_topological_order(comp)) continue;
       if (stop_requested()) {
         result.stopped = true;
         break;
       }
       ++result.pairs_simulated;
-      const std::optional<Time> ms =
-          simulate_pair_order_impl(compiled, comm, comp, capacity, initial,
-                                   result.makespan, scratch, pair_scratch);
+      const std::optional<Time> ms = simulate_pair_order_impl(
+          compiled, comm, comp, capacity, initial, result.makespan, scratch,
+          pair_scratch, options.ready_times);
       if (ms && definitely_less(*ms, result.makespan)) {
         found = true;
         result.makespan = *ms;

@@ -45,6 +45,12 @@ struct PairOrderOptions {
   /// per channel; channels the snapshot does not cover start free at the
   /// snapshot's decision instant.
   std::optional<ExecutionState::Snapshot> initial_state;
+  /// Optional per-task transfer-start floors (indexed by task id):
+  /// completion times of predecessors outside this instance — the window
+  /// solver passes them next to the carried snapshot. Empty means none.
+  /// The instance's own edges are enforced by the co-simulation either
+  /// way.
+  std::vector<Time> ready_times;
   /// Stop exploring a pair as soon as its makespan provably reaches the
   /// incumbent; also used as an initial upper bound when finite.
   Time upper_bound = kInfiniteTime;
@@ -92,12 +98,16 @@ struct PairOrderResult {
 /// `comm_order` — it is the chronological order), the processor serves
 /// `comp_order` as soon as data is present. Returns nullopt when the pair
 /// deadlocks under the memory capacity (the next transfer waits for memory
-/// that only a computation blocked behind it can release) or when the
-/// makespan provably reaches `abort_at`. On success fills `out` (sized n)
-/// with start times.
+/// that only a computation blocked behind it can release, or — on a DAG —
+/// for a predecessor computation sequenced behind it) or when the makespan
+/// provably reaches `abort_at`. On success fills `out` (sized n) with
+/// start times. `ready_floors` (optional, indexed by task id) floors each
+/// transfer start at an externally known instant; the instance's own
+/// dependency edges are always enforced.
 [[nodiscard]] std::optional<Time> simulate_pair_order(
     const Instance& inst, std::span<const TaskId> comm_order,
     std::span<const TaskId> comp_order, Mem capacity,
-    const ExecutionState::Snapshot& initial, Time abort_at, Schedule& out);
+    const ExecutionState::Snapshot& initial, Time abort_at, Schedule& out,
+    std::span<const Time> ready_floors = {});
 
 }  // namespace dts

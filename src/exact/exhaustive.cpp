@@ -43,8 +43,16 @@ void scan_orders(const Instance& inst, Mem capacity,
                  const ExhaustiveOptions& options, std::vector<TaskId> order,
                  std::size_t fixed, ExhaustiveResult& result,
                  Time& best_link_free) {
+  // Dependency edges break the identical-task collapse (two value-equal
+  // tasks may have different successors), so DAG instances enumerate full
+  // permutations — ids break value ties — and skip the non-topological
+  // ones, which no feasible schedule can realize.
+  const bool dag = inst.has_dependencies();
   const auto value_less = [&](TaskId a, TaskId b) {
-    return value_key(inst[a]) < value_key(inst[b]);
+    const auto ka = value_key(inst[a]);
+    const auto kb = value_key(inst[b]);
+    if (ka != kb) return ka < kb;
+    return dag && a < b;
   };
   // next_permutation edits the tail of the sequence, so consecutive
   // permutations share a long prefix — the prefix-resume evaluator
@@ -57,7 +65,11 @@ void scan_orders(const Instance& inst, Mem capacity,
       options.initial_state
           ? PrefixResumeEvaluator(compiled, capacity, *options.initial_state)
           : PrefixResumeEvaluator(compiled, capacity);
+  if (!options.ready_times.empty()) {
+    evaluator.set_external_ready(options.ready_times);
+  }
   do {
+    if (dag && !inst.is_topological_order(order)) continue;
     ++result.permutations_tried;
     const Time ms = evaluator.set_reference(order);
     const Time link_free = evaluator.last_state().comm_available();
@@ -68,7 +80,7 @@ void scan_orders(const Instance& inst, Mem capacity,
               ? ExecutionState(capacity, *options.initial_state)
               : ExecutionState(capacity, inst.num_channels());
       Schedule sched(inst.size());
-      execute_order(inst, order, state, sched);
+      execute_order(inst, order, state, sched, options.ready_times);
       result.makespan = ms;
       result.order = order;
       result.schedule = std::move(sched);
@@ -96,8 +108,14 @@ ExhaustiveResult best_common_order(const Instance& inst, Mem capacity,
     return result;
   }
 
+  // Mirror scan_orders' comparator (see there): ids break value ties on
+  // DAG instances so the branch partition matches the serial enumeration.
+  const bool dag = inst.has_dependencies();
   const auto value_less = [&](TaskId a, TaskId b) {
-    return value_key(inst[a]) < value_key(inst[b]);
+    const auto ka = value_key(inst[a]);
+    const auto kb = value_key(inst[b]);
+    if (ka != kb) return ka < kb;
+    return dag && a < b;
   };
   std::vector<TaskId> order = inst.submission_order();
   std::sort(order.begin(), order.end(), value_less);

@@ -34,6 +34,12 @@ struct ExhaustiveOptions {
   std::size_t max_n = 10;
   /// Optional carried state (window solving); nullopt = fresh engine.
   std::optional<ExecutionState::Snapshot> initial_state;
+  /// Optional per-task transfer-start floors (indexed by task id of the
+  /// instance being solved): completion times of predecessors that live
+  /// outside this instance — the window solver passes them next to the
+  /// carried snapshot. Empty means none. The instance's own edges are
+  /// enforced by the engine either way.
+  std::vector<Time> ready_times;
   /// Optional fan-out (job.hpp): the enumeration splits into one branch
   /// per value-distinct first task and scans the branches concurrently.
   /// The branches partition the serial enumeration, and the final fold

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "core/bounds.hpp"
 #include "core/johnson.hpp"
 
 namespace dts {
@@ -35,8 +36,9 @@ CapacityAwareBounds one_link_bounds(const Instance& inst, Mem capacity) {
   }
   b.link_plus_tail = sum_comm + min_comp;
   b.head_plus_comp = min_comm + sum_comp;
+  b.critical_path = critical_path_bound(inst);
   b.combined = std::max({b.omim, b.big_task_serial, b.link_plus_tail,
-                         b.head_plus_comp});
+                         b.head_plus_comp, b.critical_path});
   return b;
 }
 
@@ -72,8 +74,12 @@ CapacityAwareBounds capacity_aware_bounds(const Instance& inst, Mem capacity) {
     b.omim = std::max(b.omim, sub.omim);
     b.link_plus_tail = std::max(b.link_plus_tail, sub.link_plus_tail);
   }
-  b.combined = std::max(
-      {b.omim, b.big_task_serial, b.link_plus_tail, b.head_plus_comp});
+  // The chain argument is channel-oblivious (every edge serializes its two
+  // endpoints whatever engines they use), so the full-instance chain is
+  // the valid — and strongest — form here.
+  b.critical_path = critical_path_bound(inst);
+  b.combined = std::max({b.omim, b.big_task_serial, b.link_plus_tail,
+                         b.head_plus_comp, b.critical_path});
   return b;
 }
 

@@ -35,6 +35,10 @@ struct CapacityAwareBounds {
   Time big_task_serial = 0.0;   ///< sum of CM+CP over tasks with mem > C/2
   Time link_plus_tail = 0.0;    ///< sum comm + min comp
   Time head_plus_comp = 0.0;    ///< min comm + sum comp
+  /// Longest dependency chain at CM+CP per link (core/bounds.hpp); equals
+  /// the largest single-task CM+CP — never above omim — on an edge-free
+  /// instance, so the combined bound is unchanged for the paper's model.
+  Time critical_path = 0.0;
   Time combined = 0.0;          ///< max of everything
 
   [[nodiscard]] bool capacity_binds() const noexcept {

@@ -61,11 +61,37 @@ WindowedResult solve_windowed(const Instance& inst, Mem capacity,
     throw std::invalid_argument(
         "solve_windowed: window size must be in [1, 8]");
   }
-  const std::vector<TaskId> submission = inst.submission_order();
+  // On a DAG the windows walk a topological order so a predecessor always
+  // lands in an earlier (or the same) window; edges inside a window
+  // survive subset() and are enforced by the window optimizers, edges
+  // into earlier windows become per-task ready floors computed from the
+  // committed schedule. Edge-free instances keep raw submission order.
+  const bool dag = inst.has_dependencies();
+  const std::vector<TaskId> submission =
+      dag ? inst.topological_order() : inst.submission_order();
   WindowedResult result;
   result.schedule = Schedule(inst.size());
   ExecutionState::Snapshot carried;  // fresh start
   carried.comm_available.assign(inst.num_channels(), 0.0);
+
+  // Transfer-start floors of one window's tasks (local ids): the latest
+  // computation end among predecessors outside the window, all of which
+  // are already committed in result.schedule.
+  const auto window_floors = [&](std::span<const TaskId> ids) {
+    std::vector<Time> floors(ids.size(), 0.0);
+    bool any = false;
+    for (std::size_t local = 0; local < ids.size(); ++local) {
+      for (const TaskId dep : inst[ids[local]].deps) {
+        const TaskTimes& pred = result.schedule[dep];
+        if (!pred.scheduled()) continue;  // same window: internal edge
+        floors[local] =
+            std::max(floors[local], pred.comp_start + inst[dep].comp);
+        any = true;
+      }
+    }
+    if (!any) floors.clear();  // no cross-window edges: keep the fast path
+    return floors;
+  };
 
   const auto stop_requested = [&options] {
     return options.should_stop && options.should_stop();
@@ -94,6 +120,7 @@ WindowedResult solve_windowed(const Instance& inst, Mem capacity,
       ex.max_n = options.window;
       ex.initial_state = carried;
       ex.executor = options.executor;
+      if (dag) ex.ready_times = window_floors(ids);
       const ExhaustiveResult res = best_common_order(sub, capacity, ex);
       for (TaskId local = 0; local < sub.size(); ++local) {
         result.schedule.set(ids[local], res.schedule[local].comm_start,
@@ -105,6 +132,7 @@ WindowedResult solve_windowed(const Instance& inst, Mem capacity,
       po.max_n = options.window;
       po.initial_state = carried;
       po.should_stop = options.should_stop;
+      if (dag) po.ready_times = window_floors(ids);
       if (options.use_lower_bounds) {
         po.lower_bound = carried_window_bound(sub, capacity, carried);
       }

@@ -44,7 +44,9 @@ std::vector<TaskId> bin_packing_order(const Instance& inst, Mem capacity) {
 }
 
 Schedule schedule_bin_packing(const Instance& inst, Mem capacity) {
-  return simulate_order(inst, bin_packing_order(inst, capacity), capacity);
+  std::vector<TaskId> order = bin_packing_order(inst, capacity);
+  if (inst.has_dependencies()) order = legalize_order(inst, order);
+  return simulate_order(inst, order, capacity);
 }
 
 }  // namespace dts

@@ -42,29 +42,54 @@ void execute_corrected(const CompiledInstance& ci,
                 .name = {}};
   };
 
+  const bool dag = ci.has_dependencies();
+  std::vector<Time> floors;  // aligned with `fitting`, DAG instances only
+
   while (!pending.empty()) {
     const TaskId head = pending.front();
-    if (state.fits(ci.mem(head))) {
+    Time head_ready = 0.0;
+    const bool head_runnable =
+        !dag || detail::deps_ready(ci, out, head, head_ready);
+    if (head_runnable && state.fits(ci.mem(head))) {
       // The static plan remains viable: follow it.
-      const TaskTimes tt = state.start(task_of(head));
+      const TaskTimes tt = state.start(task_of(head), head_ready);
       out.set(head, tt.comm_start, tt.comp_start);
       pending.erase(pending.begin());
       continue;
     }
-    // The head is blocked by memory: dynamic correction.
+    // The head is blocked by memory (or, on a DAG, by an unscheduled
+    // predecessor): dynamic correction over the runnable fitting tasks.
     fitting.clear();
+    floors.clear();
+    bool any_ready = !dag;
     for (TaskId id : pending) {
-      if (state.fits(ci.mem(id))) fitting.push_back(id);
+      Time ready = 0.0;
+      if (dag) {
+        if (!detail::deps_ready(ci, out, id, ready)) continue;
+        any_ready = true;
+      }
+      if (state.fits(ci.mem(id))) {
+        fitting.push_back(id);
+        if (dag) floors.push_back(ready);
+      }
     }
     if (fitting.empty()) {
+      if (!any_ready) {
+        detail::throw_unready_pending("execute_corrected", ci, out, pending);
+      }
       if (!state.advance_to_next_release()) {
         throw std::invalid_argument(
             "execute_corrected: a pending task exceeds the memory capacity");
       }
       continue;
     }
-    const TaskId chosen = pick_candidate(ci, state, fitting, criterion);
-    const TaskTimes tt = state.start(task_of(chosen));
+    const TaskId chosen = pick_candidate(ci, state, fitting, criterion, floors);
+    const Time floor =
+        dag ? floors[static_cast<std::size_t>(
+                  std::find(fitting.begin(), fitting.end(), chosen) -
+                  fitting.begin())]
+            : 0.0;
+    const TaskTimes tt = state.start(task_of(chosen), floor);
     out.set(chosen, tt.comm_start, tt.comp_start);
     pending.erase(std::find(pending.begin(), pending.end(), chosen));
   }
@@ -86,7 +111,8 @@ Schedule schedule_corrected_with_order(const Instance& inst,
 
 Schedule schedule_corrected(const Instance& inst, DynamicCriterion criterion,
                             Mem capacity) {
-  const std::vector<TaskId> base = johnson_order(inst);
+  std::vector<TaskId> base = johnson_order(inst);
+  if (inst.has_dependencies()) base = legalize_order(inst, base);
   return schedule_corrected_with_order(inst, base, criterion, capacity);
 }
 

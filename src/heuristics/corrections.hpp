@@ -31,14 +31,20 @@ namespace dts {
 
 /// Runs the corrected policy over `base_order` on an existing engine,
 /// writing start times into `out`.
+///
+/// Convenience delegator: compiles the instance and calls the
+/// compiled-first overload below — the one home of the correction loop
+/// and its DAG gating (tools/dts_lint.py `executor-one-home`).
 void execute_corrected(const Instance& inst,
                        std::span<const TaskId> base_order,
                        DynamicCriterion criterion, ExecutionState& state,
                        Schedule& out);
 
-/// SoA fast path (core/compiled.hpp): fit-scans and correction scoring
-/// read the compiled arrays. Identical schedules to the Instance variant;
-/// repeated callers compile once and reuse.
+/// The compiled-first entry point (and the only defining body): fit-scans
+/// and correction scoring read the SoA arrays (core/compiled.hpp),
+/// dependency gating is implemented here and nowhere else. Identical
+/// schedules to the Instance delegator; repeated callers compile once and
+/// reuse.
 void execute_corrected(const CompiledInstance& ci,
                        std::span<const TaskId> base_order,
                        DynamicCriterion criterion, ExecutionState& state,

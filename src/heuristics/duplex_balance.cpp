@@ -42,7 +42,9 @@ std::vector<TaskId> duplex_balance_order(const Instance& inst) {
 }
 
 Schedule schedule_duplex_balance(const Instance& inst, Mem capacity) {
-  return simulate_order(inst, duplex_balance_order(inst), capacity);
+  std::vector<TaskId> order = duplex_balance_order(inst);
+  if (inst.has_dependencies()) order = legalize_order(inst, order);
+  return simulate_order(inst, order, capacity);
 }
 
 }  // namespace dts

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
 
 namespace dts {
 
@@ -76,15 +77,18 @@ TaskId pick_candidate(const Instance& inst, const ExecutionState& state,
 
 TaskId pick_candidate(const CompiledInstance& ci, const ExecutionState& state,
                       std::span<const TaskId> candidates,
-                      DynamicCriterion criterion) {
+                      DynamicCriterion criterion, std::span<const Time> ready) {
   const Time now = state.now();
   const Time comp_avail = state.comp_available();
   TaskId best = kInvalidTask;
   Time best_idle = kInfiniteTime;
-  for (TaskId id : candidates) {
+  for (std::size_t k = 0; k < candidates.size(); ++k) {
+    const TaskId id = candidates[k];
     // induced_comp_idle over the SoA arrays, same operation order:
-    // max(0, max(now, channel clock) + comm - processor-free).
-    const Time start = std::max(now, state.comm_available(ci.channel(id)));
+    // max(0, max(now, channel clock) + comm - processor-free) — floored
+    // at the candidate's predecessor completion instant when given.
+    Time start = std::max(now, state.comm_available(ci.channel(id)));
+    if (!ready.empty()) start = std::max(start, ready[k]);
     const Time idle = std::max(0.0, start + ci.comm(id) - comp_avail);
     const bool strictly_less_idle = best != kInvalidTask && definitely_less(idle, best_idle);
     const bool tied_idle = best != kInvalidTask &&
@@ -106,27 +110,78 @@ void execute_dynamic(const Instance& inst, std::span<const TaskId> ids,
   execute_dynamic(ci, ids, criterion, state, out);
 }
 
+namespace detail {
+
+bool deps_ready(const CompiledInstance& ci, const Schedule& out, TaskId id,
+                Time& ready) {
+  for (const TaskId dep : ci.deps(id)) {
+    const TaskTimes& pred = out[dep];
+    if (!pred.scheduled()) return false;
+    ready = std::max(ready, pred.comp_start + ci.comp(dep));
+  }
+  return true;
+}
+
+[[noreturn]] void throw_unready_pending(const char* who,
+                                        const CompiledInstance& ci,
+                                        const Schedule& out,
+                                        std::span<const TaskId> pending) {
+  for (const TaskId id : pending) {
+    for (const TaskId dep : ci.deps(id)) {
+      if (!out[dep].scheduled()) {
+        throw std::invalid_argument(
+            std::string(who) + ": task " + std::to_string(id) +
+            " waits on predecessor " + std::to_string(dep) +
+            " which is neither scheduled nor pending here");
+      }
+    }
+  }
+  throw std::logic_error(std::string(who) + ": no pending task is ready");
+}
+
+}  // namespace detail
+
 void execute_dynamic(const CompiledInstance& ci, std::span<const TaskId> ids,
                      DynamicCriterion criterion, ExecutionState& state,
                      Schedule& out) {
+  const bool dag = ci.has_dependencies();
   std::vector<TaskId> pending(ids.begin(), ids.end());
   std::vector<TaskId> fitting;
+  std::vector<Time> floors;  // aligned with `fitting`, DAG instances only
   fitting.reserve(pending.size());
 
   while (!pending.empty()) {
     fitting.clear();
+    floors.clear();
+    bool any_ready = !dag;
     for (TaskId id : pending) {
-      if (state.fits(ci.mem(id))) fitting.push_back(id);
+      Time ready = 0.0;
+      if (dag) {
+        if (!detail::deps_ready(ci, out, id, ready)) continue;
+        any_ready = true;
+      }
+      if (state.fits(ci.mem(id))) {
+        fitting.push_back(id);
+        if (dag) floors.push_back(ready);
+      }
     }
     if (fitting.empty()) {
+      if (!any_ready) {
+        detail::throw_unready_pending("execute_dynamic", ci, out, pending);
+      }
       if (!state.advance_to_next_release()) {
         throw std::invalid_argument(
             "execute_dynamic: a pending task exceeds the memory capacity");
       }
       continue;
     }
-    const TaskId chosen = pick_candidate(ci, state, fitting, criterion);
-    const TaskTimes tt = state.start(soa_task(ci, chosen));
+    const TaskId chosen = pick_candidate(ci, state, fitting, criterion, floors);
+    const Time floor =
+        dag ? floors[static_cast<std::size_t>(
+                  std::find(fitting.begin(), fitting.end(), chosen) -
+                  fitting.begin())]
+            : 0.0;
+    const TaskTimes tt = state.start(soa_task(ci, chosen), floor);
     out.set(chosen, tt.comm_start, tt.comp_start);
     pending.erase(std::find(pending.begin(), pending.end(), chosen));
   }

@@ -45,21 +45,37 @@ enum class DynamicCriterion {
 /// Batch-scored variant over the SoA arrays of a compiled instance —
 /// identical selection (same induced-idle arithmetic and tie-breaks),
 /// without pulling whole `Task` records through the cache per candidate.
+/// `ready` (optional, aligned with `candidates`) floors each candidate's
+/// hypothetical transfer start at its predecessors' completion instant,
+/// so the induced-idle score matches what issuing it would actually do on
+/// a DAG instance; empty means no floors (the paper's model).
 [[nodiscard]] TaskId pick_candidate(const CompiledInstance& ci,
                                     const ExecutionState& state,
                                     std::span<const TaskId> candidates,
-                                    DynamicCriterion criterion);
+                                    DynamicCriterion criterion,
+                                    std::span<const Time> ready = {});
 
 /// Schedules every id in `ids` on `state` using dynamic selection, writing
 /// start times into `out`. `ids` supplies the tie-breaking priority (its
-/// order is the submission order within a batch).
+/// order is the submission order within a batch). On a DAG instance only
+/// tasks whose predecessors have all been scheduled (in `out` — possibly
+/// by an earlier batch sharing it) are candidates, and each transfer
+/// waits for its predecessors' computations; throws std::invalid_argument
+/// when every pending task waits on a predecessor outside `ids` that was
+/// never scheduled.
+///
+/// Convenience delegator: compiles the instance and calls the
+/// compiled-first overload below — the *one* home of the scheduling loop
+/// and its DAG gating (tools/dts_lint.py `executor-one-home` keeps it
+/// that way). Repeated callers (the batch scheduler) compile once and
+/// call the compiled overload directly.
 void execute_dynamic(const Instance& inst, std::span<const TaskId> ids,
                      DynamicCriterion criterion, ExecutionState& state,
                      Schedule& out);
 
-/// SoA fast path: the candidate fit-scans and idle scoring read the
-/// compiled arrays. Repeated callers (the batch scheduler) compile the
-/// instance once and reuse it across batches.
+/// The compiled-first entry point (and the only defining body): candidate
+/// fit-scans and idle scoring read the SoA arrays, dependency gating is
+/// implemented here and nowhere else.
 void execute_dynamic(const CompiledInstance& ci, std::span<const TaskId> ids,
                      DynamicCriterion criterion, ExecutionState& state,
                      Schedule& out);
@@ -68,5 +84,23 @@ void execute_dynamic(const CompiledInstance& ci, std::span<const TaskId> ids,
 [[nodiscard]] Schedule schedule_dynamic(const Instance& inst,
                                         DynamicCriterion criterion,
                                         Mem capacity);
+
+namespace detail {
+
+/// Predecessor readiness of `id` against the starts recorded in `out`:
+/// false when a predecessor is unscheduled, otherwise raises `ready` to
+/// the latest predecessor computation end. Shared by the dynamic and
+/// corrected executors (DAG instances only).
+bool deps_ready(const CompiledInstance& ci, const Schedule& out, TaskId id,
+                Time& ready);
+
+/// Cold error funnel for the cross-batch deadlock: every pending task
+/// waits on a predecessor that is neither pending nor scheduled.
+[[noreturn]] void throw_unready_pending(const char* who,
+                                        const CompiledInstance& ci,
+                                        const Schedule& out,
+                                        std::span<const TaskId> pending);
+
+}  // namespace detail
 
 }  // namespace dts

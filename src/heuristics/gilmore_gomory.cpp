@@ -224,7 +224,9 @@ std::vector<TaskId> gilmore_gomory_order(const Instance& inst) {
 }
 
 Schedule schedule_gilmore_gomory(const Instance& inst, Mem capacity) {
-  return simulate_order(inst, gilmore_gomory_order(inst), capacity);
+  std::vector<TaskId> order = gilmore_gomory_order(inst);
+  if (inst.has_dependencies()) order = legalize_order(inst, order);
+  return simulate_order(inst, order, capacity);
 }
 
 }  // namespace dts

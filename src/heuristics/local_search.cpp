@@ -52,6 +52,11 @@ LocalSearchResult improve_order(const Instance& inst, Mem capacity,
   }
   LocalSearchResult result;
   result.order.assign(initial.begin(), initial.end());
+  const bool dag = inst.has_dependencies();
+  // A DAG seed must be executable; repair it minimally (identity when the
+  // caller already passed a topological order, and on edge-free
+  // instances).
+  if (dag) result.order = legalize_order(inst, result.order);
   // All candidate scoring runs on the data-oriented fast path: one SoA
   // compilation of the instance, checkpoints along the incumbent order,
   // and per-candidate resimulation of only the suffix after the move
@@ -83,8 +88,10 @@ LocalSearchResult improve_order(const Instance& inst, Mem capacity,
       break;
     }
     candidate = result.order;
-    if (!random_move(rng, candidate)) {
-      // Degenerate draw (i == j); bounded retries keep the loop finite.
+    if (!random_move(rng, candidate) ||
+        (dag && !inst.is_topological_order(candidate))) {
+      // Degenerate draw (i == j) or a move that breaks a dependency edge;
+      // bounded retries keep the loop finite either way.
       if (++degenerate_draws > 4 * options.max_iterations) break;
       continue;
     }

@@ -39,7 +39,9 @@ std::vector<TaskId> static_order(const Instance& inst,
 
 Schedule schedule_static(const Instance& inst, StaticOrderPolicy policy,
                          Mem capacity) {
-  return simulate_order(inst, static_order(inst, policy), capacity);
+  std::vector<TaskId> order = static_order(inst, policy);
+  if (inst.has_dependencies()) order = legalize_order(inst, order);
+  return simulate_order(inst, order, capacity);
 }
 
 std::string_view to_acronym(StaticOrderPolicy policy) noexcept {

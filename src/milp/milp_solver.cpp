@@ -163,6 +163,14 @@ MilpResult solve_order_milp(const Instance& inst, Mem capacity,
         "milp: instance of " + std::to_string(n) +
         " tasks exceeds max_n = " + std::to_string(options.max_n));
   }
+  if (inst.has_dependencies()) {
+    // The order-binary model carries no precedence rows, so its LP bounds
+    // would be invalid on a DAG; solve() rejects this before reaching
+    // here (SolverDeps::kIndependent), direct callers get the same error.
+    throw std::invalid_argument(
+        "milp: the model has no precedence constraints; the instance "
+        "declares dependency edges (use branch-bound or exhaustive)");
+  }
   MilpResult result;
   if (n == 0) {
     result.makespan = 0.0;

@@ -77,6 +77,71 @@ Instance generate_ccsd_trace(const TraceConfig& config) {
   return Instance(std::move(tasks));
 }
 
+Instance generate_ccsd_dag_trace(const TraceConfig& config) {
+  Rng rng(config.seed ^ 0x434353442D444147ULL);  // "CCSD-DAG"
+  const MachineModel& m = config.machine;
+  const std::size_t n_tasks = static_cast<std::size_t>(
+      rng.uniform_u64(config.min_tasks, config.max_tasks));
+  const ChannelId wb_channel = m.duplex() ? kChannelD2H : kChannelH2D;
+
+  // Super Instruction style contraction chains: within a chain,
+  // contraction k fetches its fresh operand slab (an independent host
+  // transfer) but the *computation* consumes contraction k-1's
+  // intermediate, which never leaves the device — a dependency edge, not
+  // a transfer. Each chain's result streams back in a terminal
+  // write-back task. Chains are mutually independent, so transfers of
+  // one chain overlap computations of another exactly as SIA block
+  // schedulers exploit.
+  std::vector<Task> tasks;
+  tasks.reserve(n_tasks + 4);
+  std::size_t chain = 0;
+  bool slab_emitted = false;
+  while (tasks.size() < n_tasks) {
+    const std::size_t chain_len = 2 + rng.uniform_u64(0, 3);  // 2..5
+    TaskId prev = kInvalidTask;
+    Mem chain_output = 0.0;
+    for (std::size_t k = 0; k < chain_len; ++k) {
+      double bytes = 0.0;
+      if (!slab_emitted || rng.chance(0.03)) {
+        // Full T2-amplitude slab — forced at least once per trace so the
+        // minimum capacity matches the edge-free CCSD corpus.
+        bytes = kMaxSlabBytes * rng.uniform(0.98, 1.0);
+        slab_emitted = true;
+      } else {
+        bytes = log_uniform(rng, kMinSlabBytes, 0.45 * kMaxSlabBytes);
+      }
+      const Time comm = m.transfer_time(bytes);
+      // Same lognormal work-per-byte family as generate_ccsd_trace
+      // (E[r] = 1, sigma 0.65): the aggregate Fig. 8 shape is preserved,
+      // only the precedence structure differs.
+      const double ratio = std::exp(-0.211 + 0.65 * rng.normal());
+      Task t;
+      t.comm = comm;
+      t.comp = comm * ratio;
+      t.mem = bytes;
+      t.comm_bytes = bytes;
+      t.name = "c" + std::to_string(chain) + "_contract_" + std::to_string(k);
+      if (prev != kInvalidTask) t.deps.push_back(prev);
+      prev = static_cast<TaskId>(tasks.size());
+      chain_output = bytes;  // the last contraction's slab sizes the result
+      tasks.push_back(std::move(t));
+    }
+    const Mem result_bytes = config.writeback_fraction * chain_output;
+    Task wb;
+    wb.comm = m.duplex() ? m.d2h_transfer_time(result_bytes)
+                         : m.transfer_time(result_bytes);
+    wb.comp = 0.0;
+    wb.mem = result_bytes;
+    wb.channel = wb_channel;
+    wb.comm_bytes = result_bytes;
+    wb.deps.push_back(prev);  // the copy may not start before the chain ends
+    wb.name = "c" + std::to_string(chain) + "_wb";
+    tasks.push_back(std::move(wb));
+    ++chain;
+  }
+  return Instance(std::move(tasks));
+}
+
 Instance generate_trace(ChemistryKernel kernel, const TraceConfig& config) {
   Instance inst;
   switch (kernel) {

@@ -54,6 +54,21 @@ struct TraceConfig {
 /// compute-rich amplitude contractions).
 [[nodiscard]] Instance generate_ccsd_trace(const TraceConfig& config);
 
+/// One CCSD process trace with *precedence*: contraction chains in the
+/// Super Instruction style. Each chain is a pipeline of 2–5 tensor
+/// contractions — contraction k fetches its fresh operand slab from the
+/// host but must also wait for contraction k-1 (the intermediate stays
+/// on the device, so the transfer may overlap with earlier chains but
+/// the computation order is fixed) — and ends with a result write-back
+/// task (comp = 0) depending on the final contraction. On a duplex
+/// machine (MachineModel::duplex()) write-backs ride kChannelD2H;
+/// half-duplex machines put them on the single channel. Chains are
+/// mutually independent, so the instance is a forest of linear DAGs —
+/// the shape Instance::has_dependencies()-aware solvers are benchmarked
+/// on. Volume and intensity distributions match generate_ccsd_trace;
+/// fully deterministic in the seed.
+[[nodiscard]] Instance generate_ccsd_dag_trace(const TraceConfig& config);
+
 /// Dispatch on the kernel. A duplex machine (MachineModel::duplex() —
 /// e.g. MachineModel::duplex_pcie()) makes the trace bidirectional: each
 /// fetched task is followed by a result write-back task on kChannelD2H

@@ -1,5 +1,6 @@
 #include "trace/machine.hpp"
 
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -73,6 +74,35 @@ void register_builtin_machines(MachineRegistry& registry) {
                        "NVLink2 duplex, piecewise small/large regimes",
                        {MachineChannel{"H2D", nvlink2()},
                         MachineChannel{"D2H", nvlink2()}});
+      });
+  registry.add(
+      "summit-multi-gpu",
+      MachineChannels{"g0-h2d+g0-d2h+g1-h2d+g1-d2h+g2-h2d+g2-d2h+g3-h2d+"
+                      "g3-d2h+g0g1-peer+g1g2-peer+g2g3-peer+g3g0-peer"},
+      "Summit-like multi-GPU node: 4 GPUs, one duplex PCIe host link pair "
+      "per GPU plus an NVLink peer ring (12 copy engines)",
+      [] {
+        // The deep-hierarchy preset: each of the four GPUs owns a duplex
+        // pair of PCIe 3.0 x16 host links (~12.3 GB/s in, ~12.0 GB/s
+        // out), and neighbouring GPUs are joined by NVLink2 peer bricks
+        // (~50 GB/s, sub-2us startup) in a ring — the per-direction
+        // affine family calibrate() fits. Channel ids follow the
+        // declaration order: host pairs first (g0..g3), then the peer
+        // ring (g0g1, g1g2, g2g3, g3g0).
+        std::vector<MachineChannel> channels;
+        for (int g = 0; g < 4; ++g) {
+          const std::string gpu = "g" + std::to_string(g);
+          channels.push_back(affine_channel(gpu + "-h2d", 5.0e-6, 1.23e10));
+          channels.push_back(affine_channel(gpu + "-d2h", 5.0e-6, 1.20e10));
+        }
+        for (int g = 0; g < 4; ++g) {
+          const std::string peer =
+              "g" + std::to_string(g) + "g" + std::to_string((g + 1) % 4);
+          channels.push_back(affine_channel(peer + "-peer", 1.5e-6, 5.0e10));
+        }
+        return Machine("summit-multi-gpu",
+                       "4 GPUs: duplex PCIe host links + NVLink peer ring",
+                       std::move(channels));
       });
   registry.add("nvlink", MachineChannels{"H2D+D2H"},
                "NVLink3-class CPU<->GPU attachment: duplex, ~150 GB/s per "

@@ -13,7 +13,39 @@ namespace {
 constexpr std::string_view kMagicV1 = "# dts-trace v1";
 constexpr std::string_view kMagicV2 = "# dts-trace v2";
 constexpr std::string_view kMagicV3 = "# dts-trace v3";
+constexpr std::string_view kMagicV4 = "# dts-trace v4";
 constexpr std::string_view kBytesPrefix = "bytes=";
+constexpr std::string_view kDepsPrefix = "deps=";
+
+/// Parses one comma-separated predecessor list ("0,3,17"). Only the
+/// lexical shape is checked here — ids must be in-range numbers with no
+/// empty elements; dangling references, self-edges and cycles are the
+/// Instance constructor's job (it has the exact diagnostics).
+std::vector<TaskId> parse_deps_field(std::size_t line_no,
+                                     const std::string& field,
+                                     std::string_view list) {
+  if (list.empty()) {
+    throw TraceIoError(line_no, "empty dependency list '" + field + "'");
+  }
+  std::vector<TaskId> deps;
+  std::size_t begin = 0;
+  while (begin <= list.size()) {
+    const std::size_t comma = std::min(list.find(',', begin), list.size());
+    const std::string_view element = list.substr(begin, comma - begin);
+    TaskId id = 0;
+    const auto [ptr, ec] =
+        std::from_chars(element.data(), element.data() + element.size(), id);
+    if (element.empty() || ec != std::errc{} ||
+        ptr != element.data() + element.size()) {
+      throw TraceIoError(line_no, "malformed dependency id '" +
+                                      std::string(element) + "' in '" + field +
+                                      "'");
+    }
+    deps.push_back(id);
+    begin = comma + 1;
+  }
+  return deps;
+}
 
 /// Full-token double parse; TraceIoError names the offending field.
 /// from_chars (not strtod) so hex soup ("0x10") and locale surprises stay
@@ -41,14 +73,16 @@ double parse_double_field(std::size_t line_no, const char* field,
 void write_trace(std::ostream& out, const Instance& inst) {
   const InstanceStats stats = inst.stats();
   const bool multi = !inst.single_channel();
-  // The lowest version that can represent this instance: bytes and
-  // time-less tasks need v3, extra channels need v2, everything else
-  // stays v1 so legacy readers keep working.
+  // The lowest version that can represent this instance: dependency
+  // edges need v4, bytes and time-less tasks v3, extra channels v2;
+  // everything else stays v1 so legacy readers keep working.
   bool bytes = false;
   for (const Task& t : inst) {
     bytes = bytes || t.has_comm_bytes() || !t.time_bound();
   }
-  out << (bytes ? kMagicV3 : multi ? kMagicV2 : kMagicV1) << '\n';
+  const bool deps = inst.has_dependencies();
+  out << (deps ? kMagicV4 : bytes ? kMagicV3 : multi ? kMagicV2 : kMagicV1)
+      << '\n';
   out << "# tasks=" << stats.n_tasks << " sum_comm=" << stats.sum_comm
       << " sum_comp=" << stats.sum_comp << " max_mem=" << stats.max_mem;
   if (multi) out << " channels=" << inst.num_channels();
@@ -65,6 +99,13 @@ void write_trace(std::ostream& out, const Instance& inst) {
     out << ' ' << t.comp << ' ' << t.mem;
     if (multi) out << ' ' << t.channel;
     if (t.has_comm_bytes()) out << ' ' << kBytesPrefix << t.comm_bytes;
+    if (!t.deps.empty()) {
+      out << ' ' << kDepsPrefix;
+      for (std::size_t i = 0; i < t.deps.size(); ++i) {
+        if (i > 0) out << ',';
+        out << t.deps[i];
+      }
+    }
     out << '\n';
   }
 }
@@ -100,10 +141,13 @@ Instance read_trace(std::istream& in) {
         version = 2;
       } else if (line == kMagicV3) {
         version = 3;
+      } else if (line == kMagicV4) {
+        version = 4;
       } else {
         throw TraceIoError(line_no, "missing header '" + std::string(kMagicV1) +
                                         "', '" + std::string(kMagicV2) +
-                                        "' or '" + std::string(kMagicV3) + "'");
+                                        "', '" + std::string(kMagicV3) +
+                                        "' or '" + std::string(kMagicV4) + "'");
       }
       magic_seen = true;
       continue;
@@ -147,9 +191,29 @@ Instance read_trace(std::istream& in) {
 
     bool channel_seen = false;
     bool bytes_seen = false;
+    bool deps_seen = false;
     for (std::size_t i = 5; i < tokens.size(); ++i) {
       const std::string& field = tokens[i];
-      if (field.rfind(kBytesPrefix, 0) == 0) {
+      if (field.rfind(kDepsPrefix, 0) == 0) {
+        if (version < 4) {
+          // A stray deps= column in an old trace must stay a loud error.
+          throw TraceIoError(line_no,
+                             "unexpected '" + field +
+                                 "' (dependency edges need the '" +
+                                 std::string(kMagicV4) + "' header)");
+        }
+        if (deps_seen) {
+          throw TraceIoError(line_no,
+                             "duplicate dependency list '" + field + "'");
+        }
+        t.deps = parse_deps_field(
+            line_no, field,
+            std::string_view(field).substr(kDepsPrefix.size()));
+        deps_seen = true;
+      } else if (deps_seen) {
+        // deps= is defined as the last column of a record.
+        throw TraceIoError(line_no, "trailing content '" + field + "'");
+      } else if (field.rfind(kBytesPrefix, 0) == 0) {
         if (version < 3) {
           // A stray bytes= column in an old trace must stay a loud error.
           throw TraceIoError(line_no,

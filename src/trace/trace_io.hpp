@@ -6,7 +6,7 @@
 ///     # dts-trace v1
 ///     # optional comment lines
 ///     task <name> <comm_seconds> <comp_seconds> <mem_bytes> [<channel>]
-///         [bytes=<comm_bytes>]
+///         [bytes=<comm_bytes>] [deps=<i>,<j>,...]
 ///
 /// Durations are decimal seconds, memory decimal bytes; `<name>` contains
 /// no whitespace. The optional fifth field is the copy engine the
@@ -25,13 +25,24 @@
 /// `bytes=`); such bytes-only traces are the machine-independent workload
 /// interchange format.
 ///
+/// Version 4 ("# dts-trace v4") adds precedence: a trailing
+/// `deps=<i>,<j>,...` annotation per task, listing the 0-based file
+/// positions of its predecessor tasks (the transfer may not start before
+/// each listed task's computation ends). It is always the *last* column —
+/// after the channel column and `bytes=` — and is gated on the v4 header
+/// exactly like `bytes=` is gated on v3. The reader checks the ids are
+/// well-formed numbers; dangling ids, self-edges and cycles are rejected
+/// by Instance construction with its exact diagnostics.
+///
 /// Writers emit the lowest version that can represent the instance (v2
 /// only for multi-channel, v3 only for byte-annotated or time-less
-/// tasks), so legacy traces stay byte-identical to v1 and old readers
-/// keep working on them. The format round-trips every Instance the
-/// library can represent and is the interchange point for users who
-/// bring measured traces from their own runtimes (the paper's
-/// experiments consumed such per-process trace files).
+/// tasks, v4 only when some task declares dependency edges), so legacy
+/// traces stay byte-identical to v1 and old readers keep working on
+/// them — in particular every edge-free instance round-trips through
+/// v1–v3 unchanged. The format round-trips every Instance the library
+/// can represent and is the interchange point for users who bring
+/// measured traces from their own runtimes (the paper's experiments
+/// consumed such per-process trace files).
 
 #include <filesystem>
 #include <iosfwd>

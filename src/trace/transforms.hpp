@@ -25,10 +25,15 @@ namespace dts {
 /// Multiplies every memory requirement by `factor` (> 0).
 [[nodiscard]] Instance scale_memory(const Instance& inst, double factor);
 
-/// Concatenates traces in order (task ids renumbered).
+/// Concatenates traces in order (task ids renumbered; each trace's
+/// dependency edges are shifted with its tasks, so DAG traces merge
+/// without cross-trace edges appearing).
 [[nodiscard]] Instance merge_traces(std::span<const Instance> traces);
 
 /// Keeps the tasks satisfying `keep`, preserving submission order.
+/// Dependency edges between two kept tasks survive (remapped to the new
+/// ids); edges onto filtered-out tasks are dropped — transitive
+/// predecessors are *not* inherited, the filter severs the chain.
 [[nodiscard]] Instance filter_tasks(const Instance& inst,
                                     const std::function<bool(const Task&)>& keep);
 
@@ -40,7 +45,10 @@ namespace dts {
                                     double jitter);
 
 /// Splits a trace into consecutive batches of at most `batch_size` tasks
-/// (the §6.3 runtime visibility model).
+/// (the §6.3 runtime visibility model). Intra-batch dependency edges are
+/// kept (remapped to batch-local ids); cross-batch edges are dropped —
+/// each batch is its own instance, and the batch scheduler's in-order
+/// submission over a shared Schedule supplies cross-batch readiness.
 [[nodiscard]] std::vector<Instance> split_batches(const Instance& inst,
                                                   std::size_t batch_size);
 
@@ -51,10 +59,16 @@ namespace dts {
 /// the duration of the copy). Original tasks keep their channels; the
 /// result models the paper-conclusion scenario where computed results
 /// stream back to the host while the next inputs stream in.
-/// `result_fraction` must be in (0, 1].
+/// `result_fraction` must be in (0, 1]. Existing dependency edges are
+/// remapped through the interleaving. With `depend_on_producer` each
+/// write-back gains a dependency edge on the task that produced it (the
+/// copy may not start before the computation ends — a DAG instance); the
+/// default leaves write-backs independent, preserving the historical
+/// duplex benchmarks bit-for-bit.
 [[nodiscard]] Instance with_writeback(const Instance& inst,
                                       const ChannelSpec& d2h,
-                                      double result_fraction);
+                                      double result_fraction,
+                                      bool depend_on_producer = false);
 
 /// Forces every task onto channel 0 — the half-duplex serialization of a
 /// multi-channel trace. Comparing makespans of an instance against

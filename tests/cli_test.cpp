@@ -106,6 +106,30 @@ TEST(Cli, GenerateInfoScheduleRoundTrip) {
   EXPECT_NE(sched.out.find("comm |"), std::string::npos);
 }
 
+TEST(Cli, GenerateCcsdDagWritesV4AndSolves) {
+  TempFile file("dag.trace");
+  const CliRun gen = run({"generate", "--kernel=CCSD-DAG", "--seed=3",
+                          "--min-tasks=12", "--max-tasks=16",
+                          "--out=" + file.str()});
+  ASSERT_EQ(gen.exit_code, 0) << gen.err;
+  EXPECT_NE(gen.out.find("CCSD-DAG"), std::string::npos);
+
+  std::ifstream in(file.str());
+  std::string header;
+  ASSERT_TRUE(std::getline(in, header));
+  EXPECT_EQ(header, "# dts-trace v4");
+
+  const CliRun solve =
+      run({"solve", file.str(), "--capacity-factor=1.5"});
+  ASSERT_EQ(solve.exit_code, 0) << solve.err;
+  EXPECT_NE(solve.out.find("winner:"), std::string::npos);
+
+  const CliRun milp = run({"solve", file.str(), "--solver=milp",
+                           "--capacity-factor=1.5"});
+  EXPECT_NE(milp.exit_code, 0);
+  EXPECT_NE(milp.err.find("independent task sets only"), std::string::npos);
+}
+
 TEST(Cli, CompareListsEveryHeuristic) {
   TempFile file("compare.trace");
   ASSERT_EQ(run({"generate", "--kernel=CCSD", "--seed=2", "--min-tasks=30",
@@ -277,6 +301,10 @@ TEST(Cli, ListSolversBothSpellings) {
     // Per-solver channel capability column.
     EXPECT_NE(r.out.find("channels"), std::string::npos);
     EXPECT_NE(r.out.find("any"), std::string::npos);
+    // Per-solver dependency capability column; milp is the one builtin
+    // that schedules independent task sets only.
+    EXPECT_NE(r.out.find("deps"), std::string::npos);
+    EXPECT_NE(r.out.find("independent"), std::string::npos);
   }
 }
 

@@ -1,6 +1,5 @@
 // lint-as: src/core/fixture.cpp
 void register_builtin_solvers(SolverRegistry& registry) {
   registry.add("fixture", "", "a solver", SolverChannels::kAny,
-               SolverDeps::kAny,
                [](const SolverOptions&) { return nullptr; });
 }

@@ -1,0 +1,7 @@
+// lint-as: src/heuristics/dynamic.cpp
+void execute_dynamic(const Instance& inst, std::span<const TaskId> ids,
+                     DynamicCriterion criterion, ExecutionState& state,
+                     Schedule& out) {
+  const TaskId chosen = pick_candidate(inst, state, ids, criterion);
+  state.start(inst[chosen]);
+}

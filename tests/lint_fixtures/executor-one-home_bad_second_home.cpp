@@ -1,0 +1,7 @@
+// lint-as: src/core/batch.cpp
+void execute_corrected(const Instance& inst, std::span<const TaskId> ids,
+                       DynamicCriterion criterion, ExecutionState& state,
+                       Schedule& out) {
+  const CompiledInstance ci(inst);
+  execute_corrected(ci, ids, criterion, state, out);
+}

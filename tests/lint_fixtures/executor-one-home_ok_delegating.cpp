@@ -1,0 +1,14 @@
+// lint-as: src/heuristics/dynamic.cpp
+void execute_dynamic(const Instance& inst, std::span<const TaskId> ids,
+                     DynamicCriterion criterion, ExecutionState& state,
+                     Schedule& out) {
+  const CompiledInstance ci(inst);
+  execute_dynamic(ci, ids, criterion, state, out);
+}
+
+void execute_dynamic(const CompiledInstance& ci, std::span<const TaskId> ids,
+                     DynamicCriterion criterion, ExecutionState& state,
+                     Schedule& out) {
+  const TaskId chosen = pick_candidate(ci, state, ids, criterion);
+  state.start(soa_task(ci, chosen));
+}

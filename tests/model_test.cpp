@@ -251,13 +251,19 @@ TEST(Solve, BindsLazilyFromMachineNameAndDescriptor) {
   request.machine = "paper";
   const SolveResult by_name = solve(request, "OS");
 
+  // The MachineRef holds either alternative: an inline descriptor solves
+  // identically to the name it was resolved from.
   SolveRequest by_desc_request = request;
-  by_desc_request.machine = std::nullopt;
-  by_desc_request.machine_model = machine_from_name("paper");
+  by_desc_request.machine = machine_from_name("paper");
   const SolveResult by_desc = solve(by_desc_request, "OS");
   EXPECT_EQ(by_name.makespan, by_desc.makespan);
 
-  // Name + descriptor together is ambiguous.
+  // Deprecated machine_model shim (one release): still honored, and still
+  // ambiguous next to a set MachineRef.
+  SolveRequest by_shim = request;
+  by_shim.machine = std::nullopt;
+  by_shim.machine_model = machine_from_name("paper");
+  EXPECT_EQ(by_name.makespan, solve(by_shim, "OS").makespan);
   SolveRequest both = request;
   both.machine_model = machine_from_name("paper");
   EXPECT_THROW((void)solve(both, "OS"), std::invalid_argument);

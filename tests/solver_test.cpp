@@ -67,7 +67,7 @@ TEST(SolverRegistry, UnknownNameThrowsListingAvailableSolvers) {
 
 TEST(SolverRegistry, DuplicateKeyThrows) {
   EXPECT_THROW(SolverRegistry::global().add(
-                   "auto", "", "dup", SolverChannels::kAny,
+                   "auto", "", "dup", SolverChannels::kAny, SolverDeps::kAny,
                    [](const SolverSpec&) -> std::unique_ptr<Solver> {
                      return nullptr;
                    }),
@@ -76,7 +76,7 @@ TEST(SolverRegistry, DuplicateKeyThrows) {
 
 TEST(SolverRegistry, KeysWithColonRejected) {
   EXPECT_THROW(SolverRegistry::global().add(
-                   "bad:key", "", "", SolverChannels::kAny,
+                   "bad:key", "", "", SolverChannels::kAny, SolverDeps::kAny,
                    [](const SolverSpec&) -> std::unique_ptr<Solver> {
                      return nullptr;
                    }),
@@ -129,7 +129,7 @@ class SubmissionOrderTwiceSolver final : public Solver {
 
 const RegisterSolver kRegisterTestSolver{
     "test-submission", "", "test-only: the submission order",
-    SolverChannels::kAny, [](const SolverSpec&) {
+    SolverChannels::kAny, SolverDeps::kAny, [](const SolverSpec&) {
       return std::make_unique<SubmissionOrderTwiceSolver>();
     }};
 

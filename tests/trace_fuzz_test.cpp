@@ -115,7 +115,7 @@ TEST(TraceFuzz, AbsurdlyLongSingleToken) {
 
 TEST(TraceFuzz, HeaderGarbage) {
   for (const char* header :
-       {"", "\n", "# dts-trace v4", "# dts-trace", "dts-trace v1",
+       {"", "\n", "# dts-trace v5", "# dts-trace", "dts-trace v1",
         "# DTS-TRACE V1", "\xff\xfe# dts-trace v1"}) {
     const TraceIoError e = parse_failure(std::string(header) + "\n");
     EXPECT_EQ(e.line(), 1u) << header;

@@ -53,6 +53,8 @@ def is_throughput_metric(name):
 
 def row_key(row):
     """Identity of a bench row across runs."""
+    if "dag_machine" in row:
+        return ("dag", row["kernel"], row["dag_machine"])
     if "machine" in row:
         return ("sweep", row["kernel"], row["machine"])
     if "mode" in row:
@@ -64,6 +66,15 @@ def row_key(row):
 
 def metrics(row):
     """The guarded columns of a row."""
+    if "dag_machine" in row:
+        # DAG-axis row: both medians are deterministic functions of the
+        # seeded contraction-chain corpus — strict rule for each.
+        return {
+            "dag_median_makespan_seconds":
+                row["dag_median_makespan_seconds"],
+            "relaxed_median_makespan_seconds":
+                row["relaxed_median_makespan_seconds"],
+        }
     if "machine" in row:
         return {"median_makespan_seconds": row["median_makespan_seconds"]}
     if "mode" in row:
@@ -98,7 +109,8 @@ def load_rows(path):
         print(f"error: cannot read {path}: {error}", file=sys.stderr)
         sys.exit(2)
     rows = {}
-    for row in data.get("rows", []) + data.get("asymmetry", []):
+    for row in (data.get("rows", []) + data.get("asymmetry", []) +
+                data.get("dag", [])):
         rows[row_key(row)] = metrics(row)
     return rows
 
@@ -162,6 +174,10 @@ def run_self_test():
         "milp_median_makespan_seconds": 4.0e-5,
         "best_heuristic_median_makespan_seconds": 4.2e-5,
     }}
+    dag_base = {("dag", "CCSD-DAG", "duplex-pcie"): {
+        "dag_median_makespan_seconds": 15.0,
+        "relaxed_median_makespan_seconds": 13.0,
+    }}
 
     def tweak(rows, **overrides):
         out = {key: dict(vals) for key, vals in rows.items()}
@@ -191,6 +207,22 @@ def run_self_test():
     expect("identical throughput rows", run(thr_base, thr_base), False)
     expect("identical sweep rows", run(sweep_base, sweep_base), False)
     expect("identical fig7 rows", run(fig7_base, fig7_base), False)
+    expect("identical dag rows", run(dag_base, dag_base), False)
+
+    # DAG-axis columns are deterministic makespans: strict in both
+    # directions, for the with-edges and the relaxed column alike.
+    expect("dag-makespan regression",
+           run(dag_base,
+               tweak(dag_base, dag_median_makespan_seconds=16.0)),
+           True)
+    expect("dag relaxed-makespan regression",
+           run(dag_base,
+               tweak(dag_base, relaxed_median_makespan_seconds=13.5)),
+           True)
+    expect("dag improvement is a note",
+           run(dag_base,
+               tweak(dag_base, dag_median_makespan_seconds=14.0)),
+           False, improvements=1)
 
     # Fig. 7 duplex columns are deterministic makespans: strict rule in
     # both directions, for the exact and the best-heuristic column alike.
@@ -277,6 +309,15 @@ def run_self_test():
         parsed[row_key(row)] = metrics(row)
     if parsed != fig7_base:
         failures.append(f"fig7 row parse drifted: {parsed}")
+    parsed = {}
+    for row in json.loads(json.dumps({"dag": [{
+            "kernel": "CCSD-DAG", "dag_machine": "duplex-pcie",
+            "winner": "LCMR", "dag_median_makespan_seconds": 15.0,
+            "relaxed_median_makespan_seconds": 13.0,
+            "dag_over_relaxed": 1.154}]}))["dag"]:
+        parsed[row_key(row)] = metrics(row)
+    if parsed != dag_base:
+        failures.append(f"dag row parse drifted: {parsed}")
 
     if failures:
         for line in failures:

@@ -10,9 +10,14 @@ ones that otherwise live only in reviewers' heads:
                            elsewhere would break the bit-for-bit parity
                            the golden tests pin.
   channels-declared        every RegisterSolver / SolverRegistry::add site
-                           names a SolverChannels:: capability and every
-                           RegisterMachine / MachineRegistry::add site a
-                           MachineChannels{...} declaration.
+                           names a SolverChannels:: and a SolverDeps::
+                           capability and every RegisterMachine /
+                           MachineRegistry::add site a MachineChannels{...}
+                           declaration.
+  executor-one-home        execute_dynamic / execute_corrected each have
+                           exactly one defining home (their compiled-first
+                           body); the raw-Instance overloads only compile
+                           and delegate, so DAG gating can never fork.
   no-unordered-containers  result-affecting code (src/core, src/exact,
                            src/heuristics, src/milp) never uses
                            std::unordered_{map, set}: iteration order is
@@ -225,13 +230,15 @@ def check_channels_declared(path: str, raw: str, code: str):
         extent = balanced_extent(code, m.end(), "{", "}")
         sites.append((m.start(), "machine", extent))
     for offset, kind, extent in sites:
-        token = "SolverChannels::" if kind == "solver" else "MachineChannels"
-        if token not in extent:
-            yield Finding(
-                "channels-declared", path, line_of(code, offset),
-                f"{kind} registration without an explicit {token} channel "
-                "capability — declare it at the site (listings and the "
-                "differential suite derive coverage from it)")
+        tokens = (("SolverChannels::", "SolverDeps::") if kind == "solver"
+                  else ("MachineChannels",))
+        for token in tokens:
+            if token not in extent:
+                yield Finding(
+                    "channels-declared", path, line_of(code, offset),
+                    f"{kind} registration without an explicit {token} "
+                    "capability — declare it at the site (listings and the "
+                    "differential suite derive coverage from it)")
 
 
 def check_unordered_containers(path: str, raw: str, code: str):
@@ -385,6 +392,46 @@ def check_hot_path_noalloc(path: str, raw: str, code: str):
                     "errors through a cold [[noreturn]] helper")
 
 
+# The compiled-first executors own the scheduling loop and its dependency
+# gating; the raw-Instance overloads are convenience delegators. One home
+# each — a second definition elsewhere, or selection logic creeping back
+# into a delegator, would fork the DAG semantics between two copies.
+EXECUTOR_HOMES = {
+    "execute_dynamic": "src/heuristics/dynamic.cpp",
+    "execute_corrected": "src/heuristics/corrections.cpp",
+}
+EXECUTOR_LOGIC_TOKENS = ("pick_candidate", ".start(", "deps_ready")
+
+
+def check_executor_one_home(path: str, raw: str, code: str):
+    """execute_dynamic/execute_corrected: one compiled-first home each."""
+    for m in re.finditer(r"\bvoid\s+(execute_dynamic|execute_corrected)\s*\(",
+                         code):
+        name = m.group(1)
+        params = balanced_extent(code, m.end() - 1, "(", ")")
+        after = m.end() - 1 + len(params)
+        if not code[after:].lstrip().startswith("{"):
+            continue  # declaration, not a definition
+        if path != EXECUTOR_HOMES[name]:
+            yield Finding(
+                "executor-one-home", path, line_of(code, m.start()),
+                f"{name} defined outside its home ({EXECUTOR_HOMES[name]}) "
+                "— the scheduling loop and its dependency gating live in "
+                "exactly one place")
+            continue
+        if "CompiledInstance" in params:
+            continue  # the compiled-first body IS the one home
+        body = balanced_extent(code, after, "{", "}")
+        logic = [t for t in EXECUTOR_LOGIC_TOKENS if t in body]
+        if logic or not re.search(name + r"\s*\(\s*ci\b", body):
+            yield Finding(
+                "executor-one-home", path, line_of(code, m.start()),
+                f"raw-Instance {name} overload must only compile the "
+                "instance and delegate to the compiled-first overload"
+                + (f" (found scheduling logic: {', '.join(logic)})"
+                   if logic else ""))
+
+
 def check_whitespace(path: str, raw: str, code: str):
     lines = raw.split("\n")
     for idx, line in enumerate(lines, start=1):
@@ -414,6 +461,7 @@ RULES = {
     "no-iostream-library": check_iostream_library,
     "no-naked-new": check_naked_new,
     "hot-path-noalloc": check_hot_path_noalloc,
+    "executor-one-home": check_executor_one_home,
     "trailing-whitespace": check_whitespace,  # also emits tabs/crlf/newline
 }
 
